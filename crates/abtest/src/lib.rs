@@ -1,0 +1,38 @@
+//! A/B experimentation engine: cohorts, daily metric aggregation, AA/AB
+//! scheduling and difference-in-differences reporting.
+//!
+//! §5.3 of the paper runs a 10-day difference-in-differences test on 8% of
+//! production traffic: days 1–5 are an AA phase (both groups run the
+//! baseline, measuring cohort bias), the intervention lands on day 6, and
+//! the effect is `mean(post differences) − mean(pre differences)` tested
+//! across days. This crate reproduces that pipeline over simulated
+//! populations; the experiment harness (`lingxi-exp`) supplies the arms.
+
+pub mod experiment;
+pub mod metrics;
+
+pub use experiment::{AbReport, AbSchedule, AbTest, ArmRunner, MetricSeries};
+pub use metrics::{aggregate_day, relative_diff_pct, DayMetrics};
+
+/// Errors from experiment orchestration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbError {
+    /// Invalid configuration.
+    InvalidConfig(String),
+    /// A statistical routine failed (too few days, etc.).
+    Stats(String),
+}
+
+impl std::fmt::Display for AbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            AbError::Stats(m) => write!(f, "stats failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AbError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, AbError>;

@@ -1,0 +1,122 @@
+//! Daily metric aggregation over session summaries.
+
+use lingxi_player::SessionSummary;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated metrics of one cohort-day — the three panels of Fig. 12
+/// plus supporting counts.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DayMetrics {
+    /// Total watch time (seconds) — the primary QoE metric (§5.3.1).
+    pub watch_time: f64,
+    /// Total stall time (seconds).
+    pub stall_time: f64,
+    /// Session-weighted mean bitrate (kbps).
+    pub mean_bitrate: f64,
+    /// Sessions played.
+    pub sessions: usize,
+    /// Sessions completed.
+    pub completions: usize,
+    /// Stall events.
+    pub stall_count: usize,
+    /// Quality switches.
+    pub switches: usize,
+}
+
+impl DayMetrics {
+    /// Completion rate in `[0, 1]`.
+    pub fn completion_rate(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            self.completions as f64 / self.sessions as f64
+        }
+    }
+}
+
+/// Aggregate one day's session summaries.
+pub fn aggregate_day(summaries: &[SessionSummary]) -> DayMetrics {
+    let mut m = DayMetrics::default();
+    if summaries.is_empty() {
+        return m;
+    }
+    let mut bitrate_weight = 0.0;
+    let mut bitrate_sum = 0.0;
+    for s in summaries {
+        m.watch_time += s.watch_time;
+        m.stall_time += s.total_stall;
+        m.sessions += 1;
+        m.completions += usize::from(s.completed);
+        m.stall_count += s.stall_count;
+        m.switches += s.switch_count;
+        let w = s.segments.max(1) as f64;
+        bitrate_sum += s.mean_bitrate * w;
+        bitrate_weight += w;
+    }
+    m.mean_bitrate = if bitrate_weight > 0.0 {
+        bitrate_sum / bitrate_weight
+    } else {
+        0.0
+    };
+    m
+}
+
+/// Relative difference in percent: `100 · (treatment − control) / control`.
+/// Returns 0 when the control value is 0.
+pub fn relative_diff_pct(treatment: f64, control: f64) -> f64 {
+    if control == 0.0 {
+        0.0
+    } else {
+        100.0 * (treatment - control) / control
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(watch: f64, stall: f64, bitrate: f64, completed: bool, segs: usize) -> SessionSummary {
+        SessionSummary {
+            user_id: 0,
+            watch_time: watch,
+            total_stall: stall,
+            stall_count: usize::from(stall > 0.0),
+            mean_bitrate: bitrate,
+            switch_count: 1,
+            completed,
+            segments: segs,
+        }
+    }
+
+    #[test]
+    fn aggregation_sums_and_weights() {
+        let day = aggregate_day(&[
+            summary(30.0, 1.0, 1000.0, true, 10),
+            summary(10.0, 0.0, 3000.0, false, 30),
+        ]);
+        assert_eq!(day.watch_time, 40.0);
+        assert_eq!(day.stall_time, 1.0);
+        assert_eq!(day.sessions, 2);
+        assert_eq!(day.completions, 1);
+        assert_eq!(day.stall_count, 1);
+        assert_eq!(day.switches, 2);
+        // Weighted by segments: (1000*10 + 3000*30)/40 = 2500.
+        assert!((day.mean_bitrate - 2500.0).abs() < 1e-9);
+        assert_eq!(day.completion_rate(), 0.5);
+    }
+
+    #[test]
+    fn empty_day_is_zero() {
+        let day = aggregate_day(&[]);
+        assert_eq!(day.sessions, 0);
+        assert_eq!(day.completion_rate(), 0.0);
+        assert_eq!(day.mean_bitrate, 0.0);
+    }
+
+    #[test]
+    fn relative_diff() {
+        assert!((relative_diff_pct(101.0, 100.0) - 1.0).abs() < 1e-12);
+        assert!((relative_diff_pct(99.0, 100.0) + 1.0).abs() < 1e-12);
+        assert_eq!(relative_diff_pct(5.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based invariants for the Bayesian-optimization crate.
+
+use lingxi_bayes::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Cholesky solve residuals stay small on generated SPD systems.
+    #[test]
+    fn cholesky_solves_spd_systems(
+        n in 1usize..8,
+        seed in 0u64..2000,
+    ) {
+        // Build SPD A = B Bᵀ + I from a deterministic pseudo-random B.
+        let mut state = seed.wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let b: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for k in 0..n {
+                    s += b[i * n + k] * b[j * n + k];
+                }
+                a[i * n + j] = s;
+            }
+        }
+        let rhs: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = cholesky_solve(&a, n, &rhs).unwrap();
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += a[i * n + j] * x[j];
+            }
+            prop_assert!((acc - rhs[i]).abs() < 1e-6, "row {i} residual {}", acc - rhs[i]);
+        }
+    }
+
+    /// Kernels are symmetric with covariance bounded by the variance.
+    #[test]
+    fn kernels_symmetric_and_bounded(
+        ax in 0.0f64..1.0, ay in 0.0f64..1.0,
+        bx in 0.0f64..1.0, by in 0.0f64..1.0,
+        variance in 0.1f64..5.0,
+        ell in 0.05f64..2.0,
+    ) {
+        for k in [
+            Kernel::Rbf { variance, length_scale: ell },
+            Kernel::Matern52 { variance, length_scale: ell },
+        ] {
+            let a = [ax, ay];
+            let b = [bx, by];
+            let kab = k.eval(&a, &b);
+            prop_assert!((kab - k.eval(&b, &a)).abs() < 1e-12);
+            prop_assert!(kab <= variance + 1e-9);
+            prop_assert!(kab >= 0.0);
+        }
+    }
+
+    /// GP interpolation error at training points is bounded by the noise.
+    #[test]
+    fn gp_interpolates_within_noise(
+        ys in proptest::collection::vec(-5.0f64..5.0, 2..10),
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len())
+            .map(|i| vec![i as f64 / ys.len() as f64])
+            .collect();
+        let gp = GpModel::fit(GpConfig::default(), &xs, &ys).unwrap();
+        for (x, &y) in xs.iter().zip(&ys) {
+            let (mean, var) = gp.predict(x).unwrap();
+            prop_assert!(var >= 0.0);
+            // Within a few posterior standard deviations + slack.
+            let spread = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!(
+                (mean - y).abs() <= 0.3 * spread.max(1e-3) + 3.0 * var.sqrt() + 1e-6,
+                "mean {mean} vs y {y}"
+            );
+        }
+    }
+
+    /// EI is non-negative and LCB trades off mean vs sigma monotonically.
+    #[test]
+    fn acquisition_properties(
+        mean in -2.0f64..2.0,
+        var in 1e-6f64..1.0,
+        best in -2.0f64..2.0,
+    ) {
+        let ei = Acquisition::default_ei();
+        prop_assert!(ei.score(mean, var, best) >= -1e-12);
+        let lcb1 = Acquisition::LowerConfidenceBound { kappa: 1.0 };
+        let lcb2 = Acquisition::LowerConfidenceBound { kappa: 2.0 };
+        // More exploration never lowers the score of an uncertain point.
+        prop_assert!(lcb2.score(mean, var, best) >= lcb1.score(mean, var, best) - 1e-12);
+    }
+}

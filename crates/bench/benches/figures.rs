@@ -1,0 +1,30 @@
+//! One benchmark per paper figure: each runs the corresponding experiment
+//! at a small scale, so `cargo bench` both times the harnesses and
+//! regenerates every series (DESIGN.md's "bench target per experiment").
+//!
+//! Full-scale regeneration is the `experiments` binary
+//! (`cargo run --release -p lingxi-exp --bin experiments -- all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lingxi_exp::{run_experiment, ALL_EXPERIMENTS};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for id in ALL_EXPERIMENTS {
+        // Heavier experiments run at smaller scale to keep bench time sane.
+        let scale = match id {
+            "fig10" | "fig11" | "fig12" | "fig14" => 0.05,
+            _ => 0.08,
+        };
+        group.bench_function(id, |b| {
+            b.iter(|| black_box(run_experiment(id, 42, scale).expect("experiment")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

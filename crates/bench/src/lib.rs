@@ -1,0 +1,31 @@
+//! Shared fixtures for the criterion benchmarks.
+
+use lingxi_media::{BitrateLadder, SegmentSizes, VbrModel};
+use lingxi_player::{PlayerConfig, PlayerEnv};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A warmed-up player environment plus ladder/sizes for ABR benches.
+pub struct AbrFixture {
+    /// The ladder.
+    pub ladder: BitrateLadder,
+    /// Upcoming segment sizes.
+    pub sizes: SegmentSizes,
+    /// A mid-session environment (8 segments of history, ~5 s buffer).
+    pub env: PlayerEnv,
+}
+
+/// Build the standard ABR bench fixture.
+pub fn abr_fixture(seed: u64) -> AbrFixture {
+    let ladder = BitrateLadder::default_short_video();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes =
+        SegmentSizes::generate(&ladder, 60, 2.0, &VbrModel::default_vbr(), &mut rng)
+            .expect("sizes");
+    let mut env = PlayerEnv::new(PlayerConfig::deterministic(10.0, 0.02)).expect("env");
+    for k in 0..8 {
+        let size = sizes.size_kbits(k, 1).expect("size");
+        env.step(size, 1, 3000.0, 2.0, &mut rng).expect("step");
+    }
+    AbrFixture { ladder, sizes, env }
+}

@@ -1,0 +1,574 @@
+//! The LingXi controller — Algorithm 1.
+//!
+//! Tracks stall events during live playback; when the trigger threshold η
+//! is crossed (and the pre-playback prune does not fire), runs the OBO ×
+//! Monte-Carlo loop to find the parameters minimising the predicted exit
+//! rate, and hands them to the ABR.
+
+use lingxi_abr::{Abr, QoeParams};
+use lingxi_bayes::{ObOptimizer, ObserverConfig};
+use lingxi_exit::UserStateTracker;
+use lingxi_media::BitrateLadder;
+use lingxi_player::{PlayerEnv, SegmentRecord};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::montecarlo::{evaluate_parameters, McConfig};
+use crate::predictor::RolloutPredictor;
+use crate::{CoreError, Result};
+
+/// Which QoE parameters the optimizer searches over. HYB deployments tune
+/// β only; explicit-objective ABRs tune stall/switch weights (§5.2–5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamDim {
+    /// Stall penalty weight μ.
+    Stall,
+    /// Switch penalty weight.
+    Switch,
+    /// HYB aggressiveness β.
+    Beta,
+}
+
+impl ParamDim {
+    fn get_unit(&self, p: &QoeParams) -> f64 {
+        let u = p.to_unit();
+        match self {
+            ParamDim::Stall => u[0],
+            ParamDim::Switch => u[1],
+            ParamDim::Beta => u[2],
+        }
+    }
+
+    fn set_unit(&self, p: &mut QoeParams, v: f64) {
+        let mut u = p.to_unit();
+        match self {
+            ParamDim::Stall => u[0] = v,
+            ParamDim::Switch => u[1] = v,
+            ParamDim::Beta => u[2] = v,
+        }
+        *p = QoeParams::from_unit(u);
+    }
+}
+
+/// How candidate parameters are proposed — §5.2 compares LingXi with a
+/// fixed candidate set (`L(F)`) against full Bayesian optimization
+/// (`L(B)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum SearchStrategy {
+    /// Online Bayesian optimization over the active dimensions.
+    #[default]
+    Bayesian,
+    /// Evaluate a fixed candidate list and pick the best.
+    FixedCandidates(Vec<QoeParams>),
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LingXiConfig {
+    /// Trigger threshold η: optimize once this many stalls accumulate
+    /// since the last optimization (paper picks 2 — Fig. 8b).
+    pub trigger_stalls: usize,
+    /// Maximum OBO iterations per optimization (`T_s`).
+    pub max_trials: usize,
+    /// Monte-Carlo settings.
+    pub mc: McConfig,
+    /// Pre-playback prune: skip optimization when
+    /// `μ − 3σ > Q_max` (§4).
+    pub prune_sigma: f64,
+    /// A challenger must beat the incumbent's evaluated exit rate by this
+    /// absolute margin to be adopted. Guards against Monte-Carlo noise
+    /// walking the parameters away from a perfectly good incumbent when
+    /// the objective is flat (e.g. stall-tolerant users).
+    pub adoption_margin: f64,
+    /// Dimensions to search.
+    pub dims: [Option<ParamDim>; 3],
+    /// Candidate proposal strategy.
+    pub strategy: SearchStrategy,
+}
+
+impl LingXiConfig {
+    /// HYB deployment: tune β only (the §5.3 configuration).
+    pub fn for_hyb() -> Self {
+        Self {
+            trigger_stalls: 2,
+            max_trials: 8,
+            mc: McConfig::default(),
+            prune_sigma: 3.0,
+            adoption_margin: 0.004,
+            dims: [Some(ParamDim::Beta), None, None],
+            strategy: SearchStrategy::Bayesian,
+        }
+    }
+
+    /// Explicit-objective ABRs (RobustMPC / Pensieve): tune stall + switch
+    /// weights (the §5.2 configuration).
+    pub fn for_qoe_abr() -> Self {
+        Self {
+            trigger_stalls: 2,
+            max_trials: 8,
+            mc: McConfig::default(),
+            prune_sigma: 3.0,
+            adoption_margin: 0.004,
+            dims: [Some(ParamDim::Stall), Some(ParamDim::Switch), None],
+            strategy: SearchStrategy::Bayesian,
+        }
+    }
+
+    /// Active search dimensions.
+    pub fn active_dims(&self) -> Vec<ParamDim> {
+        self.dims.iter().flatten().copied().collect()
+    }
+
+    /// Validate configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.trigger_stalls == 0 {
+            return Err(CoreError::InvalidConfig(
+                "trigger threshold must be positive".into(),
+            ));
+        }
+        if self.max_trials == 0 {
+            return Err(CoreError::InvalidConfig(
+                "need at least one trial".into(),
+            ));
+        }
+        match &self.strategy {
+            SearchStrategy::Bayesian => {
+                if self.active_dims().is_empty() {
+                    return Err(CoreError::InvalidConfig(
+                        "need at least one search dimension".into(),
+                    ));
+                }
+            }
+            SearchStrategy::FixedCandidates(cands) => {
+                if cands.is_empty() {
+                    return Err(CoreError::InvalidConfig(
+                        "fixed candidate list must not be empty".into(),
+                    ));
+                }
+            }
+        }
+        self.mc.validate()?;
+        Ok(())
+    }
+}
+
+/// Result of one optimization pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OptimizeOutcome {
+    /// The parameters deployed.
+    pub params: QoeParams,
+    /// Predicted exit rate at those parameters.
+    pub predicted_exit_rate: f64,
+    /// Trials actually evaluated.
+    pub trials: usize,
+    /// Trials cut short by the early-termination prune.
+    pub pruned_trials: usize,
+}
+
+/// The per-user LingXi controller.
+pub struct LingXiController {
+    config: LingXiConfig,
+    /// Long-term user state (persisted across sessions).
+    tracker: UserStateTracker,
+    /// Best known parameters (warm start for the next trigger).
+    best_params: QoeParams,
+    /// Stalls since the last optimization.
+    stalls_since_opt: usize,
+    /// Total optimizations run (diagnostics).
+    optimizations: usize,
+    /// Total optimizations skipped by the pre-playback prune.
+    prunes: usize,
+}
+
+impl LingXiController {
+    /// New controller starting from default parameters.
+    pub fn new(config: LingXiConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            tracker: UserStateTracker::new(),
+            best_params: QoeParams::default(),
+            stalls_since_opt: 0,
+            optimizations: 0,
+            prunes: 0,
+        })
+    }
+
+    /// Restore a controller from persisted long-term state.
+    pub fn with_state(config: LingXiConfig, tracker: UserStateTracker, params: QoeParams) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            tracker,
+            best_params: params,
+            stalls_since_opt: 0,
+            optimizations: 0,
+            prunes: 0,
+        })
+    }
+
+    /// Current best parameters.
+    pub fn params(&self) -> QoeParams {
+        self.best_params
+    }
+
+    /// The long-term user-state tracker (for persistence).
+    pub fn tracker(&self) -> &UserStateTracker {
+        &self.tracker
+    }
+
+    /// Count of optimizations run so far.
+    pub fn optimizations(&self) -> usize {
+        self.optimizations
+    }
+
+    /// Count of pre-playback prunes.
+    pub fn prunes(&self) -> usize {
+        self.prunes
+    }
+
+    /// Stalls accumulated toward the trigger.
+    pub fn pending_stalls(&self) -> usize {
+        self.stalls_since_opt
+    }
+
+    /// Feed one live segment (Algorithm 1 line 5: state updates).
+    pub fn observe_segment(&mut self, record: &SegmentRecord, segment_duration: f64) {
+        self.tracker
+            .push_segment(record.bitrate_kbps, record.throughput_kbps, segment_duration);
+        if record.stall_time > 0.0 {
+            self.tracker.push_stall(record.stall_time);
+            self.stalls_since_opt += 1;
+        }
+    }
+
+    /// Feed a user exit (updates the stall→exit engagement dimension).
+    pub fn observe_exit(&mut self, after_stall: bool) {
+        if after_stall {
+            self.tracker.push_stall_exit();
+        }
+    }
+
+    /// Whether the trigger condition holds (`stall_count > η`).
+    pub fn triggered(&self) -> bool {
+        self.stalls_since_opt >= self.config.trigger_stalls
+    }
+
+    /// The pre-playback prune (§4): skip optimization when the bandwidth
+    /// lower envelope clears the top bitrate — stalls are then negligible
+    /// and personalization has nothing to gain.
+    pub fn prunable(&self, env: &PlayerEnv, ladder: &BitrateLadder) -> bool {
+        match env.bandwidth_model() {
+            Some(model) => {
+                model.lower_envelope(self.config.prune_sigma) > ladder.max_bitrate()
+            }
+            None => false,
+        }
+    }
+
+    /// Run one full optimization pass (Algorithm 1 lines 7–20) and deploy
+    /// the winner to `abr`. Returns `None` when the trigger hasn't fired
+    /// or the pre-playback prune removed the work.
+    pub fn maybe_optimize<R: Rng + ?Sized>(
+        &mut self,
+        abr: &mut dyn Abr,
+        env: &PlayerEnv,
+        ladder: &BitrateLadder,
+        predictor: &mut dyn RolloutPredictor,
+        rng: &mut R,
+    ) -> Result<Option<OptimizeOutcome>> {
+        if !self.triggered() {
+            return Ok(None);
+        }
+        if self.prunable(env, ladder) {
+            self.prunes += 1;
+            self.stalls_since_opt = 0;
+            return Ok(None);
+        }
+        let bandwidth = match env.bandwidth_model() {
+            Some(b) if b.mu > 0.0 => b,
+            // No observations yet: nothing to simulate against.
+            _ => return Ok(None),
+        };
+
+        // Evaluate the incumbent first: challengers must beat it by the
+        // adoption margin, so flat objectives keep the current parameters.
+        let incumbent_eval = evaluate_parameters(
+            abr,
+            self.best_params,
+            bandwidth,
+            &self.tracker,
+            env,
+            ladder,
+            predictor,
+            &self.config.mc,
+            None,
+            rng,
+        )?;
+        let incumbent_rate = incumbent_eval.exit_rate;
+        let mut best_rate = incumbent_rate;
+        let mut best_params = self.best_params;
+        let mut pruned_trials = 0usize;
+        let mut trials = 1usize;
+        let margin = self.config.adoption_margin;
+        match self.config.strategy.clone() {
+            SearchStrategy::Bayesian => {
+                let dims = self.config.active_dims();
+                let mut optimizer = ObOptimizer::new(ObserverConfig::for_dim(dims.len()))
+                    .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+                // Warm start from the current best (OBO.init(x*, ...)).
+                let warm: Vec<f64> =
+                    dims.iter().map(|d| d.get_unit(&self.best_params)).collect();
+                optimizer
+                    .init_with(&warm)
+                    .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+                for _ in 0..self.config.max_trials {
+                    let xu = optimizer.next_candidate(rng);
+                    let mut candidate = self.best_params;
+                    for (d, &v) in dims.iter().zip(&xu) {
+                        d.set_unit(&mut candidate, v);
+                    }
+                    let prune = best_rate.is_finite().then_some(best_rate);
+                    let eval = evaluate_parameters(
+                        abr,
+                        candidate,
+                        bandwidth,
+                        &self.tracker,
+                        env,
+                        ladder,
+                        predictor,
+                        &self.config.mc,
+                        prune,
+                        rng,
+                    )?;
+                    trials += 1;
+                    if eval.pruned {
+                        pruned_trials += 1;
+                    } else {
+                        optimizer
+                            .update(xu, eval.exit_rate)
+                            .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+                    }
+                    if eval.exit_rate < best_rate - margin {
+                        best_rate = eval.exit_rate;
+                        best_params = candidate;
+                    }
+                }
+            }
+            SearchStrategy::FixedCandidates(candidates) => {
+                // L(F): score every fixed candidate, capped by max_trials.
+                for candidate in candidates.into_iter().take(self.config.max_trials) {
+                    let prune = best_rate.is_finite().then_some(best_rate);
+                    let eval = evaluate_parameters(
+                        abr,
+                        candidate,
+                        bandwidth,
+                        &self.tracker,
+                        env,
+                        ladder,
+                        predictor,
+                        &self.config.mc,
+                        prune,
+                        rng,
+                    )?;
+                    trials += 1;
+                    if eval.pruned {
+                        pruned_trials += 1;
+                    }
+                    if eval.exit_rate < best_rate - margin {
+                        best_rate = eval.exit_rate;
+                        best_params = candidate;
+                    }
+                }
+            }
+        }
+
+        // Deploy (ABR.update(x*)) and reset the trigger accumulator.
+        self.best_params = best_params;
+        abr.set_params(best_params);
+        self.stalls_since_opt = 0;
+        self.optimizations += 1;
+        Ok(Some(OptimizeOutcome {
+            params: best_params,
+            predicted_exit_rate: best_rate,
+            trials,
+            pruned_trials,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{ConstantPredictor, ProfilePredictor};
+    use lingxi_abr::Hyb;
+    use lingxi_player::PlayerConfig;
+    use lingxi_user::{SensitivityKind, StallProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stalled_record(stall: f64) -> SegmentRecord {
+        SegmentRecord {
+            index: 0,
+            level: 1,
+            bitrate_kbps: 800.0,
+            size_kbits: 1600.0,
+            throughput_kbps: 700.0,
+            download_time: 2.3,
+            stall_time: stall,
+            buffer_after: 2.0,
+            switched_from: Some(1),
+        }
+    }
+
+    fn env_with_bandwidth(kbps: f64, n: usize) -> PlayerEnv {
+        let mut env = PlayerEnv::new(PlayerConfig::deterministic(10.0, 0.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..n {
+            env.step(kbps * 0.1, 0, kbps, 2.0, &mut rng).unwrap();
+        }
+        env
+    }
+
+    #[test]
+    fn trigger_counts_stalls() {
+        let mut c = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+        assert!(!c.triggered());
+        c.observe_segment(&stalled_record(1.0), 2.0);
+        assert!(!c.triggered());
+        c.observe_segment(&stalled_record(0.5), 2.0);
+        assert!(c.triggered());
+        assert_eq!(c.pending_stalls(), 2);
+        // Stall-free segments don't move the trigger.
+        let mut c2 = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+        c2.observe_segment(&stalled_record(0.0), 2.0);
+        assert_eq!(c2.pending_stalls(), 0);
+    }
+
+    #[test]
+    fn no_optimization_without_trigger() {
+        let mut c = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+        let mut abr = Hyb::default_rule();
+        let env = env_with_bandwidth(3000.0, 8);
+        let ladder = BitrateLadder::default_short_video();
+        let mut pred = ConstantPredictor { p: 0.05 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = c
+            .maybe_optimize(&mut abr, &env, &ladder, &mut pred, &mut rng)
+            .unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn optimization_runs_and_deploys() {
+        let mut c = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+        let mut abr = Hyb::default_rule();
+        let env = env_with_bandwidth(1200.0, 8);
+        let ladder = BitrateLadder::default_short_video();
+        let profile = StallProfile::new(SensitivityKind::Sensitive, 2.0, 0.35).unwrap();
+        let mut pred = ProfilePredictor { profile, base: 0.01 };
+        let mut rng = StdRng::seed_from_u64(2);
+        c.observe_segment(&stalled_record(1.5), 2.0);
+        c.observe_segment(&stalled_record(2.0), 2.0);
+        let out = c
+            .maybe_optimize(&mut abr, &env, &ladder, &mut pred, &mut rng)
+            .unwrap()
+            .expect("trigger fired");
+        assert!(out.trials > 0);
+        assert!(out.predicted_exit_rate.is_finite());
+        assert_eq!(c.params(), out.params);
+        assert_eq!(lingxi_abr::Abr::params(&abr), out.params);
+        assert_eq!(c.pending_stalls(), 0);
+        assert_eq!(c.optimizations(), 1);
+    }
+
+    #[test]
+    fn sensitive_user_on_weak_link_gets_lower_beta() {
+        // A stall-sensitive user on a weak link should end with a β no
+        // higher than an insensitive user's on the same link (Fig. 14's
+        // negative correlation, in expectation).
+        let ladder = BitrateLadder::default_short_video();
+        let env = env_with_bandwidth(900.0, 8);
+        let run = |profile: StallProfile, seed: u64| {
+            let mut c = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+            let mut abr = Hyb::default_rule();
+            let mut pred = ProfilePredictor { profile, base: 0.01 };
+            let mut rng = StdRng::seed_from_u64(seed);
+            c.observe_segment(&stalled_record(2.0), 2.0);
+            c.observe_segment(&stalled_record(2.0), 2.0);
+            c.maybe_optimize(&mut abr, &env, &ladder, &mut pred, &mut rng)
+                .unwrap()
+                .unwrap()
+                .params
+                .beta
+        };
+        let sensitive = StallProfile::new(SensitivityKind::Sensitive, 1.0, 0.4).unwrap();
+        let tolerant = StallProfile::new(SensitivityKind::Insensitive, 8.0, 0.1).unwrap();
+        let mut sens_total = 0.0;
+        let mut tol_total = 0.0;
+        for seed in 0..6 {
+            sens_total += run(sensitive, seed);
+            tol_total += run(tolerant, seed + 50);
+        }
+        assert!(
+            sens_total <= tol_total + 0.3,
+            "sensitive {sens_total} vs tolerant {tol_total}"
+        );
+    }
+
+    #[test]
+    fn preplayback_prune_skips_rich_links() {
+        let mut c = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+        let ladder = BitrateLadder::default_short_video();
+        // 40 Mbps stable: μ − 3σ ≫ 4300 kbps.
+        let env = env_with_bandwidth(40_000.0, 8);
+        assert!(c.prunable(&env, &ladder));
+        let mut abr = Hyb::default_rule();
+        let mut pred = ConstantPredictor { p: 0.05 };
+        let mut rng = StdRng::seed_from_u64(3);
+        c.observe_segment(&stalled_record(1.0), 2.0);
+        c.observe_segment(&stalled_record(1.0), 2.0);
+        let out = c
+            .maybe_optimize(&mut abr, &env, &ladder, &mut pred, &mut rng)
+            .unwrap();
+        assert!(out.is_none());
+        assert_eq!(c.prunes(), 1);
+        assert_eq!(c.pending_stalls(), 0, "prune still clears the trigger");
+    }
+
+    #[test]
+    fn weak_links_not_prunable() {
+        let c = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+        let ladder = BitrateLadder::default_short_video();
+        let env = env_with_bandwidth(1500.0, 8);
+        assert!(!c.prunable(&env, &ladder));
+        // Cold start (no bandwidth model) is never prunable.
+        let cold = PlayerEnv::new(PlayerConfig::deterministic(10.0, 0.0)).unwrap();
+        assert!(!c.prunable(&cold, &ladder));
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = LingXiConfig::for_hyb();
+        cfg.trigger_stalls = 0;
+        assert!(LingXiController::new(cfg).is_err());
+        let mut cfg2 = LingXiConfig::for_hyb();
+        cfg2.dims = [None, None, None];
+        assert!(LingXiController::new(cfg2).is_err());
+        assert_eq!(LingXiConfig::for_qoe_abr().active_dims().len(), 2);
+    }
+
+    #[test]
+    fn state_restoration_preserves_params() {
+        let cfg = LingXiConfig::for_hyb();
+        let mut tracker = UserStateTracker::new();
+        tracker.push_segment(800.0, 1000.0, 2.0);
+        let params = QoeParams {
+            beta: 0.5,
+            ..QoeParams::default()
+        };
+        let c = LingXiController::with_state(cfg, tracker, params).unwrap();
+        assert_eq!(c.params().beta, 0.5);
+        assert_eq!(c.tracker().recent_stall_count(), 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! Monte-Carlo parameter evaluation — Algorithm 2 (`EvaluateParameters`).
+//!
+//! Each of `M` rollouts forks the live player environment and user state,
+//! applies the candidate parameters to the ABR, draws per-segment
+//! bandwidth from the client's normal model `N(μ_Cpast, σ²_Cpast)` and asks
+//! the exit-rate predictor for a per-segment exit probability; a random
+//! draw against it ends the rollout. The estimate is
+//! `R_exit = exited_count / watched_count` over all samples.
+//!
+//! The first pruning stage of §4 lives here: when a `prune_threshold`
+//! (the minimum exit rate observed across sibling candidates) is given,
+//! evaluation terminates early as soon as even the most optimistic
+//! completion (every remaining segment watched without exit) could not
+//! beat it.
+
+use lingxi_abr::{Abr, AbrContext, QoeParams};
+use lingxi_exit::UserStateTracker;
+use lingxi_media::{BitrateLadder, SegmentSizes, VbrModel};
+use lingxi_player::PlayerEnv;
+use lingxi_stats::NormalDist;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::predictor::{RolloutContext, RolloutPredictor};
+use crate::{CoreError, Result};
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McConfig {
+    /// Number of rollouts `M`.
+    pub samples: usize,
+    /// Per-rollout horizon `T_sample` in seconds (§3.2 sets it to the mean
+    /// online video length).
+    pub t_sample: f64,
+    /// Segment duration `L` of the virtual video.
+    pub segment_duration: f64,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        Self {
+            samples: 8,
+            t_sample: 48.0,
+            segment_duration: 2.0,
+        }
+    }
+}
+
+impl McConfig {
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.samples == 0 {
+            return Err(CoreError::InvalidConfig("samples must be positive".into()));
+        }
+        if !(self.t_sample > 0.0) || !(self.segment_duration > 0.0) {
+            return Err(CoreError::InvalidConfig(
+                "durations must be positive".into(),
+            ));
+        }
+        if self.segment_duration > self.t_sample {
+            return Err(CoreError::InvalidConfig(
+                "segment duration exceeds rollout horizon".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Segments per rollout.
+    pub fn segments_per_sample(&self) -> usize {
+        (self.t_sample / self.segment_duration).ceil() as usize
+    }
+}
+
+/// Outcome of one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McEvaluation {
+    /// Estimated exit rate `exited / watched`.
+    pub exit_rate: f64,
+    /// Segments watched across all rollouts.
+    pub watched: usize,
+    /// Exits observed.
+    pub exited: usize,
+    /// Whether early termination fired.
+    pub pruned: bool,
+    /// Mean stall seconds per rollout (diagnostic).
+    pub mean_stall: f64,
+}
+
+/// Evaluate candidate `params` by virtual playback (Algorithm 2).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_parameters<R: Rng + ?Sized>(
+    abr: &mut dyn Abr,
+    params: QoeParams,
+    bandwidth: NormalDist,
+    user_state: &UserStateTracker,
+    env: &PlayerEnv,
+    ladder: &BitrateLadder,
+    predictor: &mut dyn RolloutPredictor,
+    config: &McConfig,
+    prune_threshold: Option<f64>,
+    rng: &mut R,
+) -> Result<McEvaluation> {
+    config.validate()?;
+    if !(bandwidth.mu > 0.0) {
+        return Err(CoreError::InvalidConfig(
+            "bandwidth model mean must be positive".into(),
+        ));
+    }
+    let n_segments = config.segments_per_sample();
+    // Virtual video: CBR segments at the ladder's nominal rates.
+    let sizes = SegmentSizes::generate(
+        ladder,
+        n_segments,
+        config.segment_duration,
+        &VbrModel::cbr(),
+        rng,
+    )
+    .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+
+    abr.set_params(params);
+    let mut watched = 0usize;
+    let mut exited = 0usize;
+    let mut total_stall = 0.0;
+    let mut pruned = false;
+
+    'samples: for m in 0..config.samples {
+        // Fork the live state (S_sim ← S, E_sim ← E_player).
+        let mut env_sim = env.clone();
+        let mut tracker = user_state.clone();
+        abr.reset();
+        let mut t_sim = 0.0;
+        let mut k = 0usize;
+        let mut session_stall = 0.0;
+        let mut session_events = 0usize;
+        while t_sim < config.t_sample {
+            let ctx = AbrContext {
+                ladder,
+                sizes: &sizes,
+                next_segment: k.min(n_segments - 1),
+                segment_duration: config.segment_duration,
+            };
+            let level = abr.select(&env_sim, &ctx).min(ladder.top_level());
+            let size = sizes
+                .size_kbits(k.min(n_segments - 1), level)
+                .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+            let c_k = bandwidth.sample_truncated_low(rng, 50.0);
+            let prev = env_sim.last_level();
+            let outcome = env_sim
+                .step(size, level, c_k, config.segment_duration, rng)
+                .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+            total_stall += outcome.stall_time;
+
+            // Update the user-state matrix.
+            let bitrate = ladder
+                .bitrate(level)
+                .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+            tracker.push_segment(bitrate, outcome.throughput_kbps, config.segment_duration);
+            let stalled = outcome.stall_time > 0.0;
+            if stalled {
+                tracker.push_stall(outcome.stall_time);
+                session_stall += outcome.stall_time;
+                session_events += 1;
+            }
+            let tier = ladder
+                .tier(level)
+                .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+            let gran = match prev {
+                Some(p) => level as i64 - p as i64,
+                None => 0,
+            };
+            let rollout_ctx = RolloutContext {
+                stalled,
+                tier,
+                switch_granularity: gran,
+                session_stall,
+                session_stall_events: session_events,
+                playback_time: t_sim,
+            };
+            let p_exit = predictor
+                .predict(&tracker.matrix(), &rollout_ctx)
+                .clamp(0.0, 1.0);
+            watched += 1;
+            t_sim += config.segment_duration;
+            k += 1;
+            if rng.gen::<f64>() < p_exit {
+                exited += 1;
+                if stalled {
+                    tracker.push_stall_exit();
+                }
+                break;
+            }
+        }
+
+        // Early-termination pruning (§4): optimistic bound on the final
+        // exit rate assuming every remaining rollout watches its full
+        // horizon without a single exit.
+        if let Some(threshold) = prune_threshold {
+            let remaining = (config.samples - m - 1) * n_segments;
+            let optimistic = exited as f64 / (watched + remaining).max(1) as f64;
+            if optimistic >= threshold {
+                pruned = true;
+                break 'samples;
+            }
+        }
+    }
+
+    Ok(McEvaluation {
+        exit_rate: if watched == 0 {
+            1.0
+        } else {
+            exited as f64 / watched as f64
+        },
+        watched,
+        exited,
+        pruned,
+        mean_stall: total_stall / config.samples as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::ConstantPredictor;
+    use lingxi_abr::Hyb;
+    use lingxi_player::PlayerConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (BitrateLadder, PlayerEnv, UserStateTracker) {
+        (
+            BitrateLadder::default_short_video(),
+            PlayerEnv::new(PlayerConfig::deterministic(10.0, 0.0)).unwrap(),
+            UserStateTracker::new(),
+        )
+    }
+
+    #[test]
+    fn zero_exit_predictor_watches_everything() {
+        let (ladder, env, tracker) = fixture();
+        let mut abr = Hyb::default_rule();
+        let mut pred = ConstantPredictor { p: 0.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = McConfig::default();
+        let eval = evaluate_parameters(
+            &mut abr,
+            QoeParams::default(),
+            NormalDist::new(8000.0, 1000.0).unwrap(),
+            &tracker,
+            &env,
+            &ladder,
+            &mut pred,
+            &cfg,
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(eval.exit_rate, 0.0);
+        assert_eq!(eval.exited, 0);
+        assert_eq!(eval.watched, cfg.samples * cfg.segments_per_sample());
+        assert!(!eval.pruned);
+    }
+
+    #[test]
+    fn certain_exit_predictor_exits_immediately() {
+        let (ladder, env, tracker) = fixture();
+        let mut abr = Hyb::default_rule();
+        let mut pred = ConstantPredictor { p: 1.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = McConfig::default();
+        let eval = evaluate_parameters(
+            &mut abr,
+            QoeParams::default(),
+            NormalDist::new(8000.0, 1000.0).unwrap(),
+            &tracker,
+            &env,
+            &ladder,
+            &mut pred,
+            &cfg,
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(eval.exit_rate, 1.0);
+        assert_eq!(eval.watched, cfg.samples); // one segment per rollout
+    }
+
+    #[test]
+    fn estimate_tracks_constant_probability() {
+        let (ladder, env, tracker) = fixture();
+        let mut abr = Hyb::default_rule();
+        let p = 0.08;
+        let mut pred = ConstantPredictor { p };
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = McConfig {
+            samples: 200,
+            ..McConfig::default()
+        };
+        let eval = evaluate_parameters(
+            &mut abr,
+            QoeParams::default(),
+            NormalDist::new(8000.0, 1000.0).unwrap(),
+            &tracker,
+            &env,
+            &ladder,
+            &mut pred,
+            &cfg,
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        // Per-segment exit probability p → exit rate ≈ p.
+        assert!((eval.exit_rate - p).abs() < 0.03, "rate {}", eval.exit_rate);
+    }
+
+    #[test]
+    fn pruning_short_circuits_hopeless_candidates() {
+        let (ladder, env, tracker) = fixture();
+        let mut abr = Hyb::default_rule();
+        let mut pred = ConstantPredictor { p: 0.5 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = McConfig {
+            samples: 64,
+            ..McConfig::default()
+        };
+        // Sibling candidate achieved 0.01: this one can't win.
+        let eval = evaluate_parameters(
+            &mut abr,
+            QoeParams::default(),
+            NormalDist::new(8000.0, 1000.0).unwrap(),
+            &tracker,
+            &env,
+            &ladder,
+            &mut pred,
+            &cfg,
+            Some(0.01),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(eval.pruned);
+        assert!(eval.watched < cfg.samples * cfg.segments_per_sample() / 2);
+    }
+
+    #[test]
+    fn low_bandwidth_rollouts_stall() {
+        let (ladder, env, tracker) = fixture();
+        let mut abr = Hyb::default_rule();
+        let mut pred = ConstantPredictor { p: 0.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = McConfig::default();
+        let eval = evaluate_parameters(
+            &mut abr,
+            QoeParams::default(),
+            NormalDist::new(300.0, 50.0).unwrap(),
+            &tracker,
+            &env,
+            &ladder,
+            &mut pred,
+            &cfg,
+            None,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(eval.mean_stall > 0.0, "300 kbps below the ladder floor must stall");
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad = McConfig {
+            samples: 0,
+            ..McConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad2 = McConfig {
+            segment_duration: 100.0,
+            t_sample: 10.0,
+            samples: 4,
+        };
+        assert!(bad2.validate().is_err());
+        assert_eq!(McConfig::default().segments_per_sample(), 24);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (ladder, env, tracker) = fixture();
+        let run = |seed: u64| {
+            let mut abr = Hyb::default_rule();
+            let mut pred = ConstantPredictor { p: 0.05 };
+            let mut rng = StdRng::seed_from_u64(seed);
+            evaluate_parameters(
+                &mut abr,
+                QoeParams::default(),
+                NormalDist::new(5000.0, 2000.0).unwrap(),
+                &tracker,
+                &env,
+                &ladder,
+                &mut pred,
+                &McConfig::default(),
+                None,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,250 @@
+//! Managed sessions: live playback with LingXi interposed between the
+//! player, the ABR and the (real or simulated) user.
+//!
+//! This is the integration path of §4: the ABR runs normally; LingXi
+//! observes segments, and when its trigger fires it re-optimizes the ABR's
+//! parameters *between segments* (the paper runs this on a low-priority
+//! background thread; in the simulator it is interleaved, which preserves
+//! the control flow under test).
+
+use lingxi_abr::{Abr, AbrContext};
+use lingxi_media::{BitrateLadder, Video};
+use lingxi_net::BandwidthTrace;
+use lingxi_player::{PlayerConfig, PlayerEnv, SessionEnd, SessionLog};
+use lingxi_user::{ExitModel, SegmentView};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::controller::LingXiController;
+use crate::predictor::RolloutPredictor;
+use crate::{CoreError, Result};
+
+/// Everything produced by one managed session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManagedOutcome {
+    /// The playback log.
+    pub log: SessionLog,
+    /// Parameter values deployed during the session (one entry per
+    /// optimization pass that fired).
+    pub deployments: Vec<lingxi_abr::QoeParams>,
+}
+
+/// Run one session with LingXi managing `abr`'s parameters.
+#[allow(clippy::too_many_arguments)]
+pub fn run_managed_session<R: Rng>(
+    user_id: u64,
+    video: &Video,
+    ladder: &BitrateLadder,
+    trace: &BandwidthTrace,
+    player_config: PlayerConfig,
+    abr: &mut dyn Abr,
+    controller: &mut LingXiController,
+    predictor: &mut dyn RolloutPredictor,
+    user: &mut dyn ExitModel,
+    rng: &mut R,
+) -> Result<ManagedOutcome> {
+    let mut env =
+        PlayerEnv::new(player_config).map_err(|e| CoreError::Subsystem(e.to_string()))?;
+    let seg_duration = video.sizes.segment_duration();
+    let n_segments = video.n_segments();
+    let mut segments = Vec::with_capacity(n_segments);
+    let mut deployments = Vec::new();
+    let mut end = SessionEnd::Completed;
+    let mut exit_segment = None;
+    user.reset_session();
+
+    // Apply the controller's current best parameters before playback
+    // (restored long-term state warm-starts the ABR).
+    abr.set_params(controller.params());
+
+    for k in 0..n_segments {
+        let ctx = AbrContext {
+            ladder,
+            sizes: &video.sizes,
+            next_segment: k,
+            segment_duration: seg_duration,
+        };
+        let level = abr.select(&env, &ctx).min(ladder.top_level());
+        let size = video
+            .sizes
+            .size_kbits(k, level)
+            .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+        let dl = trace.download_time(env.wall_time(), size);
+        let bandwidth = if dl > 0.0 {
+            size / dl
+        } else {
+            trace.at(env.wall_time())
+        };
+        let switched_from = env.last_level();
+        let outcome = env
+            .step(size, level, bandwidth, seg_duration, rng)
+            .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+        let bitrate = ladder
+            .bitrate(level)
+            .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+        let record = env.record(&outcome, level, bitrate, size, switched_from);
+        segments.push(record);
+
+        // LingXi observes the segment and may re-optimize.
+        controller.observe_segment(&record, seg_duration);
+        if let Some(out) =
+            controller.maybe_optimize(abr, &env, ladder, predictor, rng)?
+        {
+            deployments.push(out.params);
+        }
+
+        // User decision.
+        let view = SegmentView {
+            env: &env,
+            record: &record,
+            ladder,
+        };
+        if user.decide(&view, rng) {
+            controller.observe_exit(record.stall_time > 0.0);
+            end = SessionEnd::Exited;
+            exit_segment = Some(k);
+            break;
+        }
+    }
+
+    let video_duration = video.duration();
+    // Content-based watch time (see `lingxi_player::run_session`): the user
+    // watched up to and including the segment at which they exited.
+    let watch_time = match (end, exit_segment) {
+        (SessionEnd::Completed, _) => video_duration,
+        (_, Some(k)) => ((k + 1) as f64 * seg_duration).min(video_duration),
+        (_, None) => env.playback_time().min(video_duration),
+    };
+
+    Ok(ManagedOutcome {
+        log: SessionLog {
+            user_id,
+            video_id: video.id,
+            video_duration,
+            segments,
+            watch_time,
+            end,
+            exit_segment,
+        },
+        deployments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::LingXiConfig;
+    use crate::predictor::ProfilePredictor;
+    use lingxi_abr::Hyb;
+    use lingxi_media::{BitrateLadder, Catalog, CatalogConfig, VbrModel};
+    use lingxi_user::{QosExitModel, SensitivityKind, StallProfile};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn catalog() -> Catalog {
+        let mut rng = StdRng::seed_from_u64(1);
+        Catalog::generate(
+            BitrateLadder::default_short_video(),
+            &CatalogConfig {
+                n_videos: 4,
+                mean_duration: 60.0,
+                vbr: VbrModel::cbr(),
+                ..CatalogConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn managed_session_runs_cleanly_on_good_link() {
+        let cat = catalog();
+        let trace = BandwidthTrace::constant(20_000.0, 200, 1.0).unwrap();
+        let mut abr = Hyb::default_rule();
+        let mut controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+        let profile = StallProfile::new(SensitivityKind::Sensitive, 2.0, 0.35).unwrap();
+        let mut predictor = ProfilePredictor { profile, base: 0.01 };
+        let mut user = QosExitModel::calibrated(profile);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = run_managed_session(
+            1,
+            cat.video_cyclic(0),
+            cat.ladder(),
+            &trace,
+            PlayerConfig::deterministic(10.0, 0.0),
+            &mut abr,
+            &mut controller,
+            &mut predictor,
+            &mut user,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!out.log.segments.is_empty());
+        // Rich link: no optimization should fire (startup stall at most).
+        assert!(out.deployments.len() <= 1);
+    }
+
+    #[test]
+    fn weak_link_triggers_optimization() {
+        let cat = catalog();
+        // Below the ladder floor: every segment stalls.
+        let trace = BandwidthTrace::constant(300.0, 2000, 1.0).unwrap();
+        let mut abr = Hyb::default_rule();
+        let mut controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+        let profile = StallProfile::new(SensitivityKind::Insensitive, 10.0, 0.05).unwrap();
+        let mut predictor = ProfilePredictor { profile, base: 0.002 };
+        // Insensitive user so the session survives long enough to trigger.
+        let mut user = QosExitModel::calibrated(profile);
+        user.base_exit = 0.0;
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = run_managed_session(
+            2,
+            cat.video_cyclic(1),
+            cat.ladder(),
+            &trace,
+            PlayerConfig::deterministic(10.0, 0.0),
+            &mut abr,
+            &mut controller,
+            &mut predictor,
+            &mut user,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.log.total_stall() > 0.0);
+        assert!(
+            controller.optimizations() > 0,
+            "stall-heavy session must trigger OBO"
+        );
+        assert!(!out.deployments.is_empty());
+    }
+
+    #[test]
+    fn controller_state_carries_across_sessions() {
+        let cat = catalog();
+        // Below the 350 kbps ladder floor: every segment rebuffers.
+        let trace = BandwidthTrace::constant(300.0, 2000, 1.0).unwrap();
+        let mut controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+        let profile = StallProfile::new(SensitivityKind::Sensitive, 1.5, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for s in 0..3 {
+            let mut abr = Hyb::default_rule();
+            let mut predictor = ProfilePredictor { profile, base: 0.01 };
+            let mut user = QosExitModel::calibrated(profile);
+            let _ = run_managed_session(
+                3,
+                cat.video_cyclic(s),
+                cat.ladder(),
+                &trace,
+                PlayerConfig::deterministic(10.0, 0.0),
+                &mut abr,
+                &mut controller,
+                &mut predictor,
+                &mut user,
+                &mut rng,
+            )
+            .unwrap();
+        }
+        // Long-term tracker accumulated history across the sessions.
+        assert!(controller.tracker().recent_stall_count() > 0);
+    }
+}

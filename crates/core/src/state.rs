@@ -1,0 +1,181 @@
+//! Dual-layer state management (paper §4 "Seamless Integration").
+//!
+//! Long-term state (user stall history, engagement, best parameters) is
+//! serialized when the app terminates and restored on startup; short-term
+//! state is rebuilt per session. The paper uses HDF5 files on the client;
+//! we substitute JSON via `serde_json` (see DESIGN.md) — the property under
+//! test is the persistence *split*, not the container format.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lingxi_abr::QoeParams;
+use lingxi_exit::UserStateTracker;
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, Result};
+
+/// Long-term (cross-session) state of one user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LongTermState {
+    /// Owner.
+    pub user_id: u64,
+    /// Stall/engagement history feeding the exit predictor.
+    pub tracker: UserStateTracker,
+    /// Last deployed parameters (warm start on restart).
+    pub params: QoeParams,
+    /// Lifetime optimization count.
+    pub optimizations: usize,
+}
+
+impl LongTermState {
+    /// Fresh state for a new user.
+    pub fn new(user_id: u64) -> Self {
+        Self {
+            user_id,
+            tracker: UserStateTracker::new(),
+            params: QoeParams::default(),
+            optimizations: 0,
+        }
+    }
+}
+
+/// A directory-backed store of per-user long-term state.
+#[derive(Debug, Clone)]
+pub struct StateStore {
+    dir: PathBuf,
+}
+
+impl StateStore {
+    /// Open (and create) a store rooted at `dir`.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)
+            .map_err(|e| CoreError::Persistence(format!("create {dir:?}: {e}")))?;
+        Ok(Self { dir })
+    }
+
+    fn path_for(&self, user_id: u64) -> PathBuf {
+        self.dir.join(format!("user_{user_id}.json"))
+    }
+
+    /// Persist one user's long-term state (app-termination hook).
+    pub fn save(&self, state: &LongTermState) -> Result<()> {
+        let json = serde_json::to_string(state)
+            .map_err(|e| CoreError::Persistence(format!("serialize: {e}")))?;
+        let path = self.path_for(state.user_id);
+        // Write-then-rename so a crash mid-write never corrupts state.
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, json)
+            .map_err(|e| CoreError::Persistence(format!("write {tmp:?}: {e}")))?;
+        fs::rename(&tmp, &path)
+            .map_err(|e| CoreError::Persistence(format!("rename to {path:?}: {e}")))?;
+        Ok(())
+    }
+
+    /// Load a user's state; `None` for first-time users.
+    pub fn load(&self, user_id: u64) -> Result<Option<LongTermState>> {
+        let path = self.path_for(user_id);
+        match fs::read_to_string(&path) {
+            Ok(json) => {
+                let state = serde_json::from_str(&json)
+                    .map_err(|e| CoreError::Persistence(format!("parse {path:?}: {e}")))?;
+                Ok(Some(state))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(CoreError::Persistence(format!("read {path:?}: {e}"))),
+        }
+    }
+
+    /// Delete a user's state (account removal / privacy request).
+    pub fn delete(&self, user_id: u64) -> Result<bool> {
+        let path = self.path_for(user_id);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(CoreError::Persistence(format!("delete {path:?}: {e}"))),
+        }
+    }
+
+    /// User ids currently persisted.
+    pub fn list(&self) -> Result<Vec<u64>> {
+        let mut ids = Vec::new();
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| CoreError::Persistence(format!("list {:?}: {e}", self.dir)))?;
+        for entry in entries.flatten() {
+            if let Some(name) = entry.file_name().to_str() {
+                if let Some(stem) = name.strip_prefix("user_").and_then(|s| s.strip_suffix(".json"))
+                {
+                    if let Ok(id) = stem.parse() {
+                        ids.push(id);
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lingxi_state_test_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let store = StateStore::open(&dir).unwrap();
+        let mut state = LongTermState::new(7);
+        state.tracker.push_segment(800.0, 1500.0, 2.0);
+        state.tracker.push_stall(2.5);
+        state.params.beta = 0.55;
+        state.optimizations = 3;
+        store.save(&state).unwrap();
+        let restored = store.load(7).unwrap().unwrap();
+        assert_eq!(restored, state);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_user_is_none() {
+        let dir = temp_dir("missing");
+        let store = StateStore::open(&dir).unwrap();
+        assert!(store.load(999).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn list_and_delete() {
+        let dir = temp_dir("list");
+        let store = StateStore::open(&dir).unwrap();
+        for id in [3u64, 1, 2] {
+            store.save(&LongTermState::new(id)).unwrap();
+        }
+        assert_eq!(store.list().unwrap(), vec![1, 2, 3]);
+        assert!(store.delete(2).unwrap());
+        assert!(!store.delete(2).unwrap());
+        assert_eq!(store.list().unwrap(), vec![1, 3]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_updates_state() {
+        let dir = temp_dir("overwrite");
+        let store = StateStore::open(&dir).unwrap();
+        let mut state = LongTermState::new(5);
+        store.save(&state).unwrap();
+        state.optimizations = 10;
+        store.save(&state).unwrap();
+        assert_eq!(store.load(5).unwrap().unwrap().optimizations, 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

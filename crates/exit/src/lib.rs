@@ -1,0 +1,50 @@
+//! The exit-rate predictor (paper §3.3) and its data pipeline.
+//!
+//! The predictor is *hybrid* (Eq. 4): a personalized neural network handles
+//! stall responses (the 1e-1 effect that is learnable per user), while
+//! overall statistics (OS) handle video quality and smoothness (1e-3 and
+//! 1e-2 effects that per-user noise would swamp — Takeaway 1):
+//!
+//! ```text
+//! R_exit = NN(stall) + OS(quality, smoothness)   if the segment stalled
+//! R_exit = OS(quality, smoothness)               otherwise
+//! ```
+//!
+//! The NN consumes a 5×8 state matrix — bitrate, throughput, past stall
+//! times, stall intervals, stall→exit intervals, each of length 8 — through
+//! five per-row 1-D convolutions (kernel 4, 64 channels), a merge, an
+//! FC-64 and an FC-2 softmax head (Fig. 7), trained with cross-entropy on
+//! balanced-undersampled stall events (§3.3 "Dataset and Preprocessing").
+
+pub mod dataset;
+pub mod features;
+pub mod hybrid;
+pub mod model;
+
+pub use dataset::{DatasetFlavor, ExitDataset, ExitEntry};
+pub use features::{StateMatrix, UserStateTracker, MATRIX_LEN, N_DIMS};
+pub use hybrid::{HybridPredictor, OsTable};
+pub use model::{EvalReport, ExitPredictor, PredictorConfig};
+
+/// Errors from the predictor pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExitError {
+    /// Invalid configuration.
+    InvalidConfig(String),
+    /// The dataset is unusable (empty / single class).
+    BadDataset(String),
+}
+
+impl std::fmt::Display for ExitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExitError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            ExitError::BadDataset(m) => write!(f, "bad dataset: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExitError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ExitError>;

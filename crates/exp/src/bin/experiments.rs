@@ -1,0 +1,73 @@
+//! `experiments` — regenerate the paper's figures/tables.
+//!
+//! Usage:
+//! ```text
+//! experiments <fig01|fig02|...|fig15|all> [--seed N] [--scale F] [--out DIR]
+//! ```
+//!
+//! Prints each experiment's series and writes CSVs under `--out`
+//! (default `results/`).
+
+use std::env;
+use std::process::ExitCode;
+
+use lingxi_exp::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <figNN|all> [--seed N] [--scale F] [--out DIR]");
+        eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
+        return ExitCode::FAILURE;
+    }
+    let target = args[0].clone();
+    let mut seed = 42u64;
+    let mut scale = 1.0f64;
+    let mut out_dir = String::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().unwrap_or(42);
+                i += 2;
+            }
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].parse().unwrap_or(1.0);
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out_dir = args[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let ids: Vec<&str> = if target == "all" {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        vec![target.as_str()]
+    };
+
+    for id in ids {
+        eprintln!(">>> running {id} (seed {seed}, scale {scale})");
+        match run_experiment(id, seed, scale) {
+            Ok(result) => {
+                print!("{}", result.render());
+                if let Err(e) = result.write_csv(&out_dir) {
+                    eprintln!("warning: failed to write CSVs for {id}: {e}");
+                } else {
+                    eprintln!("    CSVs written to {out_dir}/{id}/");
+                }
+            }
+            Err(e) => {
+                eprintln!("error running {id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

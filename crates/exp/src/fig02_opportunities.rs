@@ -1,0 +1,103 @@
+//! Figure 2 — "Optimization Opportunities in Production System."
+//!
+//! (a) CDF of per-user mean bandwidth against the maximum ladder bitrate:
+//! only ~10% of users average below it. (b) CDF of per-user daily stall
+//! counts: >90% stall-free, >99% with at most two stalls.
+
+use lingxi_abr::Hyb;
+use lingxi_stats::Ecdf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{ExperimentResult, Series};
+use crate::world::{default_player, World, WorldConfig};
+use crate::{sub, Result};
+
+/// Run the experiment.
+pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
+    let world = World::build(&WorldConfig::default().scaled(scale), seed)?;
+    let max_bitrate = world.ladder().max_bitrate();
+
+    // (a) Bandwidth CDF.
+    let bw: Vec<f64> = world
+        .population
+        .users()
+        .iter()
+        .map(|u| u.net.mean_kbps / 1000.0) // Mbps for the plot
+        .collect();
+    let bw_cdf = Ecdf::new(&bw).map_err(sub)?;
+    let below_max =
+        bw.iter().filter(|&&b| b * 1000.0 < max_bitrate).count() as f64 / bw.len() as f64;
+
+    // (b) Daily stall counts per user: one simulated day on the default
+    // production HYB configuration.
+    let mut stall_counts: Vec<f64> = Vec::with_capacity(world.population.len());
+    for user in world.population.users() {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ user.id.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xF16);
+        let sessions = world.sessions_today(user, &mut rng);
+        let mut exit_model = user.exit_model();
+        let mut stalls = 0usize;
+        for _ in 0..sessions {
+            let mut abr = Hyb::default_rule();
+            let log = world.run_plain_session(
+                user,
+                &mut abr,
+                &mut exit_model,
+                default_player(),
+                &mut rng,
+            )?;
+            // Production counters exclude the unavoidable startup fill;
+            // count only mid-playback stalls.
+            stalls += log
+                .segments
+                .iter()
+                .skip(1)
+                .filter(|s| s.stall_time > 0.05)
+                .count();
+        }
+        stall_counts.push(stalls as f64);
+    }
+    let stall_cdf = Ecdf::new(&stall_counts).map_err(sub)?;
+
+    let mut result = ExperimentResult::new(
+        "fig02",
+        "Bandwidth CDF vs max bitrate; daily stall-count CDF",
+    );
+    result.push_series(Series::from_xy(
+        "bandwidth_cdf_mbps",
+        &bw_cdf.on_grid(0.0, 50.0, 26).map_err(sub)?,
+    ));
+    result.push_series(Series::from_xy(
+        "stall_count_cdf",
+        &stall_cdf.on_grid(0.0, 10.0, 11).map_err(sub)?,
+    ));
+    result.headline_value("frac_users_below_max_bitrate", below_max);
+    result.headline_value("frac_stall_free_users", stall_cdf.eval(0.0));
+    result.headline_value("frac_at_most_two_stalls", stall_cdf.eval(2.0));
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig02_matches_paper_shape() {
+        let r = run(3, 0.1).unwrap();
+        let below = r.headline.iter().find(|(k, _)| k == "frac_users_below_max_bitrate").unwrap().1;
+        // Paper: ~10% below max bitrate (mixture gives 10–30% at small n).
+        assert!(below > 0.02 && below < 0.40, "below-max {below}");
+        // Most users stall-free; nearly all ≤ 2 stalls.
+        let stall_free = r.headline.iter().find(|(k, _)| k == "frac_stall_free_users").unwrap().1;
+        let le2 = r.headline.iter().find(|(k, _)| k == "frac_at_most_two_stalls").unwrap().1;
+        assert!(stall_free > 0.5, "stall-free {stall_free}");
+        assert!(le2 >= stall_free);
+        assert!(le2 > 0.7, "≤2 stalls {le2}");
+        // CDFs are monotone.
+        for name in ["bandwidth_cdf_mbps", "stall_count_cdf"] {
+            let ys = r.series_named(name).unwrap().ys();
+            assert!(ys.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Figure 11 — "Heatmap of Stall Parameters under Different Sensitivities."
+//!
+//! For each rule-based user (stall-count threshold × stall-time threshold,
+//! both 2..=9), run LingXi over RobustMPC and record the mean deployed
+//! stall weight. The paper's shape: the more tolerant the user (higher
+//! thresholds, right/upper cells), the *smaller* the stall parameter
+//! LingXi settles on.
+
+use lingxi_abr::{Abr, QoeParams, RobustMpc};
+use lingxi_core::{run_managed_session, LingXiConfig, LingXiController};
+use lingxi_user::{RuleBasedExit, UserRecord};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::fig10_simulation::RuleRolloutPredictor;
+use crate::report::{ExperimentResult, Series};
+use crate::world::{default_player, World, WorldConfig};
+use crate::{sub, Result};
+
+/// Mean deployed stall weight for one rule cell.
+fn cell_mean_stall_param(
+    world: &World,
+    users: &[&UserRecord],
+    stall_time_thr: f64,
+    stall_count_thr: usize,
+    sessions: usize,
+    seed: u64,
+) -> Result<Option<f64>> {
+    let mut deployed = Vec::new();
+    for user in users {
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ user.id.wrapping_mul(0x9E3779B97F4A7C15)
+                ^ ((stall_time_thr as u64) << 32)
+                ^ ((stall_count_thr as u64) << 48),
+        );
+        let mut controller = LingXiController::new(LingXiConfig::for_qoe_abr()).map_err(sub)?;
+        let mut predictor = RuleRolloutPredictor {
+            max_stall_time: stall_time_thr,
+            max_stall_count: stall_count_thr,
+        };
+        let mut rule =
+            RuleBasedExit::new(stall_time_thr, stall_count_thr).map_err(sub)?;
+        for _ in 0..sessions {
+            let mut abr = RobustMpc::default_rule();
+            abr.set_params(QoeParams::default());
+            let video = world.catalog.sample(&mut rng);
+            let trace =
+                world.session_trace(user, (video.duration() * 3.0) as usize, &mut rng)?;
+            let out = run_managed_session(
+                user.id,
+                video,
+                world.ladder(),
+                &trace,
+                default_player(),
+                &mut abr,
+                &mut controller,
+                &mut predictor,
+                &mut rule,
+                &mut rng,
+            )
+            .map_err(sub)?;
+            for p in out.deployments {
+                deployed.push(p.stall_weight);
+            }
+        }
+    }
+    if deployed.is_empty() {
+        Ok(None)
+    } else {
+        Ok(Some(deployed.iter().sum::<f64>() / deployed.len() as f64))
+    }
+}
+
+/// Run the experiment.
+pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
+    let world = World::build(
+        &WorldConfig {
+            n_users: 40,
+            n_videos: 20,
+            mean_sessions_per_day: 4.0,
+            mixture: crate::world::stall_heavy_mixture(),
+        }
+        .scaled(scale),
+        seed,
+    )?;
+    // Constrained users only: the heatmap needs stall events.
+    let users: Vec<&UserRecord> = world
+        .population
+        .users()
+        .iter()
+        .filter(|u| u.net.mean_kbps < 3000.0)
+        .take(((4.0 * scale).round() as usize).max(2))
+        .collect();
+    let users = if users.is_empty() {
+        world.population.users().iter().take(2).collect()
+    } else {
+        users
+    };
+    let sessions = ((5.0 * scale).round() as usize).clamp(2, 8);
+
+    // Grid resolution follows the scale: full 8×8 at scale 1, else coarse.
+    let thresholds: Vec<usize> = if scale >= 0.8 {
+        (2..=9).collect()
+    } else {
+        vec![2, 5, 9]
+    };
+
+    let mut result = ExperimentResult::new(
+        "fig11",
+        "Mean deployed stall parameter per (stall-count, stall-time) rule",
+    );
+    let mut low_thr_mean = Vec::new();
+    let mut high_thr_mean = Vec::new();
+    for &count_thr in &thresholds {
+        let mut points = Vec::new();
+        for &time_thr in &thresholds {
+            if let Some(mean) = cell_mean_stall_param(
+                &world,
+                &users,
+                time_thr as f64,
+                count_thr,
+                sessions,
+                seed ^ 0xF11,
+            )? {
+                points.push((format!("t{time_thr}"), mean));
+                if count_thr == thresholds[0] && time_thr == thresholds[0] {
+                    low_thr_mean.push(mean);
+                }
+                if count_thr == *thresholds.last().unwrap()
+                    && time_thr == *thresholds.last().unwrap()
+                {
+                    high_thr_mean.push(mean);
+                }
+            }
+        }
+        if !points.is_empty() {
+            result.push_series(Series {
+                name: format!("stall_param/count{count_thr}"),
+                points,
+            });
+        }
+    }
+    if let (Some(lo), Some(hi)) = (low_thr_mean.first(), high_thr_mean.first()) {
+        result.headline_value("stall_param_at_intolerant_corner", *lo);
+        result.headline_value("stall_param_at_tolerant_corner", *hi);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_produces_grid() {
+        let r = run(29, 0.25).unwrap();
+        assert!(!r.series.is_empty(), "heatmap rows must exist");
+        for s in &r.series {
+            for (_, v) in &s.points {
+                assert!(
+                    (QoeParams::STALL_RANGE.0..=QoeParams::STALL_RANGE.1).contains(v),
+                    "stall param {v} out of range"
+                );
+            }
+        }
+    }
+}

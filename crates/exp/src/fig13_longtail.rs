@@ -1,0 +1,206 @@
+//! Figure 13 — "LingXi Performance under Different BW" (§5.4).
+//!
+//! Per-bandwidth-bucket analysis of the detailed logs: (a) mean ± SD of
+//! the deployed β parameter vs bandwidth — β rises with bandwidth and is
+//! most volatile on weak links; (b) relative stall-time change vs the
+//! static baseline — largest reduction (paper: ~−15%) below 2 Mbps,
+//! convergence toward zero at high bandwidth.
+
+use lingxi_abr::{Abr, Hyb, QoeParams};
+use lingxi_core::{run_managed_session, LingXiConfig, LingXiController, ProfilePredictor};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::report::{ExperimentResult, Series};
+use crate::world::{default_player, World, WorldConfig};
+use crate::{sub, Result};
+
+struct UserOutcome {
+    mean_kbps: f64,
+    betas: Vec<f64>,
+    stall_lingxi: f64,
+    stall_static: f64,
+}
+
+/// Run the experiment.
+pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
+    let world = World::build(
+        &WorldConfig {
+            n_users: 400,
+            mean_sessions_per_day: 8.0,
+            ..WorldConfig::default()
+        }
+        .scaled(scale),
+        seed,
+    )?;
+
+    let mut outcomes: Vec<UserOutcome> = Vec::new();
+    for user in world.population.users() {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ user.id.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xF13);
+        let sessions = world.sessions_today(user, &mut rng);
+        let mut controller = LingXiController::new(LingXiConfig::for_hyb()).map_err(sub)?;
+        let mut predictor = ProfilePredictor {
+            profile: user.stall,
+            base: 0.015,
+        };
+        let mut betas = Vec::new();
+        let mut stall_lingxi = 0.0;
+        let mut stall_static = 0.0;
+        // Paired design: the same videos and traces drive both arms.
+        for s in 0..sessions {
+            let mut pair_rng = StdRng::seed_from_u64(
+                seed ^ user.id.wrapping_mul(31) ^ ((s as u64) << 20),
+            );
+            let video = world.catalog.sample(&mut pair_rng);
+            let trace =
+                world.session_trace(user, (video.duration() * 3.0) as usize, &mut pair_rng)?;
+
+            // LingXi arm.
+            let mut exit_model = user.exit_model();
+            let mut abr = Hyb::default_rule();
+            let mut arm_rng = StdRng::seed_from_u64(pair_rng.next_u64());
+            let out = run_managed_session(
+                user.id,
+                video,
+                world.ladder(),
+                &trace,
+                default_player(),
+                &mut abr,
+                &mut controller,
+                &mut predictor,
+                &mut exit_model,
+                &mut arm_rng,
+            )
+            .map_err(sub)?;
+            stall_lingxi += out.log.total_stall();
+            betas.push(controller.params().beta);
+
+            // Static arm on the identical (video, trace).
+            let mut exit_model2 = user.exit_model();
+            let mut abr2 = Hyb::default_rule();
+            abr2.set_params(QoeParams::default());
+            let mut arm_rng2 = StdRng::seed_from_u64(arm_rng.next_u64());
+            let log2 = {
+                let ladder = world.ladder();
+                let sizes = &video.sizes;
+                let setup = lingxi_player::SessionSetup {
+                    user_id: user.id,
+                    video,
+                    ladder,
+                    trace: &trace,
+                    config: default_player(),
+                };
+                lingxi_player::run_session(
+                    &setup,
+                    |env| {
+                        let ctx = lingxi_abr::AbrContext {
+                            ladder,
+                            sizes,
+                            next_segment: env.segment_index(),
+                            segment_duration: sizes.segment_duration(),
+                        };
+                        abr2.select(env, &ctx)
+                    },
+                    |env, record, r| {
+                        let view = lingxi_user::SegmentView {
+                            env,
+                            record,
+                            ladder,
+                        };
+                        if lingxi_user::ExitModel::decide(&mut exit_model2, &view, r) {
+                            lingxi_player::ExitDecision::Exit
+                        } else {
+                            lingxi_player::ExitDecision::Continue
+                        }
+                    },
+                    &mut arm_rng2,
+                )
+                .map_err(sub)?
+            };
+            stall_static += log2.total_stall();
+        }
+        outcomes.push(UserOutcome {
+            mean_kbps: user.net.mean_kbps,
+            betas,
+            stall_lingxi,
+            stall_static,
+        });
+    }
+
+    // Bucket by bandwidth (kbps).
+    let edges = [1000.0, 2000.0, 3000.0, 4000.0, 5000.0, 6000.0, 7000.0];
+    let mut result = ExperimentResult::new(
+        "fig13",
+        "Deployed β vs bandwidth; relative stall change vs bandwidth",
+    );
+    let mut beta_mean_pts = Vec::new();
+    let mut beta_sd_pts = Vec::new();
+    let mut stall_diff_pts = Vec::new();
+    let mut low_bw_diff = None;
+    for (i, &edge) in edges.iter().enumerate() {
+        let lo = if i == 0 { 0.0 } else { edges[i - 1] };
+        let bucket: Vec<&UserOutcome> = outcomes
+            .iter()
+            .filter(|o| o.mean_kbps >= lo && o.mean_kbps < edge)
+            .collect();
+        if bucket.is_empty() {
+            continue;
+        }
+        let betas: Vec<f64> = bucket.iter().flat_map(|o| o.betas.iter().cloned()).collect();
+        if betas.is_empty() {
+            continue;
+        }
+        let mean = betas.iter().sum::<f64>() / betas.len() as f64;
+        let sd = (betas.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>()
+            / betas.len() as f64)
+            .sqrt();
+        beta_mean_pts.push((edge, mean));
+        beta_sd_pts.push((edge, sd));
+        let s_l: f64 = bucket.iter().map(|o| o.stall_lingxi).sum();
+        let s_s: f64 = bucket.iter().map(|o| o.stall_static).sum();
+        let diff = if s_s > 0.0 {
+            100.0 * (s_l - s_s) / s_s
+        } else {
+            0.0
+        };
+        stall_diff_pts.push((edge, diff));
+        if edge <= 2000.0 && s_s > 1.0 {
+            low_bw_diff = Some(diff);
+        }
+    }
+    result.push_series(Series::from_xy("beta_mean", &beta_mean_pts));
+    result.push_series(Series::from_xy("beta_sd", &beta_sd_pts));
+    result.push_series(Series::from_xy("stall_time_diff_pct", &stall_diff_pts));
+    if let Some(d) = low_bw_diff {
+        result.headline_value("stall_diff_below_2mbps_pct", d);
+    }
+    if beta_mean_pts.len() >= 2 {
+        result.headline_value(
+            "beta_slope_sign",
+            (beta_mean_pts.last().unwrap().1 - beta_mean_pts[0].1).signum(),
+        );
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_beta_rises_with_bandwidth() {
+        let r = run(37, 0.15).unwrap();
+        let means = r.series_named("beta_mean").unwrap().ys();
+        assert!(!means.is_empty());
+        // All betas within the valid range.
+        assert!(means.iter().all(|&b| (0.3..=0.95).contains(&b)));
+        if means.len() >= 2 {
+            // Weak-link β should not exceed strong-link β by much.
+            assert!(
+                means[0] <= means.last().unwrap() + 0.15,
+                "beta not rising: {means:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Experiment harness: one module per figure/table of the paper's
+//! evaluation, each regenerating the corresponding series.
+//!
+//! Every module exposes `run(seed, scale) -> ExperimentResult`; `scale`
+//! shrinks population/session counts so the same code drives unit tests
+//! (scale ≈ 0.05), criterion benches (scale ≈ 0.1) and the full CLI runs
+//! (scale = 1.0). The `experiments` binary prints the series and writes
+//! CSVs under `results/`.
+//!
+//! Absolute values are simulator-scale, not production-scale; what must
+//! match the paper is the *shape* of each series (see EXPERIMENTS.md).
+
+pub mod datasets;
+pub mod fig01_qos_saturation;
+pub mod fig02_opportunities;
+pub mod fig03_watchtime;
+pub mod fig04_exit_vs_qos;
+pub mod fig05_personalization;
+pub mod fig08_trigger;
+pub mod fig09_predictor;
+pub mod fig10_simulation;
+pub mod fig11_heatmap;
+pub mod fig12_abtest;
+pub mod fig13_longtail;
+pub mod fig14_correlation;
+pub mod fig15_trajectories;
+pub mod report;
+pub mod world;
+
+pub use report::{ExperimentResult, Series};
+pub use world::{World, WorldConfig};
+
+/// Errors from experiment execution.
+#[derive(Debug)]
+pub enum ExpError {
+    /// A subsystem failed.
+    Subsystem(String),
+    /// I/O failure writing results.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExpError::Subsystem(m) => write!(f, "subsystem failure: {m}"),
+            ExpError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+impl From<std::io::Error> for ExpError {
+    fn from(e: std::io::Error) -> Self {
+        ExpError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ExpError>;
+
+/// Map any displayable error into [`ExpError::Subsystem`].
+pub fn sub<E: std::fmt::Display>(e: E) -> ExpError {
+    ExpError::Subsystem(e.to_string())
+}
+
+/// All experiment ids in paper order.
+pub const ALL_EXPERIMENTS: [&str; 13] = [
+    "fig01", "fig02", "fig03", "fig04", "fig05", "fig08", "fig09", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15",
+];
+
+/// Run one experiment by id.
+pub fn run_experiment(id: &str, seed: u64, scale: f64) -> Result<ExperimentResult> {
+    match id {
+        "fig01" => fig01_qos_saturation::run(seed, scale),
+        "fig02" => fig02_opportunities::run(seed, scale),
+        "fig03" => fig03_watchtime::run(seed, scale),
+        "fig04" => fig04_exit_vs_qos::run(seed, scale),
+        "fig05" => fig05_personalization::run(seed, scale),
+        "fig08" => fig08_trigger::run(seed, scale),
+        "fig09" => fig09_predictor::run(seed, scale),
+        "fig10" => fig10_simulation::run(seed, scale),
+        "fig11" => fig11_heatmap::run(seed, scale),
+        "fig12" => fig12_abtest::run(seed, scale),
+        "fig13" => fig13_longtail::run(seed, scale),
+        "fig14" => fig14_correlation::run(seed, scale),
+        "fig15" => fig15_trajectories::run(seed, scale),
+        other => Err(ExpError::Subsystem(format!("unknown experiment {other}"))),
+    }
+}

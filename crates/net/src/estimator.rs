@@ -1,0 +1,269 @@
+//! Throughput estimators.
+//!
+//! Three estimators cover the algorithms in the paper's evaluation:
+//! - [`WindowEstimator`]: sliding-window `(mu, sigma)` normal model — the
+//!   `N(mu_Cpast, sigma^2_Cpast)` of Eq. 3 that both the Monte-Carlo sampler
+//!   and the pruning rule consume;
+//! - [`HarmonicMeanEstimator`]: RobustMPC's conservative predictor;
+//! - [`EwmaEstimator`]: the smoothed estimate HYB-style production rules use.
+
+use lingxi_stats::NormalDist;
+use serde::{Deserialize, Serialize};
+
+use crate::{NetError, Result};
+
+/// Common estimator interface over per-segment throughput observations.
+pub trait BandwidthEstimator {
+    /// Record one observed download throughput (kbps).
+    fn observe(&mut self, kbps: f64);
+    /// Current point estimate (kbps); `None` until at least one observation.
+    fn estimate(&self) -> Option<f64>;
+    /// Number of observations absorbed.
+    fn count(&self) -> usize;
+}
+
+/// Sliding-window estimator exposing a fitted [`NormalDist`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowEstimator {
+    window: usize,
+    samples: Vec<f64>,
+    total_seen: usize,
+}
+
+impl WindowEstimator {
+    /// Create with a window of `window` most-recent samples.
+    pub fn new(window: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(NetError::InvalidConfig("window must be positive".into()));
+        }
+        Ok(Self {
+            window,
+            samples: Vec::with_capacity(window),
+            total_seen: 0,
+        })
+    }
+
+    /// The fitted normal model over the window (`None` until 1 sample).
+    pub fn normal_model(&self) -> Option<NormalDist> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        NormalDist::fit(&self.samples).ok()
+    }
+
+    /// Window contents, oldest first.
+    pub fn window_samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl BandwidthEstimator for WindowEstimator {
+    fn observe(&mut self, kbps: f64) {
+        if !(kbps > 0.0) || !kbps.is_finite() {
+            return; // drop garbage observations rather than poisoning state
+        }
+        if self.samples.len() == self.window {
+            self.samples.remove(0);
+        }
+        self.samples.push(kbps);
+        self.total_seen += 1;
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.total_seen
+    }
+}
+
+/// Harmonic mean over a sliding window, optionally discounted by the
+/// maximum recent relative prediction error (the RobustMPC trick).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarmonicMeanEstimator {
+    window: usize,
+    samples: Vec<f64>,
+    errors: Vec<f64>,
+    last_prediction: Option<f64>,
+    total_seen: usize,
+}
+
+impl HarmonicMeanEstimator {
+    /// Create with the given window length.
+    pub fn new(window: usize) -> Result<Self> {
+        if window == 0 {
+            return Err(NetError::InvalidConfig("window must be positive".into()));
+        }
+        Ok(Self {
+            window,
+            samples: Vec::new(),
+            errors: Vec::new(),
+            last_prediction: None,
+            total_seen: 0,
+        })
+    }
+
+    /// Robust (error-discounted) estimate:
+    /// `harmonic_mean / (1 + max recent relative error)`.
+    pub fn robust_estimate(&self) -> Option<f64> {
+        let hm = self.estimate()?;
+        let max_err = self.errors.iter().cloned().fold(0.0, f64::max);
+        Some(hm / (1.0 + max_err))
+    }
+}
+
+impl BandwidthEstimator for HarmonicMeanEstimator {
+    fn observe(&mut self, kbps: f64) {
+        if !(kbps > 0.0) || !kbps.is_finite() {
+            return;
+        }
+        if let Some(pred) = self.last_prediction {
+            let err = ((pred - kbps) / kbps).abs();
+            if self.errors.len() == self.window {
+                self.errors.remove(0);
+            }
+            self.errors.push(err);
+        }
+        if self.samples.len() == self.window {
+            self.samples.remove(0);
+        }
+        self.samples.push(kbps);
+        self.total_seen += 1;
+        self.last_prediction = self.estimate();
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let inv_sum: f64 = self.samples.iter().map(|s| 1.0 / s).sum();
+        Some(self.samples.len() as f64 / inv_sum)
+    }
+
+    fn count(&self) -> usize {
+        self.total_seen
+    }
+}
+
+/// Exponentially weighted moving average.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EwmaEstimator {
+    alpha: f64,
+    value: Option<f64>,
+    total_seen: usize,
+}
+
+impl EwmaEstimator {
+    /// Create with smoothing factor `alpha` in `(0, 1]` (weight of the new
+    /// sample).
+    pub fn new(alpha: f64) -> Result<Self> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(NetError::InvalidConfig("alpha must be in (0,1]".into()));
+        }
+        Ok(Self {
+            alpha,
+            value: None,
+            total_seen: 0,
+        })
+    }
+}
+
+impl BandwidthEstimator for EwmaEstimator {
+    fn observe(&mut self, kbps: f64) {
+        if !(kbps > 0.0) || !kbps.is_finite() {
+            return;
+        }
+        self.value = Some(match self.value {
+            None => kbps,
+            Some(v) => self.alpha * kbps + (1.0 - self.alpha) * v,
+        });
+        self.total_seen += 1;
+    }
+
+    fn estimate(&self) -> Option<f64> {
+        self.value
+    }
+
+    fn count(&self) -> usize {
+        self.total_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_estimator_slides() {
+        let mut e = WindowEstimator::new(3).unwrap();
+        assert_eq!(e.estimate(), None);
+        for v in [1000.0, 2000.0, 3000.0, 4000.0] {
+            e.observe(v);
+        }
+        // Window holds [2000, 3000, 4000].
+        assert_eq!(e.estimate(), Some(3000.0));
+        assert_eq!(e.count(), 4);
+        let n = e.normal_model().unwrap();
+        assert_eq!(n.mu, 3000.0);
+    }
+
+    #[test]
+    fn window_estimator_ignores_garbage() {
+        let mut e = WindowEstimator::new(3).unwrap();
+        e.observe(-5.0);
+        e.observe(f64::NAN);
+        e.observe(0.0);
+        assert_eq!(e.estimate(), None);
+        e.observe(1000.0);
+        assert_eq!(e.estimate(), Some(1000.0));
+    }
+
+    #[test]
+    fn harmonic_mean_below_arithmetic() {
+        let mut e = HarmonicMeanEstimator::new(5).unwrap();
+        for v in [1000.0, 4000.0] {
+            e.observe(v);
+        }
+        let hm = e.estimate().unwrap();
+        assert!((hm - 1600.0).abs() < 1e-9); // 2/(1/1000+1/4000)
+        assert!(hm < 2500.0);
+    }
+
+    #[test]
+    fn robust_estimate_discounts_on_errors() {
+        let mut e = HarmonicMeanEstimator::new(5).unwrap();
+        // Stable then a crash: prediction error inflates the discount.
+        for v in [5000.0, 5000.0, 5000.0, 1000.0] {
+            e.observe(v);
+        }
+        let plain = e.estimate().unwrap();
+        let robust = e.robust_estimate().unwrap();
+        assert!(robust < plain);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = EwmaEstimator::new(0.5).unwrap();
+        for _ in 0..20 {
+            e.observe(2000.0);
+        }
+        assert!((e.estimate().unwrap() - 2000.0).abs() < 1.0);
+        // Responds to change.
+        e.observe(4000.0);
+        let v = e.estimate().unwrap();
+        assert!(v > 2500.0 && v < 3500.0);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(WindowEstimator::new(0).is_err());
+        assert!(HarmonicMeanEstimator::new(0).is_err());
+        assert!(EwmaEstimator::new(0.0).is_err());
+        assert!(EwmaEstimator::new(1.5).is_err());
+    }
+}

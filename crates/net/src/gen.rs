@@ -1,0 +1,328 @@
+//! Synthetic bandwidth-trace generators.
+//!
+//! Four regimes cover the behaviours that matter to an ABR: stationary
+//! noise (stable WiFi), two-state Markov bursts (cellular handover /
+//! congestion), log-normal fading (wireless) and a bounded random walk
+//! (slow drift). The production mixture (`mixture` module) composes them.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::trace::BandwidthTrace;
+use crate::{NetError, Result};
+
+/// Common interface for trace generators.
+pub trait TraceGenerator {
+    /// Generate `n` samples at `tick_seconds` spacing.
+    fn generate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        tick_seconds: f64,
+        rng: &mut R,
+    ) -> Result<BandwidthTrace>;
+
+    /// The long-run mean bandwidth this generator targets (kbps).
+    fn target_mean(&self) -> f64;
+}
+
+const MIN_KBPS: f64 = 10.0;
+
+fn box_muller<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// IID Gaussian samples clamped positive: `N(mean, (cv*mean)^2)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StationaryGaussGen {
+    /// Mean bandwidth (kbps).
+    pub mean_kbps: f64,
+    /// Coefficient of variation (sigma / mean), >= 0.
+    pub cv: f64,
+}
+
+impl TraceGenerator for StationaryGaussGen {
+    fn generate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        tick_seconds: f64,
+        rng: &mut R,
+    ) -> Result<BandwidthTrace> {
+        if !(self.mean_kbps > 0.0) || !(self.cv >= 0.0) {
+            return Err(NetError::InvalidConfig("mean > 0 and cv >= 0 required".into()));
+        }
+        let sigma = self.cv * self.mean_kbps;
+        let samples = (0..n.max(1))
+            .map(|_| (self.mean_kbps + sigma * box_muller(rng)).max(MIN_KBPS))
+            .collect();
+        BandwidthTrace::new(tick_seconds, samples)
+    }
+
+    fn target_mean(&self) -> f64 {
+        self.mean_kbps
+    }
+}
+
+/// Two-state (good/bad) Markov-modulated bandwidth with Gaussian noise in
+/// each state — the classic cellular burst model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarkovGen {
+    /// Good-state mean (kbps).
+    pub good_kbps: f64,
+    /// Bad-state mean (kbps).
+    pub bad_kbps: f64,
+    /// P(good -> bad) per tick.
+    pub p_gb: f64,
+    /// P(bad -> good) per tick.
+    pub p_bg: f64,
+    /// Relative in-state noise.
+    pub cv: f64,
+}
+
+impl MarkovGen {
+    fn stationary_good_prob(&self) -> f64 {
+        // pi_good = p_bg / (p_gb + p_bg)
+        if self.p_gb + self.p_bg == 0.0 {
+            1.0
+        } else {
+            self.p_bg / (self.p_gb + self.p_bg)
+        }
+    }
+}
+
+impl TraceGenerator for MarkovGen {
+    fn generate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        tick_seconds: f64,
+        rng: &mut R,
+    ) -> Result<BandwidthTrace> {
+        if !(self.good_kbps > 0.0 && self.bad_kbps > 0.0) {
+            return Err(NetError::InvalidConfig("state means must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.p_gb) || !(0.0..=1.0).contains(&self.p_bg) {
+            return Err(NetError::InvalidConfig(
+                "transition probabilities must be in [0,1]".into(),
+            ));
+        }
+        if !(self.cv >= 0.0) {
+            return Err(NetError::InvalidConfig("cv must be >= 0".into()));
+        }
+        let mut good = rng.gen::<f64>() < self.stationary_good_prob();
+        let mut samples = Vec::with_capacity(n.max(1));
+        for _ in 0..n.max(1) {
+            let mean = if good { self.good_kbps } else { self.bad_kbps };
+            samples.push((mean * (1.0 + self.cv * box_muller(rng))).max(MIN_KBPS));
+            let flip = if good { self.p_gb } else { self.p_bg };
+            if rng.gen::<f64>() < flip {
+                good = !good;
+            }
+        }
+        BandwidthTrace::new(tick_seconds, samples)
+    }
+
+    fn target_mean(&self) -> f64 {
+        let pg = self.stationary_good_prob();
+        pg * self.good_kbps + (1.0 - pg) * self.bad_kbps
+    }
+}
+
+/// IID log-normal fading with the requested linear-space mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormalFadeGen {
+    /// Linear-space mean (kbps).
+    pub mean_kbps: f64,
+    /// Linear-space coefficient of variation.
+    pub cv: f64,
+}
+
+impl TraceGenerator for LogNormalFadeGen {
+    fn generate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        tick_seconds: f64,
+        rng: &mut R,
+    ) -> Result<BandwidthTrace> {
+        if !(self.mean_kbps > 0.0) || !(self.cv >= 0.0) {
+            return Err(NetError::InvalidConfig("mean > 0 and cv >= 0 required".into()));
+        }
+        let sigma = (self.cv * self.cv + 1.0).ln().sqrt();
+        let mu = self.mean_kbps.ln() - sigma * sigma / 2.0;
+        let samples = (0..n.max(1))
+            .map(|_| (mu + sigma * box_muller(rng)).exp().max(MIN_KBPS))
+            .collect();
+        BandwidthTrace::new(tick_seconds, samples)
+    }
+
+    fn target_mean(&self) -> f64 {
+        self.mean_kbps
+    }
+}
+
+/// Mean-reverting bounded random walk (Ornstein-Uhlenbeck style drift).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomWalkGen {
+    /// Long-run mean (kbps).
+    pub mean_kbps: f64,
+    /// Per-tick noise as a fraction of the mean.
+    pub step_cv: f64,
+    /// Mean-reversion strength in `(0, 1]`.
+    pub reversion: f64,
+}
+
+impl TraceGenerator for RandomWalkGen {
+    fn generate<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        tick_seconds: f64,
+        rng: &mut R,
+    ) -> Result<BandwidthTrace> {
+        if !(self.mean_kbps > 0.0) || !(self.step_cv >= 0.0) {
+            return Err(NetError::InvalidConfig("mean > 0, step_cv >= 0".into()));
+        }
+        if !(self.reversion > 0.0 && self.reversion <= 1.0) {
+            return Err(NetError::InvalidConfig("reversion must be in (0,1]".into()));
+        }
+        let mut x = self.mean_kbps;
+        let step = self.step_cv * self.mean_kbps;
+        let lo = self.mean_kbps * 0.2;
+        let hi = self.mean_kbps * 3.0;
+        let samples = (0..n.max(1))
+            .map(|_| {
+                x += self.reversion * (self.mean_kbps - x) + step * box_muller(rng);
+                x = x.clamp(lo.max(MIN_KBPS), hi);
+                x
+            })
+            .collect();
+        BandwidthTrace::new(tick_seconds, samples)
+    }
+
+    fn target_mean(&self) -> f64 {
+        self.mean_kbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_mean<G: TraceGenerator>(g: &G, tolerance: f64) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = g.generate(20_000, 1.0, &mut rng).unwrap();
+        let m = t.mean();
+        let target = g.target_mean();
+        assert!(
+            (m - target).abs() / target < tolerance,
+            "mean {m} vs target {target}"
+        );
+        assert!(t.samples().iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn gauss_mean_and_positivity() {
+        check_mean(
+            &StationaryGaussGen {
+                mean_kbps: 8000.0,
+                cv: 0.3,
+            },
+            0.02,
+        );
+    }
+
+    #[test]
+    fn markov_stationary_mean() {
+        check_mean(
+            &MarkovGen {
+                good_kbps: 10_000.0,
+                bad_kbps: 1000.0,
+                p_gb: 0.05,
+                p_bg: 0.2,
+                cv: 0.1,
+            },
+            0.06,
+        );
+    }
+
+    #[test]
+    fn markov_visits_both_states() {
+        let g = MarkovGen {
+            good_kbps: 10_000.0,
+            bad_kbps: 500.0,
+            p_gb: 0.1,
+            p_bg: 0.1,
+            cv: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = g.generate(5000, 1.0, &mut rng).unwrap();
+        let lows = t.samples().iter().filter(|&&s| s < 2000.0).count();
+        let highs = t.samples().iter().filter(|&&s| s > 8000.0).count();
+        assert!(lows > 500, "lows {lows}");
+        assert!(highs > 500, "highs {highs}");
+    }
+
+    #[test]
+    fn lognormal_mean() {
+        check_mean(
+            &LogNormalFadeGen {
+                mean_kbps: 4000.0,
+                cv: 0.8,
+            },
+            0.05,
+        );
+    }
+
+    #[test]
+    fn random_walk_stays_bounded() {
+        let g = RandomWalkGen {
+            mean_kbps: 5000.0,
+            step_cv: 0.1,
+            reversion: 0.05,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = g.generate(10_000, 1.0, &mut rng).unwrap();
+        assert!(t.samples().iter().all(|&s| s >= 1000.0 && s <= 15_000.0));
+        let m = t.mean();
+        assert!((m - 5000.0).abs() / 5000.0 < 0.15, "mean {m}");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(StationaryGaussGen {
+            mean_kbps: 0.0,
+            cv: 0.1
+        }
+        .generate(10, 1.0, &mut rng)
+        .is_err());
+        assert!(MarkovGen {
+            good_kbps: 1.0,
+            bad_kbps: 1.0,
+            p_gb: 1.5,
+            p_bg: 0.1,
+            cv: 0.0
+        }
+        .generate(10, 1.0, &mut rng)
+        .is_err());
+        assert!(RandomWalkGen {
+            mean_kbps: 1.0,
+            step_cv: 0.1,
+            reversion: 0.0
+        }
+        .generate(10, 1.0, &mut rng)
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let g = LogNormalFadeGen {
+            mean_kbps: 3000.0,
+            cv: 0.5,
+        };
+        let a = g.generate(100, 1.0, &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = g.generate(100, 1.0, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+    }
+}

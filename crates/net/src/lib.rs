@@ -1,0 +1,46 @@
+//! Network substrate: bandwidth traces, synthetic trace generators, a
+//! production-like bandwidth population, throughput estimators and an RTT
+//! model.
+//!
+//! The paper's client observes per-segment download throughput, models past
+//! bandwidth as `N(mu, sigma^2)` (Eq. 3), and draws future bandwidth from
+//! that model during Monte-Carlo rollouts. Production traces are
+//! proprietary, so [`mixture::ProductionMixture`] generates a synthetic
+//! population matching the published bandwidth CDF (Fig. 2a: only ~10% of
+//! users average below the top bitrate; the distribution stretches to
+//! ~50 Mbps).
+
+pub mod estimator;
+pub mod gen;
+pub mod mixture;
+pub mod rtt;
+pub mod trace;
+
+pub use estimator::{BandwidthEstimator, EwmaEstimator, HarmonicMeanEstimator, WindowEstimator};
+pub use gen::{LogNormalFadeGen, MarkovGen, RandomWalkGen, StationaryGaussGen, TraceGenerator};
+pub use mixture::{NetClass, ProductionMixture, UserNetProfile};
+pub use rtt::RttModel;
+pub use trace::BandwidthTrace;
+
+/// Errors from network-model construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A parameter was out of its valid domain.
+    InvalidConfig(String),
+    /// The trace or sample set was empty.
+    Empty,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            NetError::Empty => write!(f, "empty input"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, NetError>;

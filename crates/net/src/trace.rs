@@ -1,0 +1,164 @@
+//! Bandwidth traces: a piecewise-constant throughput timeline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NetError, Result};
+
+/// A bandwidth trace: throughput samples (kbps) at a fixed tick interval.
+///
+/// Lookups past the end wrap around (the convention of the Pensieve /
+/// MPC evaluation harnesses, which loop traces to cover long sessions).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    tick_seconds: f64,
+    samples_kbps: Vec<f64>,
+}
+
+impl BandwidthTrace {
+    /// Build a trace; all samples must be positive and finite.
+    pub fn new(tick_seconds: f64, samples_kbps: Vec<f64>) -> Result<Self> {
+        if samples_kbps.is_empty() {
+            return Err(NetError::Empty);
+        }
+        if !(tick_seconds > 0.0) || !tick_seconds.is_finite() {
+            return Err(NetError::InvalidConfig("tick must be positive".into()));
+        }
+        if samples_kbps.iter().any(|&s| !(s > 0.0) || !s.is_finite()) {
+            return Err(NetError::InvalidConfig(
+                "samples must be positive and finite".into(),
+            ));
+        }
+        Ok(Self {
+            tick_seconds,
+            samples_kbps,
+        })
+    }
+
+    /// Constant-bandwidth trace.
+    pub fn constant(kbps: f64, n: usize, tick_seconds: f64) -> Result<Self> {
+        Self::new(tick_seconds, vec![kbps; n.max(1)])
+    }
+
+    /// Throughput at absolute time `t` seconds (wrapping).
+    pub fn at(&self, t: f64) -> f64 {
+        let idx = (t.max(0.0) / self.tick_seconds) as usize;
+        self.samples_kbps[idx % self.samples_kbps.len()]
+    }
+
+    /// Mean throughput needed to download `kbits` starting at time `t`,
+    /// integrating across tick boundaries (wrapping). Returns the download
+    /// duration in seconds.
+    pub fn download_time(&self, t_start: f64, kbits: f64) -> f64 {
+        if kbits <= 0.0 {
+            return 0.0;
+        }
+        let mut remaining = kbits;
+        let mut t = t_start.max(0.0);
+        let mut elapsed = 0.0;
+        // Hard cap to keep pathological inputs bounded.
+        for _ in 0..1_000_000 {
+            let idx = (t / self.tick_seconds) as usize % self.samples_kbps.len();
+            let rate = self.samples_kbps[idx];
+            let tick_end = (t / self.tick_seconds).floor() * self.tick_seconds + self.tick_seconds;
+            let span = tick_end - t;
+            let capacity = rate * span;
+            if capacity >= remaining {
+                return elapsed + remaining / rate;
+            }
+            remaining -= capacity;
+            elapsed += span;
+            t = tick_end;
+        }
+        elapsed
+    }
+
+    /// Raw samples (kbps).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples_kbps
+    }
+
+    /// Tick interval in seconds.
+    pub fn tick_seconds(&self) -> f64 {
+        self.tick_seconds
+    }
+
+    /// Trace duration in seconds (one full cycle).
+    pub fn duration(&self) -> f64 {
+        self.samples_kbps.len() as f64 * self.tick_seconds
+    }
+
+    /// Mean sample (kbps).
+    pub fn mean(&self) -> f64 {
+        self.samples_kbps.iter().sum::<f64>() / self.samples_kbps.len() as f64
+    }
+
+    /// Population standard deviation of samples (kbps).
+    pub fn std(&self) -> f64 {
+        let m = self.mean();
+        (self
+            .samples_kbps
+            .iter()
+            .map(|s| (s - m) * (s - m))
+            .sum::<f64>()
+            / self.samples_kbps.len() as f64)
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_lookup() {
+        let t = BandwidthTrace::constant(5000.0, 10, 1.0).unwrap();
+        assert_eq!(t.at(0.0), 5000.0);
+        assert_eq!(t.at(9.9), 5000.0);
+        assert_eq!(t.at(100.0), 5000.0); // wraps
+        assert_eq!(t.duration(), 10.0);
+        assert_eq!(t.mean(), 5000.0);
+        assert_eq!(t.std(), 0.0);
+    }
+
+    #[test]
+    fn invalid_traces_rejected() {
+        assert!(BandwidthTrace::new(1.0, vec![]).is_err());
+        assert!(BandwidthTrace::new(0.0, vec![1.0]).is_err());
+        assert!(BandwidthTrace::new(1.0, vec![0.0]).is_err());
+        assert!(BandwidthTrace::new(1.0, vec![-5.0]).is_err());
+        assert!(BandwidthTrace::new(1.0, vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn download_time_single_tick() {
+        let t = BandwidthTrace::constant(1000.0, 10, 1.0).unwrap();
+        // 500 kbits at 1000 kbps = 0.5 s.
+        assert!((t.download_time(0.0, 500.0) - 0.5).abs() < 1e-9);
+        assert_eq!(t.download_time(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn download_time_spans_ticks() {
+        // 1 s at 1000 kbps then 1 s at 3000 kbps, repeating.
+        let t = BandwidthTrace::new(1.0, vec![1000.0, 3000.0]).unwrap();
+        // 2500 kbits from t=0: 1000 in first second, 1500/3000=0.5 s more.
+        assert!((t.download_time(0.0, 2500.0) - 1.5).abs() < 1e-9);
+        // Starting mid-tick: from t=0.5, 0.5s*1000=500, then 2000/3000.
+        let d = t.download_time(0.5, 2500.0);
+        assert!((d - (0.5 + 2000.0 / 3000.0)).abs() < 1e-9, "d={d}");
+    }
+
+    #[test]
+    fn download_time_wraps_trace() {
+        let t = BandwidthTrace::new(1.0, vec![1000.0]).unwrap();
+        // 10_000 kbits at 1000 kbps = 10 s (10 wraps).
+        assert!((t.download_time(0.0, 10_000.0) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_on_varying_trace() {
+        let t = BandwidthTrace::new(1.0, vec![1000.0, 3000.0]).unwrap();
+        assert_eq!(t.mean(), 2000.0);
+        assert_eq!(t.std(), 1000.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Weight initialisation schemes.
+
+use rand::Rng;
+
+use crate::Matrix;
+
+/// He (Kaiming) uniform initialisation, appropriate before ReLU layers:
+/// `U(-sqrt(6/fan_in), +sqrt(6/fan_in))`.
+pub fn he_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, fan_in: usize, rng: &mut R) -> Matrix {
+    let bound = (6.0 / fan_in.max(1) as f64).sqrt();
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-bound..bound);
+    }
+    m
+}
+
+/// Xavier/Glorot uniform initialisation for linear/softmax output layers:
+/// `U(-sqrt(6/(fan_in+fan_out)), +...)`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Matrix {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(-bound..bound);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = he_uniform(10, 20, 20, &mut rng);
+        let bound = (6.0f64 / 20.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+        // Not all zero.
+        assert!(m.norm() > 0.0);
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = xavier_uniform(8, 4, 8, 4, &mut rng);
+        let bound = (6.0f64 / 12.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = he_uniform(4, 4, 4, &mut StdRng::seed_from_u64(9));
+        let b = he_uniform(4, 4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

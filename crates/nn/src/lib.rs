@@ -1,0 +1,63 @@
+//! A minimal, dependency-free neural-network library.
+//!
+//! The exit-rate predictor of the paper (Fig. 7) is a small network —
+//! per-dimension 1-D convolutions (kernel 1×4, 64 channels) over a 5×8 state
+//! matrix, a merge, a 64-unit fully-connected layer and a 2-unit softmax
+//! head trained with cross-entropy. The Pensieve baseline (§5.2) uses the
+//! same building blocks for its policy network. The Rust ML ecosystem is
+//! thin, so this crate reimplements exactly the forward/backward math those
+//! two models need: dense and 1-D convolution layers, ReLU, softmax +
+//! cross-entropy, SGD and Adam, and a mini-batch trainer.
+//!
+//! Design notes:
+//! - Activations flow through [`Matrix`] values shaped `(batch, features)`;
+//!   convolution layers interpret the feature axis as `channels × length`.
+//! - Layers are a closed [`Layer`] enum rather than trait objects so models
+//!   serialize with plain `serde` (the deployment section of the paper
+//!   persists long-term state; we persist trained models the same way).
+//! - All randomness is injected; training is reproducible given a seed.
+
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod matrix;
+pub mod optim;
+pub mod seq;
+pub mod train;
+
+pub use layer::{Conv1d, Dense, Layer, Relu};
+pub use loss::{cross_entropy_loss, softmax, softmax_cross_entropy};
+pub use matrix::Matrix;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use seq::Sequential;
+pub use train::{TrainConfig, TrainReport, Trainer};
+
+/// Errors from network construction or shape checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// Matrix dimensions incompatible with the requested operation.
+    ShapeMismatch {
+        /// What was expected, human-readable.
+        expected: String,
+        /// What was received.
+        got: String,
+    },
+    /// A hyper-parameter was out of range.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,143 @@
+//! Softmax and cross-entropy (paper Eq. 5).
+
+use crate::{Matrix, NnError, Result};
+
+/// Numerically stable row-wise softmax.
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row_max = logits
+            .row(r)
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        let cols = out.cols();
+        for c in 0..cols {
+            let e = (logits.get(r, c) - row_max).exp();
+            out.set(r, c, e);
+            sum += e;
+        }
+        for c in 0..cols {
+            out.set(r, c, out.get(r, c) / sum);
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of probabilities against one-hot integer labels.
+pub fn cross_entropy_loss(probs: &Matrix, labels: &[usize]) -> Result<f64> {
+    if probs.rows() != labels.len() {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("{} labels", probs.rows()),
+            got: format!("{}", labels.len()),
+        });
+    }
+    let mut loss = 0.0;
+    for (r, &l) in labels.iter().enumerate() {
+        if l >= probs.cols() {
+            return Err(NnError::InvalidConfig(format!(
+                "label {l} out of range for {} classes",
+                probs.cols()
+            )));
+        }
+        loss -= probs.get(r, l).max(1e-12).ln();
+    }
+    Ok(loss / labels.len() as f64)
+}
+
+/// Fused softmax + cross-entropy: returns `(mean loss, grad wrt logits)`.
+///
+/// The gradient of mean CE wrt logits is `(softmax(z) - onehot) / batch`,
+/// which is both faster and more stable than chaining the two backward
+/// passes.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> Result<(f64, Matrix)> {
+    let probs = softmax(logits);
+    let loss = cross_entropy_loss(&probs, labels)?;
+    let mut grad = probs;
+    let inv_batch = 1.0 / labels.len() as f64;
+    for (r, &l) in labels.iter().enumerate() {
+        let cols = grad.cols();
+        for c in 0..cols {
+            let p = grad.get(r, c);
+            let target = if c == l { 1.0 } else { 0.0 };
+            grad.set(r, c, (p - target) * inv_batch);
+        }
+    }
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]).unwrap();
+        let s = softmax(&m);
+        for r in 0..2 {
+            let sum: f64 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(s.row(r).iter().all(|&p| p > 0.0 && p < 1.0));
+        }
+        // Largest logit gets largest probability.
+        assert!(s.get(0, 2) > s.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]).unwrap();
+        let b = Matrix::from_vec(1, 2, vec![1001.0, 1002.0]).unwrap();
+        let sa = softmax(&a);
+        let sb = softmax(&b);
+        for c in 0..2 {
+            assert!((sa.get(0, c) - sb.get(0, c)).abs() < 1e-12);
+            assert!(sb.get(0, c).is_finite());
+        }
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_near_zero() {
+        let probs = Matrix::from_vec(1, 2, vec![1.0 - 1e-9, 1e-9]).unwrap();
+        let loss = cross_entropy_loss(&probs, &[0]).unwrap();
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let probs = Matrix::from_vec(1, 4, vec![0.25; 4]).unwrap();
+        let loss = cross_entropy_loss(&probs, &[2]).unwrap();
+        assert!((loss - 4.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_entropy_rejects_bad_labels() {
+        let probs = Matrix::from_vec(1, 2, vec![0.5, 0.5]).unwrap();
+        assert!(cross_entropy_loss(&probs, &[5]).is_err());
+        assert!(cross_entropy_loss(&probs, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn fused_gradient_matches_numeric() {
+        let logits = Matrix::from_vec(2, 3, vec![0.2, -0.4, 0.9, 1.5, 0.0, -1.0]).unwrap();
+        let labels = [2usize, 0usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits.clone();
+                lp.set(r, c, lp.get(r, c) + eps);
+                let (loss_p, _) = softmax_cross_entropy(&lp, &labels).unwrap();
+                let mut lm = logits.clone();
+                lm.set(r, c, lm.get(r, c) - eps);
+                let (loss_m, _) = softmax_cross_entropy(&lm, &labels).unwrap();
+                let num = (loss_p - loss_m) / (2.0 * eps);
+                assert!(
+                    (num - grad.get(r, c)).abs() < 1e-6,
+                    "grad[{r},{c}]: numeric {num} vs {}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Row-major 2-D matrix of `f64` — the only tensor type this library needs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NnError, Result};
+
+/// A dense row-major matrix. Activations are `(batch, features)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a flat row-major vector; errors if the length disagrees.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{rows}x{cols} = {} values", rows * cols),
+                got: format!("{} values", data.len()),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Build from nested rows; errors if rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(Self::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("all rows of length {cols}"),
+                got: "ragged rows".into(),
+            });
+        }
+        let data = rows.iter().flatten().cloned().collect();
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// A 1×n row vector.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Flat slice (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable slice (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix multiply `self (m x k) * other (k x n) -> (m x n)`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("inner dims equal ({} vs {})", self.cols, other.rows),
+                got: format!("{}x{} * {}x{}", self.rows, self.cols, other.rows, other.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // ikj loop order keeps the inner access contiguous.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place map.
+    pub fn map_inplace<F: Fn(f64) -> f64>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// `self += other` (same shape).
+    pub fn add_assign(&mut self, other: &Matrix) -> Result<()> {
+        self.check_same_shape(other)?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// `self += row` broadcast across all rows (bias add).
+    pub fn add_row_broadcast(&mut self, row: &[f64]) -> Result<()> {
+        if row.len() != self.cols {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("row of {} values", self.cols),
+                got: format!("{} values", row.len()),
+            });
+        }
+        for r in 0..self.rows {
+            let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (d, &b) in dst.iter_mut().zip(row) {
+                *d += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Column sums (used for bias gradients), length = `cols`.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Scale all elements.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    fn check_same_shape(&self, other: &Matrix) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{}x{}", self.rows, self.cols),
+                got: format!("{}x{}", other.rows, other.cols),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert!(Matrix::from_vec(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+        assert!(b.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn broadcast_and_sums() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_row_broadcast(&[1.0, 2.0]).unwrap();
+        assert_eq!(m.col_sums(), vec![3.0, 6.0]);
+        assert!(m.add_row_broadcast(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn add_assign_shape_checked() {
+        let mut a = Matrix::zeros(2, 2);
+        let b = Matrix::from_vec(2, 2, vec![1.0; 4]).unwrap();
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.as_slice(), &[1.0; 4]);
+        let c = Matrix::zeros(1, 2);
+        assert!(a.add_assign(&c).is_err());
+    }
+
+    #[test]
+    fn norm_and_scale() {
+        let mut m = Matrix::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
+        assert!((m.norm() - 5.0).abs() < 1e-12);
+        m.scale(2.0);
+        assert!((m.norm() - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,197 @@
+//! First-order optimizers: SGD (with momentum) and Adam.
+//!
+//! Optimizer state (momentum/moment buffers) is keyed by visit order of the
+//! parameter tensors, which is stable for a fixed network topology.
+
+use serde::{Deserialize, Serialize};
+
+/// Common interface: consume the accumulated gradient of one parameter
+/// tensor and update it in place. `slot` identifies the tensor (stable visit
+/// index).
+pub trait Optimizer {
+    /// Apply one update step to `params` given `grads`.
+    fn step_param(&mut self, slot: usize, params: &mut [f64], grads: &[f64]);
+    /// Advance the global step counter (call once per mini-batch).
+    fn tick(&mut self);
+}
+
+/// Stochastic gradient descent with optional classical momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient in `[0, 1)`; 0 disables momentum.
+    pub momentum: f64,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    fn velocity_slot(&mut self, slot: usize, len: usize) -> &mut Vec<f64> {
+        while self.velocity.len() <= slot {
+            self.velocity.push(Vec::new());
+        }
+        let v = &mut self.velocity[slot];
+        if v.len() != len {
+            *v = vec![0.0; len];
+        }
+        v
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step_param(&mut self, slot: usize, params: &mut [f64], grads: &[f64]) {
+        let lr = self.lr;
+        let mom = self.momentum;
+        if mom == 0.0 {
+            for (p, &g) in params.iter_mut().zip(grads) {
+                *p -= lr * g;
+            }
+        } else {
+            let v = self.velocity_slot(slot, params.len());
+            for ((p, &g), vi) in params.iter_mut().zip(grads).zip(v.iter_mut()) {
+                *vi = mom * *vi + g;
+                *p -= lr * *vi;
+            }
+        }
+    }
+
+    fn tick(&mut self) {}
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Adam with standard hyper-parameters (β1=0.9, β2=0.999, ε=1e-8).
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 1,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    fn slots(&mut self, slot: usize, len: usize) -> (&mut Vec<f64>, &mut Vec<f64>) {
+        while self.m.len() <= slot {
+            self.m.push(Vec::new());
+            self.v.push(Vec::new());
+        }
+        if self.m[slot].len() != len {
+            self.m[slot] = vec![0.0; len];
+            self.v[slot] = vec![0.0; len];
+        }
+        // Split borrows.
+        let (m, v) = (&mut self.m, &mut self.v);
+        (&mut m[slot], &mut v[slot])
+    }
+}
+
+impl Optimizer for Adam {
+    fn step_param(&mut self, slot: usize, params: &mut [f64], grads: &[f64]) {
+        let (lr, b1, b2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let (m, v) = self.slots(slot, params.len());
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        for i in 0..params.len() {
+            m[i] = b1 * m[i] + (1.0 - b1) * grads[i];
+            v[i] = b2 * v[i] + (1.0 - b2) * grads[i] * grads[i];
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+
+    fn tick(&mut self) {
+        self.t += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x-3)^2 with each optimizer; both should converge.
+    fn run<O: Optimizer>(opt: &mut O, iters: usize) -> f64 {
+        let mut x = vec![0.0f64];
+        for _ in 0..iters {
+            let g = vec![2.0 * (x[0] - 3.0)];
+            opt.step_param(0, &mut x, &g);
+            opt.tick();
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = run(&mut Sgd::new(0.1), 200);
+        assert!((x - 3.0).abs() < 1e-6, "x={x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = run(&mut Sgd::with_momentum(0.05, 0.9), 400);
+        assert!((x - 3.0).abs() < 1e-4, "x={x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = run(&mut Adam::new(0.1), 600);
+        assert!((x - 3.0).abs() < 1e-3, "x={x}");
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction, |first Adam step| ~= lr regardless of grad size.
+        let mut opt = Adam::new(0.01);
+        let mut x = vec![0.0f64];
+        opt.step_param(0, &mut x, &[1e6]);
+        assert!((x[0].abs() - 0.01).abs() < 1e-6, "step {}", x[0]);
+    }
+
+    #[test]
+    fn separate_slots_independent() {
+        let mut opt = Adam::new(0.1);
+        let mut a = vec![0.0];
+        let mut b = vec![0.0, 0.0];
+        opt.step_param(0, &mut a, &[1.0]);
+        opt.step_param(1, &mut b, &[1.0, -1.0]);
+        opt.tick();
+        assert!(a[0] < 0.0);
+        assert!(b[0] < 0.0 && b[1] > 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based invariants for the NN library.
+
+use lingxi_nn::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn softmax_rows_are_distributions(
+        rows in 1usize..6,
+        cols in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|_| rand::Rng::gen_range(&mut rng, -50.0..50.0))
+            .collect();
+        let m = Matrix::from_vec(rows, cols, data).unwrap();
+        let s = softmax(&m);
+        for r in 0..rows {
+            let sum: f64 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(s.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn matmul_matches_identity(
+        n in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..n * n)
+            .map(|_| rand::Rng::gen_range(&mut rng, -10.0..10.0))
+            .collect();
+        let a = Matrix::from_vec(n, n, data).unwrap();
+        let mut eye = Matrix::zeros(n, n);
+        for i in 0..n {
+            eye.set(i, i, 1.0);
+        }
+        let prod = a.matmul(&eye).unwrap();
+        for (x, y) in prod.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_involution(
+        rows in 1usize..7,
+        cols in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|_| rand::Rng::gen_range(&mut rng, -5.0..5.0))
+            .collect();
+        let a = Matrix::from_vec(rows, cols, data).unwrap();
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative(
+        cols in 2usize..6,
+        label in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let label = label % cols;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits: Vec<f64> = (0..cols)
+            .map(|_| rand::Rng::gen_range(&mut rng, -10.0..10.0))
+            .collect();
+        let m = Matrix::from_vec(1, cols, logits).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&m, &[label]).unwrap();
+        prop_assert!(loss >= 0.0);
+        // Gradient sums to zero per row (softmax simplex constraint).
+        let g: f64 = grad.row(0).iter().sum();
+        prop_assert!(g.abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_forward_shape_stable(
+        batch in 1usize..6,
+        input in 1usize..6,
+        output in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new()
+            .push(Layer::Dense(Dense::new(input, output, &mut rng).unwrap()));
+        let x = Matrix::zeros(batch, input);
+        let y = net.forward(&x).unwrap();
+        prop_assert_eq!(y.rows(), batch);
+        prop_assert_eq!(y.cols(), output);
+        prop_assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,272 @@
+//! Generic session driver coupling a video, a bandwidth trace, an ABR
+//! decision function and a user exit model.
+//!
+//! The ABR and the user model are injected as closures so this crate stays
+//! below both `lingxi-abr` and `lingxi-user` in the dependency graph; those
+//! crates provide adapters that wrap their richer trait objects into these
+//! closures.
+
+use lingxi_media::{BitrateLadder, Video};
+use lingxi_net::BandwidthTrace;
+use rand::Rng;
+
+use crate::config::PlayerConfig;
+use crate::env::PlayerEnv;
+use crate::log::{SegmentRecord, SessionEnd, SessionLog};
+use crate::Result;
+
+/// Everything needed to play one session.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionSetup<'a> {
+    /// Owner of the session.
+    pub user_id: u64,
+    /// The video being played.
+    pub video: &'a Video,
+    /// The bitrate ladder of the catalog.
+    pub ladder: &'a BitrateLadder,
+    /// Bandwidth timeline.
+    pub trace: &'a BandwidthTrace,
+    /// Player configuration.
+    pub config: PlayerConfig,
+}
+
+/// The user model's verdict after each segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitDecision {
+    /// Keep watching.
+    Continue,
+    /// Leave the video now.
+    Exit,
+}
+
+/// Play one full session.
+///
+/// - `select(env)` returns the level for the next segment (clamped into the
+///   ladder);
+/// - `exit(env, record, rng)` is consulted *after every segment* — the
+///   segment-level exit behaviour §2.2 measures.
+///
+/// On completion the session's watch time is the full video duration (the
+/// tail of the buffer plays out); on exit it is the playback position when
+/// the decision fired.
+pub fn run_session<F, G, R>(
+    setup: &SessionSetup<'_>,
+    mut select: F,
+    mut exit: G,
+    rng: &mut R,
+) -> Result<SessionLog>
+where
+    F: FnMut(&PlayerEnv) -> usize,
+    G: FnMut(&PlayerEnv, &SegmentRecord, &mut R) -> ExitDecision,
+    R: Rng + ?Sized,
+{
+    let mut env = PlayerEnv::new(setup.config)?;
+    let n_segments = setup.video.n_segments();
+    let seg_duration = setup.video.sizes.segment_duration();
+    let mut segments = Vec::with_capacity(n_segments);
+    let mut end = SessionEnd::Completed;
+    let mut exit_segment = None;
+
+    for k in 0..n_segments {
+        let wanted = select(&env);
+        let level = wanted.min(setup.ladder.top_level());
+        let size = setup
+            .video
+            .sizes
+            .size_kbits(k, level)
+            .expect("segment and level verified in range");
+        // Effective throughput over this download, integrated on the trace.
+        let dl = setup.trace.download_time(env.wall_time(), size);
+        let bandwidth = if dl > 0.0 { size / dl } else { setup.trace.at(env.wall_time()) };
+        let switched_from = env.last_level();
+        let outcome = env.step(size, level, bandwidth, seg_duration, rng)?;
+        let bitrate = setup.ladder.bitrate(level).expect("level clamped");
+        let record = env.record(&outcome, level, bitrate, size, switched_from);
+        segments.push(record);
+        if exit(&env, &record, rng) == ExitDecision::Exit {
+            end = SessionEnd::Exited;
+            exit_segment = Some(k);
+            break;
+        }
+    }
+
+    let video_duration = setup.video.duration();
+    // Watch time is content-based: the exit decision fires after the user
+    // has experienced segment k, so they watched (k+1)·L seconds of
+    // content. (Wall-clock playback position would under-credit sessions
+    // holding deeper buffers, biasing comparisons between ABR policies.)
+    let watch_time = match (end, exit_segment) {
+        (SessionEnd::Completed, _) => video_duration,
+        (_, Some(k)) => ((k + 1) as f64 * seg_duration).min(video_duration),
+        (_, None) => env.playback_time().min(video_duration),
+    };
+
+    Ok(SessionLog {
+        user_id: setup.user_id,
+        video_id: setup.video.id,
+        video_duration,
+        segments,
+        watch_time,
+        end,
+        exit_segment,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lingxi_media::{Catalog, CatalogConfig, VbrModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn catalog() -> Catalog {
+        let mut rng = StdRng::seed_from_u64(1);
+        Catalog::generate(
+            BitrateLadder::default_short_video(),
+            &CatalogConfig {
+                n_videos: 3,
+                vbr: VbrModel::cbr(),
+                ..CatalogConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn completed_session_watches_everything() {
+        let cat = catalog();
+        let trace = BandwidthTrace::constant(50_000.0, 100, 1.0).unwrap();
+        let setup = SessionSetup {
+            user_id: 1,
+            video: cat.video_cyclic(0),
+            ladder: cat.ladder(),
+            trace: &trace,
+            config: PlayerConfig::deterministic(10.0, 0.0),
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let log = run_session(
+            &setup,
+            |_| 3,
+            |_, _, _| ExitDecision::Continue,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(log.end, SessionEnd::Completed);
+        assert_eq!(log.watch_time, log.video_duration);
+        assert_eq!(log.segments.len(), setup.video.n_segments());
+        assert!(log.completed());
+        // Fat pipe: at most the startup stall.
+        assert!(log.stall_count() <= 1);
+    }
+
+    #[test]
+    fn exit_stops_session_early() {
+        let cat = catalog();
+        let trace = BandwidthTrace::constant(50_000.0, 100, 1.0).unwrap();
+        let setup = SessionSetup {
+            user_id: 1,
+            video: cat.video_cyclic(0),
+            ladder: cat.ladder(),
+            trace: &trace,
+            config: PlayerConfig::deterministic(10.0, 0.0),
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let log = run_session(
+            &setup,
+            |_| 0,
+            |env, _, _| {
+                if env.segment_index() >= 3 {
+                    ExitDecision::Exit
+                } else {
+                    ExitDecision::Continue
+                }
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(log.end, SessionEnd::Exited);
+        assert_eq!(log.segments.len(), 3);
+        assert_eq!(log.exit_segment, Some(2));
+        assert!(log.watch_time < log.video_duration);
+    }
+
+    #[test]
+    fn slow_link_generates_stalls() {
+        let cat = catalog();
+        // 350 kbps ladder floor vs 200 kbps link: guaranteed stalls.
+        let trace = BandwidthTrace::constant(200.0, 1000, 1.0).unwrap();
+        let setup = SessionSetup {
+            user_id: 1,
+            video: cat.video_cyclic(1),
+            ladder: cat.ladder(),
+            trace: &trace,
+            config: PlayerConfig::deterministic(10.0, 0.0),
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let log = run_session(
+            &setup,
+            |_| 0,
+            |_, _, _| ExitDecision::Continue,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(log.total_stall() > 0.0);
+        assert!(log.stall_count() > 1);
+    }
+
+    #[test]
+    fn out_of_range_level_clamped() {
+        let cat = catalog();
+        let trace = BandwidthTrace::constant(50_000.0, 100, 1.0).unwrap();
+        let setup = SessionSetup {
+            user_id: 1,
+            video: cat.video_cyclic(2),
+            ladder: cat.ladder(),
+            trace: &trace,
+            config: PlayerConfig::deterministic(10.0, 0.0),
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let log = run_session(
+            &setup,
+            |_| 99,
+            |_, _, _| ExitDecision::Continue,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(log.segments.iter().all(|s| s.level == 3));
+    }
+
+    #[test]
+    fn abr_sees_player_state() {
+        let cat = catalog();
+        let trace = BandwidthTrace::constant(5000.0, 1000, 1.0).unwrap();
+        let setup = SessionSetup {
+            user_id: 1,
+            video: cat.video_cyclic(0),
+            ladder: cat.ladder(),
+            trace: &trace,
+            config: PlayerConfig::deterministic(10.0, 0.0),
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        // Simple buffer-based rule exercising env accessors.
+        let log = run_session(
+            &setup,
+            |env| {
+                if env.buffer() > 6.0 {
+                    3
+                } else if env.buffer() > 3.0 {
+                    2
+                } else {
+                    0
+                }
+            },
+            |_, _, _| ExitDecision::Continue,
+            &mut rng,
+        )
+        .unwrap();
+        // Rule starts conservative then climbs.
+        assert_eq!(log.segments[0].level, 0);
+        assert!(log.segments.iter().any(|s| s.level > 0));
+    }
+}

@@ -1,0 +1,340 @@
+//! Probability distributions: the standard normal special functions plus
+//! parameterised Normal / LogNormal models with sampling.
+//!
+//! The player simulator models past bandwidth as `N(mu, sigma^2)` (paper
+//! Eq. 3) and the pre-playback pruning rule tests `mu - 3*sigma > Q_max`
+//! (paper §4); both rely on this module.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, StatsError};
+
+/// Error function `erf(x)` via the Abramowitz & Stegun 7.1.26 rational
+/// approximation (max absolute error ~1.5e-7, plenty for CDF work here).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal probability density function.
+pub fn norm_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution function `Phi(x)`.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal quantile function (inverse CDF) via the
+/// Acklam/Wichura-style rational approximation refined with one Halley step.
+///
+/// Returns an error unless `0 < p < 1`.
+pub fn norm_quantile(p: f64) -> Result<f64> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(StatsError::InvalidParameter);
+    }
+    // Peter Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step against the accurate erf-based CDF.
+    let e = norm_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    Ok(x - u / (1.0 + x * u / 2.0))
+}
+
+/// A normal distribution `N(mu, sigma^2)` with sampling and CDF access.
+///
+/// `sigma` may be zero, in which case the distribution is a point mass
+/// (useful for deterministic bandwidth in tests).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalDist {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation (non-negative).
+    pub sigma: f64,
+}
+
+impl NormalDist {
+    /// Create a normal distribution; `sigma` must be non-negative and both
+    /// parameters finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(StatsError::InvalidParameter);
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Maximum-likelihood fit from samples (population sigma).
+    pub fn fit(samples: &[f64]) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        let mu = crate::describe::mean(samples)?;
+        let var = samples.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / samples.len() as f64;
+        Self::new(mu, var.sqrt())
+    }
+
+    /// Draw one sample using the Box-Muller transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            return self.mu;
+        }
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mu + self.sigma * z
+    }
+
+    /// Draw one sample truncated below at `lo` (simple rejection with a
+    /// clamp fallback after 64 tries; adequate for the mild truncations used
+    /// by the bandwidth model).
+    pub fn sample_truncated_low<R: Rng + ?Sized>(&self, rng: &mut R, lo: f64) -> f64 {
+        for _ in 0..64 {
+            let x = self.sample(rng);
+            if x >= lo {
+                return x;
+            }
+        }
+        lo
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sigma == 0.0 {
+            return if x >= self.mu { 1.0 } else { 0.0 };
+        }
+        norm_cdf((x - self.mu) / self.sigma)
+    }
+
+    /// The `mu - k*sigma` lower envelope used by LingXi's pre-playback
+    /// pruning test (paper §4 uses `k = 3`).
+    pub fn lower_envelope(&self, k: f64) -> f64 {
+        self.mu - k * self.sigma
+    }
+}
+
+/// A log-normal distribution, parameterised by the mean and standard
+/// deviation of the *underlying* normal. Used for heavy-tailed bandwidth
+/// regimes and the long-tail of day-to-day tolerance drift (paper Fig. 5a).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormalDist {
+    /// Mean of ln(X).
+    pub mu_log: f64,
+    /// Standard deviation of ln(X), non-negative.
+    pub sigma_log: f64,
+}
+
+impl LogNormalDist {
+    /// Create from log-space parameters.
+    pub fn new(mu_log: f64, sigma_log: f64) -> Result<Self> {
+        if !mu_log.is_finite() || !sigma_log.is_finite() || sigma_log < 0.0 {
+            return Err(StatsError::InvalidParameter);
+        }
+        Ok(Self { mu_log, sigma_log })
+    }
+
+    /// Create a log-normal whose *linear-space* mean and standard deviation
+    /// match the given values.
+    pub fn from_mean_std(mean: f64, std: f64) -> Result<Self> {
+        if mean <= 0.0 || std < 0.0 {
+            return Err(StatsError::InvalidParameter);
+        }
+        let cv2 = (std / mean).powi(2);
+        let sigma_log = (cv2 + 1.0).ln().sqrt();
+        let mu_log = mean.ln() - sigma_log * sigma_log / 2.0;
+        Self::new(mu_log, sigma_log)
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let n = NormalDist {
+            mu: self.mu_log,
+            sigma: self.sigma_log,
+        };
+        n.sample(rng).exp()
+    }
+
+    /// Linear-space mean `exp(mu + sigma^2/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu_log + self.sigma_log * self.sigma_log / 2.0).exp()
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        if self.sigma_log == 0.0 {
+            return if x.ln() >= self.mu_log { 1.0 } else { 0.0 };
+        }
+        norm_cdf((x.ln() - self.mu_log) / self.sigma_log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_symmetry_and_known_points() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((norm_cdf(1.959964) - 0.975).abs() < 1e-5);
+        for x in [-2.5, -1.0, -0.3, 0.7, 2.2] {
+            assert!((norm_cdf(x) + norm_cdf(-x) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = norm_quantile(p).unwrap();
+            assert!((norm_cdf(x) - p).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    fn quantile_rejects_bad_p() {
+        assert!(norm_quantile(0.0).is_err());
+        assert!(norm_quantile(1.0).is_err());
+        assert!(norm_quantile(-0.1).is_err());
+        assert!(norm_quantile(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn normal_sampling_moments() {
+        let d = NormalDist::new(5.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let m = crate::describe::mean(&xs).unwrap();
+        let s = crate::describe::std_dev(&xs).unwrap();
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+        assert!((s - 2.0).abs() < 0.05, "std {s}");
+    }
+
+    #[test]
+    fn normal_fit_recovers_parameters() {
+        let d = NormalDist::new(-1.5, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..40_000).map(|_| d.sample(&mut rng)).collect();
+        let f = NormalDist::fit(&xs).unwrap();
+        assert!((f.mu + 1.5).abs() < 0.02);
+        assert!((f.sigma - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn degenerate_normal_is_point_mass() {
+        let d = NormalDist::new(3.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(d.sample(&mut rng), 3.0);
+        assert_eq!(d.cdf(2.999), 0.0);
+        assert_eq!(d.cdf(3.0), 1.0);
+    }
+
+    #[test]
+    fn truncated_sampling_respects_bound() {
+        let d = NormalDist::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(d.sample_truncated_low(&mut rng, 0.5) >= 0.5);
+        }
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(NormalDist::new(f64::NAN, 1.0).is_err());
+        assert!(NormalDist::new(0.0, -1.0).is_err());
+        assert!(NormalDist::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn lognormal_from_mean_std_matches_mean() {
+        let d = LogNormalDist::from_mean_std(4000.0, 1500.0).unwrap();
+        assert!((d.mean() - 4000.0).abs() < 1e-6);
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..80_000).map(|_| d.sample(&mut rng)).collect();
+        let m = crate::describe::mean(&xs).unwrap();
+        assert!((m - 4000.0).abs() / 4000.0 < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_cdf_monotone_nonneg() {
+        let d = LogNormalDist::from_mean_std(10.0, 5.0).unwrap();
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.cdf(0.0), 0.0);
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let c = d.cdf(i as f64);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn lower_envelope_matches_paper_prune_rule() {
+        let d = NormalDist::new(10_000.0, 1000.0).unwrap();
+        assert!((d.lower_envelope(3.0) - 7000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,223 @@
+//! Empirical CDFs and histograms.
+//!
+//! Nearly half the paper's figures are CDFs (Fig. 2, 5a, 8a); the experiment
+//! harness evaluates them on fixed grids so the series can be printed and
+//! compared against the published curves.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, StatsError};
+
+/// An empirical cumulative distribution function built from a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample (NaNs are rejected).
+    pub fn new(xs: &[f64]) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        if xs.iter().any(|x| x.is_nan()) {
+            return Err(StatsError::InvalidParameter);
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ok(Self { sorted })
+    }
+
+    /// Number of underlying observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when built from zero observations (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x when we test
+        // `v <= x` (all "true" elements precede the partition point).
+        let cnt = self.sorted.partition_point(|&v| v <= x);
+        cnt as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical quantile for `q` in `[0,1]` (nearest-rank).
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&q) || q.is_nan() {
+            return Err(StatsError::InvalidParameter);
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        Ok(self.sorted[idx])
+    }
+
+    /// Evaluate the CDF on an evenly spaced grid of `n` points spanning
+    /// `[lo, hi]`, yielding `(x, F(x))` pairs — the series form every CDF
+    /// figure is printed in.
+    pub fn on_grid(&self, lo: f64, hi: f64, n: usize) -> Result<Vec<(f64, f64)>> {
+        if n < 2 || !(hi > lo) {
+            return Err(StatsError::InvalidParameter);
+        }
+        Ok((0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect())
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with values outside clamped into
+/// the edge bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create an empty histogram with `bins` equal-width bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 || !(hi > lo) {
+            return Err(StatsError::InvalidParameter);
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Insert one observation (NaN ignored).
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Insert many observations.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Raw counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations inserted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bin centre of bin `i`.
+    pub fn center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Normalised densities (fractions summing to 1, or all zeros if empty).
+    pub fn densities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_eval_step() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(9.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_nearest_rank() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        assert_eq!(e.quantile(0.0).unwrap(), 10.0);
+        assert_eq!(e.quantile(0.2).unwrap(), 10.0);
+        assert_eq!(e.quantile(0.21).unwrap(), 20.0);
+        assert_eq!(e.quantile(1.0).unwrap(), 50.0);
+        assert!(e.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn ecdf_rejects_bad_input() {
+        assert!(Ecdf::new(&[]).is_err());
+        assert!(Ecdf::new(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn ecdf_grid_monotone() {
+        let e = Ecdf::new(&[5.0, 1.0, 3.0, 3.0, 2.0]).unwrap();
+        let grid = e.on_grid(0.0, 6.0, 13).unwrap();
+        assert_eq!(grid.len(), 13);
+        for w in grid.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(grid.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn histogram_binning_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.extend(&[-1.0, 0.0, 1.9, 2.0, 9.99, 10.0, 55.0]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.counts()[0], 3); // -1, 0, 1.9
+        assert_eq!(h.counts()[1], 1); // 2.0
+        assert_eq!(h.counts()[4], 3); // 9.99, 10.0, 55.0
+        let d = h.densities();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((h.center(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty_densities() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert_eq!(h.densities(), vec![0.0; 4]);
+        assert!(Histogram::new(0.0, 0.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+}

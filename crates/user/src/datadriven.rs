@@ -1,0 +1,240 @@
+//! Data-driven per-user exit models — §5.2's "Data-Driven Modeling".
+//!
+//! The paper fits "an individual exit predictor" per active user from two
+//! weeks of engagement and uses it as the user model in simulation. Here
+//! the trainer consumes labelled per-segment examples (produced by
+//! observing any behaviour source, typically the generative
+//! [`QosExitModel`](crate::QosExitModel)) and fits a small network; the
+//! fitted model then *acts as the user* inside rollouts.
+
+use lingxi_nn::{softmax, Dense, Layer, Matrix, Relu, Sequential, TrainConfig, Trainer};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::qos_model::{ExitModel, SegmentView};
+use crate::{Result, UserError};
+
+/// Feature vector length for the per-user model.
+pub const FEATURES: usize = 6;
+
+/// Extract per-segment features given the running session state.
+fn features(
+    view: &SegmentView<'_>,
+    session_stall: f64,
+    session_events: usize,
+) -> [f64; FEATURES] {
+    let top = view.ladder.top_level().max(1) as f64;
+    [
+        (session_stall / 10.0).min(3.0),
+        (session_events as f64 / 5.0).min(3.0),
+        (view.record.stall_time / 5.0).min(3.0),
+        view.record.level as f64 / top,
+        (view.env.playback_time() / 60.0).min(3.0),
+        (view.record.switch_granularity().abs() as f64 / top).min(1.0),
+    ]
+}
+
+/// One labelled observation of a user's reaction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExitExample {
+    /// Input features (see [`features`]).
+    pub x: [f64; FEATURES],
+    /// Whether the user exited after this segment.
+    pub exited: bool,
+}
+
+/// A trained per-user exit model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataDrivenExit {
+    net: Sequential,
+    #[serde(skip)]
+    session_stall: f64,
+    #[serde(skip)]
+    session_events: usize,
+}
+
+impl DataDrivenExit {
+    /// Probability of exit for a raw feature vector.
+    pub fn prob_for(&mut self, x: &[f64; FEATURES]) -> f64 {
+        let m = Matrix::row_vector(x);
+        let logits = self.net.forward(&m).expect("fixed shapes");
+        softmax(&logits).get(0, 1)
+    }
+}
+
+impl ExitModel for DataDrivenExit {
+    fn exit_prob(&mut self, view: &SegmentView<'_>) -> f64 {
+        if view.record.stall_time > 0.0 {
+            self.session_stall += view.record.stall_time;
+            self.session_events += 1;
+        }
+        let x = features(view, self.session_stall, self.session_events);
+        self.prob_for(&x)
+    }
+
+    fn reset_session(&mut self) {
+        self.session_stall = 0.0;
+        self.session_events = 0;
+    }
+}
+
+/// Trainer for per-user models.
+#[derive(Debug, Clone, Copy)]
+pub struct DataDrivenTrainer {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Default for DataDrivenTrainer {
+    fn default() -> Self {
+        Self {
+            hidden: 16,
+            epochs: 40,
+            lr: 5e-3,
+        }
+    }
+}
+
+impl DataDrivenTrainer {
+    /// Fit a model from labelled examples (needs both classes present).
+    pub fn fit<R: Rng + ?Sized>(
+        &self,
+        examples: &[ExitExample],
+        rng: &mut R,
+    ) -> Result<DataDrivenExit> {
+        if examples.len() < 10 {
+            return Err(UserError::InsufficientData(format!(
+                "{} examples; need at least 10",
+                examples.len()
+            )));
+        }
+        let positives = examples.iter().filter(|e| e.exited).count();
+        if positives == 0 || positives == examples.len() {
+            return Err(UserError::InsufficientData(
+                "need both exit and continue examples".into(),
+            ));
+        }
+        let rows: Vec<Vec<f64>> = examples.iter().map(|e| e.x.to_vec()).collect();
+        let x = Matrix::from_rows(&rows).map_err(|e| UserError::InvalidConfig(e.to_string()))?;
+        let y: Vec<usize> = examples.iter().map(|e| usize::from(e.exited)).collect();
+        let mut net = Sequential::new()
+            .push(Layer::Dense(
+                Dense::new(FEATURES, self.hidden, rng)
+                    .map_err(|e| UserError::InvalidConfig(e.to_string()))?,
+            ))
+            .push(Layer::Relu(Relu::new()))
+            .push(Layer::Dense(
+                Dense::new_xavier(self.hidden, 2, rng)
+                    .map_err(|e| UserError::InvalidConfig(e.to_string()))?,
+            ));
+        let trainer = Trainer::new(
+            &x,
+            &y,
+            TrainConfig {
+                epochs: self.epochs,
+                batch_size: 32,
+                lr: self.lr,
+            },
+        )
+        .map_err(|e| UserError::InvalidConfig(e.to_string()))?;
+        trainer
+            .fit(&mut net, rng)
+            .map_err(|e| UserError::InvalidConfig(e.to_string()))?;
+        Ok(DataDrivenExit {
+            net,
+            session_stall: 0.0,
+            session_events: 0,
+        })
+    }
+}
+
+/// Collect a labelled example from a behaviour source (used when fitting a
+/// data-driven model to imitate a generative one).
+pub fn observe_example<M: ExitModel, R: Rng>(
+    source: &mut M,
+    view: &SegmentView<'_>,
+    session_stall_after: f64,
+    session_events_after: usize,
+    rng: &mut R,
+) -> ExitExample {
+    let exited = source.decide(view, rng);
+    ExitExample {
+        x: features(view, session_stall_after, session_events_after),
+        exited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn synth_examples(n: usize, seed: u64) -> Vec<ExitExample> {
+        // Ground truth: exit iff accumulated stall (feature 0, scaled by
+        // 10) exceeds 0.4 (i.e. 4 s), with slight noise.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let stall: f64 = rng.gen::<f64>() * 1.0;
+                let x = [
+                    stall,
+                    rng.gen::<f64>() * 0.6,
+                    rng.gen::<f64>() * 0.5,
+                    rng.gen::<f64>(),
+                    rng.gen::<f64>(),
+                    0.0,
+                ];
+                let exited = stall > 0.4;
+                ExitExample { x, exited }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_learns_threshold_behaviour() {
+        let examples = synth_examples(600, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = DataDrivenTrainer::default().fit(&examples, &mut rng).unwrap();
+        // Well below threshold → low probability; far above → high.
+        let low = model.prob_for(&[0.05, 0.1, 0.0, 0.5, 0.5, 0.0]);
+        let high = model.prob_for(&[0.9, 0.1, 0.0, 0.5, 0.5, 0.0]);
+        assert!(low < 0.35, "low {low}");
+        assert!(high > 0.65, "high {high}");
+    }
+
+    #[test]
+    fn fit_requires_both_classes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let all_continue: Vec<ExitExample> = (0..50)
+            .map(|_| ExitExample {
+                x: [0.0; FEATURES],
+                exited: false,
+            })
+            .collect();
+        assert!(DataDrivenTrainer::default()
+            .fit(&all_continue, &mut rng)
+            .is_err());
+        assert!(DataDrivenTrainer::default().fit(&[], &mut rng).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let examples = synth_examples(200, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = DataDrivenTrainer {
+            epochs: 5,
+            ..DataDrivenTrainer::default()
+        }
+        .fit(&examples, &mut rng)
+        .unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let mut restored: DataDrivenExit = serde_json::from_str(&json).unwrap();
+        let x = [0.5, 0.2, 0.1, 0.5, 0.5, 0.0];
+        assert!((model.prob_for(&x) - restored.prob_for(&x)).abs() < 1e-9);
+    }
+}

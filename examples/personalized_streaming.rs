@@ -1,0 +1,105 @@
+//! Personalization in action: three users with different stall tolerance
+//! share the same network, and LingXi learns a different β for each.
+//!
+//! Run with: `cargo run --release --example personalized_streaming`
+//!
+//! Also demonstrates the deployment state machinery of §4: each user's
+//! long-term state is persisted to a `StateStore` and restored, as the
+//! production client does across app restarts.
+
+use lingxi::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let catalog = Catalog::generate(
+        BitrateLadder::default_short_video(),
+        &CatalogConfig {
+            n_videos: 8,
+            ..CatalogConfig::default()
+        },
+        &mut rng,
+    )
+    .expect("catalog");
+    let net = UserNetProfile {
+        class: NetClass::Constrained,
+        mean_kbps: 1000.0,
+        cv: 0.6,
+    };
+    let users = [
+        (
+            "impatient",
+            StallProfile::new(SensitivityKind::Sensitive, 1.0, 0.7).expect("profile"),
+        ),
+        (
+            "threshold-4s",
+            StallProfile::new(SensitivityKind::ThresholdSensitive, 4.0, 0.6).expect("profile"),
+        ),
+        (
+            "patient",
+            StallProfile::new(SensitivityKind::Insensitive, 9.0, 0.15).expect("profile"),
+        ),
+    ];
+
+    let store_dir = std::env::temp_dir().join("lingxi_example_state");
+    let store = StateStore::open(&store_dir).expect("state store");
+
+    println!("{:<14} {:>9} {:>12} {:>14}", "user", "sessions", "final beta", "optimizations");
+    for (uid, (name, profile)) in users.iter().enumerate() {
+        // Restore long-term state if this user streamed before.
+        let restored = store.load(uid as u64).expect("load");
+        let mut controller = match restored {
+            Some(state) => LingXiController::with_state(
+                LingXiConfig::for_hyb(),
+                state.tracker,
+                state.params,
+            )
+            .expect("controller"),
+            None => LingXiController::new(LingXiConfig::for_hyb()).expect("controller"),
+        };
+        let mut predictor = ProfilePredictor {
+            profile: *profile,
+            base: 0.01,
+        };
+        let sessions = 14;
+        let mut user_rng = StdRng::seed_from_u64(500 + uid as u64);
+        for s in 0..sessions {
+            let video = catalog.video_cyclic(s);
+            let trace = net
+                .trace((video.duration() * 3.0) as usize, 1.0, &mut user_rng)
+                .expect("trace");
+            let mut abr = Hyb::default_rule();
+            let mut user = QosExitModel::calibrated(*profile);
+            let _ = run_managed_session(
+                uid as u64,
+                video,
+                catalog.ladder(),
+                &trace,
+                PlayerConfig::default(),
+                &mut abr,
+                &mut controller,
+                &mut predictor,
+                &mut user,
+                &mut user_rng,
+            )
+            .expect("session");
+        }
+        // Persist long-term state (the app-termination hook of §4).
+        let state = LongTermState {
+            user_id: uid as u64,
+            tracker: controller.tracker().clone(),
+            params: controller.params(),
+            optimizations: controller.optimizations(),
+        };
+        store.save(&state).expect("save");
+        println!(
+            "{:<14} {:>9} {:>12.3} {:>14}",
+            name,
+            sessions,
+            controller.params().beta,
+            controller.optimizations()
+        );
+    }
+    println!("\nlong-term state persisted under {store_dir:?} (restored on next run)");
+}

@@ -1,0 +1,102 @@
+//! # LingXi — user-level personalized QoE optimization for ABR streaming
+//!
+//! A full reproduction of *"Towards User-level QoE: Large-scale Practice in
+//! Personalized Optimization of Adaptive Video Streaming"* (SIGCOMM 2025).
+//!
+//! LingXi sits on top of any adaptive-bitrate (ABR) algorithm and re-tunes
+//! its optimization objective per user, online: it watches how each user
+//! reacts to stalls, and when enough evidence accumulates it searches for
+//! the QoE parameters minimizing that user's predicted exit rate via
+//! online Bayesian optimization over Monte-Carlo virtual playback.
+//!
+//! This facade re-exports all workspace crates under stable names:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`stats`] | distributions, ECDFs, t-tests, DiD, correlations |
+//! | [`nn`] | minimal NN library (dense/conv1d/softmax/Adam) |
+//! | [`media`] | bitrate ladders, quality maps, VBR sizes, catalogs |
+//! | [`net`] | bandwidth traces, generators, estimators, RTT |
+//! | [`player`] | the Eq. 3 playback simulator and session logs |
+//! | [`abr`] | ThroughputRule, BBA, BOLA, HYB, RobustMPC, Pensieve |
+//! | [`user`] | exit models, stall-sensitivity profiles, populations |
+//! | [`exit`] | the Fig. 7 exit-rate predictor and hybrid model |
+//! | [`bayes`] | GP regression, acquisition functions, online BO |
+//! | [`core`] | the LingXi controller (Algorithms 1 & 2) |
+//! | [`abtest`] | AA/AB difference-in-differences experimentation |
+//! | [`exp`] | per-figure experiment harness |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lingxi::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! // A video catalog and a weak network.
+//! let catalog = Catalog::generate(
+//!     BitrateLadder::default_short_video(),
+//!     &CatalogConfig { n_videos: 3, ..CatalogConfig::default() },
+//!     &mut rng,
+//! ).unwrap();
+//! let trace = BandwidthTrace::constant(1200.0, 600, 1.0).unwrap();
+//!
+//! // An ABR under LingXi management, a stall-sensitive user.
+//! let mut abr = Hyb::default_rule();
+//! let mut controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+//! let profile = StallProfile::new(SensitivityKind::Sensitive, 2.0, 0.5).unwrap();
+//! let mut predictor = ProfilePredictor { profile, base: 0.01 };
+//! let mut user = QosExitModel::calibrated(profile);
+//!
+//! let outcome = run_managed_session(
+//!     1, catalog.video_cyclic(0), catalog.ladder(), &trace,
+//!     PlayerConfig::default(), &mut abr, &mut controller,
+//!     &mut predictor, &mut user, &mut rng,
+//! ).unwrap();
+//! assert!(!outcome.log.segments.is_empty());
+//! ```
+
+pub use lingxi_abr as abr;
+pub use lingxi_abtest as abtest;
+pub use lingxi_bayes as bayes;
+pub use lingxi_core as core;
+pub use lingxi_exit as exit;
+pub use lingxi_exp as exp;
+pub use lingxi_media as media;
+pub use lingxi_net as net;
+pub use lingxi_nn as nn;
+pub use lingxi_player as player;
+pub use lingxi_stats as stats;
+pub use lingxi_user as user;
+
+/// The commonly used types, one import away.
+pub mod prelude {
+    pub use lingxi_abr::{
+        Abr, AbrContext, Bba, Bola, Hyb, Pensieve, PensieveConfig, QoeLin, QoeParams, RobustMpc,
+        ThroughputRule,
+    };
+    pub use lingxi_abtest::{AbSchedule, AbTest, ArmRunner};
+    pub use lingxi_bayes::{ObOptimizer, ObserverConfig};
+    pub use lingxi_core::{
+        evaluate_parameters, run_managed_session, LingXiConfig, LingXiController, LongTermState,
+        McConfig, ProfilePredictor, RolloutContext, RolloutPredictor, SearchStrategy, StateStore,
+    };
+    pub use lingxi_exit::{
+        DatasetFlavor, ExitDataset, ExitPredictor, HybridPredictor, PredictorConfig, StateMatrix,
+        UserStateTracker,
+    };
+    pub use lingxi_media::{
+        BitrateLadder, Catalog, CatalogConfig, QualityMap, QualityTier, SegmentSizes, VbrModel,
+        Video,
+    };
+    pub use lingxi_net::{
+        BandwidthEstimator, BandwidthTrace, NetClass, ProductionMixture, RttModel, UserNetProfile,
+    };
+    pub use lingxi_player::{
+        run_session, BmaxPolicy, ExitDecision, PlayerConfig, PlayerEnv, SessionLog, SessionSetup,
+    };
+    pub use lingxi_user::{
+        ExitModel, PopulationConfig, QosExitModel, RuleBasedExit, SegmentView, SensitivityKind,
+        StallProfile, UserPopulation, UserRecord,
+    };
+}

@@ -1,0 +1,286 @@
+//! Cross-crate integration tests: the full LingXi pipeline end to end.
+
+use lingxi::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_catalog(seed: u64) -> Catalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Catalog::generate(
+        BitrateLadder::default_short_video(),
+        &CatalogConfig {
+            n_videos: 6,
+            mean_duration: 40.0,
+            vbr: VbrModel::default_vbr(),
+            ..CatalogConfig::default()
+        },
+        &mut rng,
+    )
+    .expect("catalog")
+}
+
+#[test]
+fn full_managed_pipeline_reduces_stalls_for_sensitive_user() {
+    let catalog = small_catalog(1);
+    let profile = StallProfile::new(SensitivityKind::Sensitive, 1.5, 0.6).unwrap();
+    let net = UserNetProfile {
+        class: NetClass::Constrained,
+        mean_kbps: 1100.0,
+        cv: 0.6,
+    };
+
+    let run_arm = |managed: bool, seed: u64| -> (f64, usize) {
+        let mut controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+        let mut predictor = ProfilePredictor { profile, base: 0.01 };
+        let mut total_stall = 0.0;
+        let mut completions = 0usize;
+        for s in 0..16 {
+            let video = catalog.video_cyclic(s);
+            let mut trace_rng = StdRng::seed_from_u64(9000 + s as u64);
+            let trace = net
+                .trace((video.duration() * 3.0) as usize, 1.0, &mut trace_rng)
+                .unwrap();
+            let mut abr = Hyb::default_rule();
+            let mut user = QosExitModel::calibrated(profile);
+            let mut rng = StdRng::seed_from_u64(seed + s as u64);
+            if managed {
+                let out = run_managed_session(
+                    1,
+                    video,
+                    catalog.ladder(),
+                    &trace,
+                    PlayerConfig::default(),
+                    &mut abr,
+                    &mut controller,
+                    &mut predictor,
+                    &mut user,
+                    &mut rng,
+                )
+                .unwrap();
+                total_stall += out.log.total_stall();
+                completions += usize::from(out.log.completed());
+            } else {
+                let setup = SessionSetup {
+                    user_id: 1,
+                    video,
+                    ladder: catalog.ladder(),
+                    trace: &trace,
+                    config: PlayerConfig::default(),
+                };
+                let ladder = catalog.ladder();
+                let sizes = &video.sizes;
+                let log = run_session(
+                    &setup,
+                    |env| {
+                        let ctx = AbrContext {
+                            ladder,
+                            sizes,
+                            next_segment: env.segment_index(),
+                            segment_duration: sizes.segment_duration(),
+                        };
+                        abr.select(env, &ctx)
+                    },
+                    |env, record, r| {
+                        let view = SegmentView {
+                            env,
+                            record,
+                            ladder,
+                        };
+                        if user.decide(&view, r) {
+                            ExitDecision::Exit
+                        } else {
+                            ExitDecision::Continue
+                        }
+                    },
+                    &mut rng,
+                )
+                .unwrap();
+                total_stall += log.total_stall();
+                completions += usize::from(log.completed());
+            }
+        }
+        (total_stall, completions)
+    };
+
+    let (stall_managed, _) = run_arm(true, 100);
+    let (stall_static, _) = run_arm(false, 100);
+    assert!(
+        stall_managed < stall_static * 1.1,
+        "managed stall {stall_managed:.1} should not exceed static {stall_static:.1}"
+    );
+}
+
+#[test]
+fn long_term_state_roundtrips_through_store() {
+    let catalog = small_catalog(2);
+    let profile = StallProfile::new(SensitivityKind::Sensitive, 2.0, 0.5).unwrap();
+    let net = UserNetProfile {
+        class: NetClass::Constrained,
+        mean_kbps: 900.0,
+        cv: 0.5,
+    };
+    let mut controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+    let mut predictor = ProfilePredictor { profile, base: 0.01 };
+    let mut rng = StdRng::seed_from_u64(7);
+    for s in 0..6 {
+        let video = catalog.video_cyclic(s);
+        let trace = net
+            .trace((video.duration() * 3.0) as usize, 1.0, &mut rng)
+            .unwrap();
+        let mut abr = Hyb::default_rule();
+        let mut user = QosExitModel::calibrated(profile);
+        run_managed_session(
+            42,
+            video,
+            catalog.ladder(),
+            &trace,
+            PlayerConfig::default(),
+            &mut abr,
+            &mut controller,
+            &mut predictor,
+            &mut user,
+            &mut rng,
+        )
+        .unwrap();
+    }
+    let dir = std::env::temp_dir().join(format!("lingxi_it_state_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = StateStore::open(&dir).unwrap();
+    let state = LongTermState {
+        user_id: 42,
+        tracker: controller.tracker().clone(),
+        params: controller.params(),
+        optimizations: controller.optimizations(),
+    };
+    store.save(&state).unwrap();
+    let restored = store.load(42).unwrap().expect("state saved");
+    // JSON float text round-trips can drift by one ulp; compare the fields
+    // that matter semantically.
+    assert_eq!(restored.user_id, state.user_id);
+    assert_eq!(restored.optimizations, state.optimizations);
+    assert_eq!(restored.params, state.params);
+    assert_eq!(
+        restored.tracker.recent_stall_count(),
+        state.tracker.recent_stall_count()
+    );
+    for (a, b) in restored
+        .tracker
+        .matrix()
+        .flat()
+        .iter()
+        .zip(state.tracker.matrix().flat())
+    {
+        assert!((a - b).abs() < 1e-9);
+    }
+    // A controller restored from the state carries the tuned parameters.
+    let c2 = LingXiController::with_state(
+        LingXiConfig::for_hyb(),
+        restored.tracker,
+        restored.params,
+    )
+    .unwrap();
+    assert_eq!(c2.params(), controller.params());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn predictor_training_pipeline_end_to_end() {
+    // media → net → player → user → exit: build a labelled dataset from
+    // simulated playback and train the Fig. 7 predictor on it.
+    use lingxi::exp::datasets::harvest_entries;
+    use lingxi::exp::world::{stall_heavy_mixture, World, WorldConfig};
+
+    let world = World::build(
+        &WorldConfig {
+            n_users: 60,
+            n_videos: 15,
+            mean_sessions_per_day: 8.0,
+            mixture: stall_heavy_mixture(),
+        },
+        3,
+    )
+    .unwrap();
+    let harvested = harvest_entries(&world, 3, 2).unwrap();
+    let raw: Vec<_> = harvested.into_iter().map(|h| h.entry).collect();
+    let ds = ExitDataset::new(&raw, DatasetFlavor::Stall).unwrap();
+    assert!(ds.len() > 100, "stall dataset too small: {}", ds.len());
+    let mut rng = StdRng::seed_from_u64(4);
+    let (train, test) = ds.split(&mut rng).unwrap();
+    let balanced = ds.balance(&train, &mut rng).unwrap();
+    let mut predictor = ExitPredictor::new(PredictorConfig::small(), &mut rng).unwrap();
+    predictor.train(&ds, &balanced, &mut rng).unwrap();
+    let report = predictor.evaluate(&ds, &test);
+    assert!(report.accuracy > 0.5, "accuracy {}", report.accuracy);
+    assert!(report.recall > 0.4, "recall {}", report.recall);
+}
+
+#[test]
+fn ab_engine_runs_lingxi_vs_static_end_to_end() {
+    use lingxi::exp::world::{LingXiHybArm, StaticHybArm, World, WorldConfig};
+    use std::sync::Arc;
+
+    let world = Arc::new(
+        World::build(&WorldConfig::default().scaled(0.04), 5).unwrap(),
+    );
+    let users: Vec<UserRecord> = world.population.users().to_vec();
+    let mut test = AbTest::new(6);
+    test.common_random_numbers = true;
+    let wc = world.clone();
+    let wt = world.clone();
+    let report = test
+        .run(
+            &users,
+            &users,
+            move |_| {
+                Box::new(StaticHybArm {
+                    params: QoeParams::default(),
+                    world: wc.clone(),
+                }) as Box<dyn ArmRunner>
+            },
+            move |u| Box::new(LingXiHybArm::new(wt.clone(), u)) as Box<dyn ArmRunner>,
+        )
+        .unwrap();
+    // CRN + identical AA behaviour ⇒ zero pre-intervention differences.
+    for d in 0..5 {
+        assert!(
+            report.watch_time.daily_rel_diff_pct[d].abs() < 1e-9,
+            "AA day {d} diff {}",
+            report.watch_time.daily_rel_diff_pct[d]
+        );
+    }
+    // Stall effect direction: LingXi must not increase stalls.
+    assert!(report.stall_time.did.effect < 10.0);
+}
+
+#[test]
+fn pensieve_policy_tunable_at_inference() {
+    // The §5.2 augmentation: changing QoeParams changes Pensieve's chosen
+    // level distribution without retraining.
+    let catalog = small_catalog(8);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut policy = Pensieve::new(PensieveConfig::default(), &mut rng).unwrap();
+    let trainer = lingxi::abr::PensieveTrainer {
+        episodes_per_epoch: 8,
+        epochs: 6,
+        episode_segments: 20,
+        ..Default::default()
+    };
+    trainer.train(&mut policy, catalog.ladder(), &mut rng).unwrap();
+    // Same state, two parameterisations: outputs must be valid levels and
+    // the probability vectors must differ.
+    let env = PlayerEnv::new(PlayerConfig::default()).unwrap();
+    let video = catalog.video_cyclic(0);
+    let ctx = AbrContext {
+        ladder: catalog.ladder(),
+        sizes: &video.sizes,
+        next_segment: 0,
+        segment_duration: 2.0,
+    };
+    policy.set_params(QoeParams::stall_averse());
+    let p1 = policy.action_probs(&env, &ctx);
+    policy.set_params(QoeParams::quality_seeking());
+    let p2 = policy.action_probs(&env, &ctx);
+    assert_eq!(p1.len(), 4);
+    let diff: f64 = p1.iter().zip(&p2).map(|(a, b)| (a - b).abs()).sum();
+    assert!(diff > 1e-9, "params must influence the policy");
+}
