@@ -50,10 +50,7 @@ pub trait Abr: Send {
 /// samples is `env.segment_index() − estimator.count()`, of which at most
 /// the window length is still visible. (Comparing against the window length
 /// alone would stop syncing forever once the window fills.)
-pub fn sync_estimator<E: lingxi_net::BandwidthEstimator>(
-    estimator: &mut E,
-    env: &PlayerEnv,
-) {
+pub fn sync_estimator<E: lingxi_net::BandwidthEstimator>(estimator: &mut E, env: &PlayerEnv) {
     let total = env.segment_index();
     let seen = estimator.count();
     let new = total.saturating_sub(seen);

@@ -82,8 +82,7 @@ mod tests {
     fn ctx_fixture() -> (BitrateLadder, SegmentSizes) {
         let ladder = BitrateLadder::default_short_video();
         let mut rng = StdRng::seed_from_u64(1);
-        let sizes =
-            SegmentSizes::generate(&ladder, 10, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
+        let sizes = SegmentSizes::generate(&ladder, 10, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
         (ladder, sizes)
     }
 

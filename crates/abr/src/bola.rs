@@ -58,8 +58,7 @@ impl Abr for Bola {
         for level in 0..=ctx.ladder.top_level() {
             let v_m = Self::utility(ctx, level);
             // Relative size: proportional to bitrate for a fixed duration.
-            let s_m = ctx.ladder.bitrate(level).unwrap_or(1.0)
-                / ctx.ladder.min_bitrate();
+            let s_m = ctx.ladder.bitrate(level).unwrap_or(1.0) / ctx.ladder.min_bitrate();
             let numerator = self.v * (v_m + self.gamma_p) - buffer_segments;
             let score = numerator / s_m;
             if numerator > 0.0 {
@@ -105,8 +104,7 @@ mod tests {
     fn fixture() -> (BitrateLadder, SegmentSizes) {
         let ladder = BitrateLadder::default_short_video();
         let mut rng = StdRng::seed_from_u64(1);
-        let sizes =
-            SegmentSizes::generate(&ladder, 10, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
+        let sizes = SegmentSizes::generate(&ladder, 10, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
         (ladder, sizes)
     }
 

@@ -54,7 +54,9 @@ impl Abr for Hyb {
             Some(e) => e,
         };
         let buffer = env.buffer().max(ctx.segment_duration * 0.25); // grace at startup
-        let k = ctx.next_segment.min(ctx.sizes.n_segments().saturating_sub(1));
+        let k = ctx
+            .next_segment
+            .min(ctx.sizes.n_segments().saturating_sub(1));
         // Highest level whose expected download time fits within β·B.
         let mut choice = 0;
         for level in 0..=ctx.ladder.top_level() {
@@ -71,10 +73,7 @@ impl Abr for Hyb {
         // margin; otherwise hold. Downward moves are never delayed.
         if let Some(last) = env.last_level() {
             if choice > last {
-                let size_up = ctx
-                    .sizes
-                    .size_kbits(k, choice)
-                    .unwrap_or(f64::INFINITY);
+                let size_up = ctx.sizes.size_kbits(k, choice).unwrap_or(f64::INFINITY);
                 if size_up / est >= 0.8 * self.params.beta * buffer {
                     choice = last; // hold: not enough margin to climb yet
                 }
@@ -111,8 +110,7 @@ mod tests {
     fn fixture() -> (BitrateLadder, SegmentSizes) {
         let ladder = BitrateLadder::default_short_video();
         let mut rng = StdRng::seed_from_u64(1);
-        let sizes =
-            SegmentSizes::generate(&ladder, 20, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
+        let sizes = SegmentSizes::generate(&ladder, 20, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
         (ladder, sizes)
     }
 
@@ -120,7 +118,8 @@ mod tests {
         let mut env = PlayerEnv::new(PlayerConfig::deterministic(20.0, 0.0)).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         while env.buffer() < buffer_target {
-            env.step(bandwidth * 0.01, 0, bandwidth, 2.0, &mut rng).unwrap();
+            env.step(bandwidth * 0.01, 0, bandwidth, 2.0, &mut rng)
+                .unwrap();
         }
         env
     }

@@ -68,7 +68,10 @@ impl RobustMpc {
         let mut score = 0.0;
         for (i, &level) in plan.iter().enumerate() {
             let k = start_segment + i;
-            let size = match ctx.sizes.size_kbits(k.min(ctx.sizes.n_segments() - 1), level) {
+            let size = match ctx
+                .sizes
+                .size_kbits(k.min(ctx.sizes.n_segments() - 1), level)
+            {
                 Ok(s) => s,
                 Err(_) => break,
             };
@@ -148,8 +151,7 @@ mod tests {
     fn fixture() -> (BitrateLadder, SegmentSizes) {
         let ladder = BitrateLadder::default_short_video();
         let mut rng = StdRng::seed_from_u64(1);
-        let sizes =
-            SegmentSizes::generate(&ladder, 30, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
+        let sizes = SegmentSizes::generate(&ladder, 30, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
         (ladder, sizes)
     }
 
@@ -157,7 +159,8 @@ mod tests {
         let mut env = PlayerEnv::new(PlayerConfig::deterministic(20.0, 0.0)).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..steps {
-            env.step(bandwidth * 0.01, 0, bandwidth, 2.0, &mut rng).unwrap();
+            env.step(bandwidth * 0.01, 0, bandwidth, 2.0, &mut rng)
+                .unwrap();
             if env.buffer() >= buffer_target {
                 break;
             }
@@ -273,8 +276,7 @@ mod tests {
     fn horizon_respects_video_end() {
         let ladder = BitrateLadder::default_short_video();
         let mut rng = StdRng::seed_from_u64(3);
-        let sizes =
-            SegmentSizes::generate(&ladder, 3, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
+        let sizes = SegmentSizes::generate(&ladder, 3, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
         let mut abr = RobustMpc::default_rule();
         let env = env_with(6.0, 5000.0, 10);
         let ctx = AbrContext {

@@ -68,7 +68,9 @@ impl QoeParams {
     /// Clamp every component into its range.
     pub fn clamped(&self) -> Self {
         Self {
-            stall_weight: self.stall_weight.clamp(Self::STALL_RANGE.0, Self::STALL_RANGE.1),
+            stall_weight: self
+                .stall_weight
+                .clamp(Self::STALL_RANGE.0, Self::STALL_RANGE.1),
             switch_weight: self
                 .switch_weight
                 .clamp(Self::SWITCH_RANGE.0, Self::SWITCH_RANGE.1),

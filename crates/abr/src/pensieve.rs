@@ -13,7 +13,8 @@
 use lingxi_media::{BitrateLadder, QualityMap, SegmentSizes, VbrModel};
 use lingxi_nn::{softmax, Dense, Layer, Matrix, Relu, Sequential};
 use lingxi_player::{PlayerConfig, PlayerEnv};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::abr::{Abr, AbrContext};
@@ -76,9 +77,14 @@ fn state_vector(
         };
         s.push((v / TPUT_SCALE).min(5.0));
     }
-    let k = ctx.next_segment.min(ctx.sizes.n_segments().saturating_sub(1));
+    let k = ctx
+        .next_segment
+        .min(ctx.sizes.n_segments().saturating_sub(1));
     for level in 0..config.n_levels {
-        let size = ctx.sizes.size_kbits(k, level.min(ctx.ladder.top_level())).unwrap_or(0.0);
+        let size = ctx
+            .sizes
+            .size_kbits(k, level.min(ctx.ladder.top_level()))
+            .unwrap_or(0.0);
         s.push((size / SIZE_SCALE).min(5.0));
     }
     let remaining = ctx.sizes.n_segments().saturating_sub(ctx.next_segment);
@@ -201,6 +207,10 @@ pub struct PensieveTrainer {
     pub episode_segments: usize,
     /// Randomise `QoeParams` each episode (params-as-state training).
     pub randomize_params: bool,
+    /// Entropy-bonus weight (Mao et al. §4 keep an entropy term in the
+    /// policy gradient to sustain exploration; without it the softmax
+    /// collapses to a deterministic — often poor — policy early).
+    pub entropy_beta: f64,
 }
 
 impl Default for PensieveTrainer {
@@ -212,15 +222,32 @@ impl Default for PensieveTrainer {
             epochs: 12,
             episode_segments: 30,
             randomize_params: true,
+            entropy_beta: 0.02,
         }
     }
+}
+
+/// One sampled training/evaluation world: a bandwidth regime, objective
+/// parameters, and segment sizes, plus a seed for the per-step draws.
+struct Episode {
+    mean_bw: f64,
+    cv: f64,
+    params: QoeParams,
+    sizes: SegmentSizes,
+    step_seed: u64,
 }
 
 impl PensieveTrainer {
     /// Train `policy` in place against synthetic bandwidth draws on
     /// `ladder`. Each episode: sample a mean bandwidth regime, roll out the
-    /// stochastic policy, collect `QoE_lin` rewards, apply REINFORCE with a
-    /// mean baseline.
+    /// stochastic policy, collect `QoE_lin` rewards, apply REINFORCE (with
+    /// a mean baseline, advantage clipping, and an entropy bonus) averaged
+    /// over the epoch's episodes.
+    ///
+    /// The returned per-epoch rewards are **not** the noisy training
+    /// returns: after every epoch the greedy policy is evaluated on a
+    /// fixed suite of episodes drawn once up front, so the reward curve
+    /// tracks policy quality and is comparable across epochs.
     pub fn train<R: Rng + ?Sized>(
         &self,
         policy: &mut Pensieve,
@@ -229,123 +256,223 @@ impl PensieveTrainer {
     ) -> Result<TrainStats> {
         let mut opt = lingxi_nn::Adam::new(policy.config.lr);
         let mut epoch_rewards = Vec::with_capacity(self.epochs);
-        let cfg = policy.config;
+        let eval_suite: Vec<Episode> = (0..self.episodes_per_epoch.max(1))
+            .map(|_| self.sample_episode(ladder, rng))
+            .collect::<Result<_>>()?;
         for _ in 0..self.epochs {
-            let mut epoch_total = 0.0;
+            // One optimizer step per epoch, averaging episode gradients:
+            // batch policy gradient. Per-episode steps let one noisy
+            // episode (e.g. a hopeless low-bandwidth regime where every
+            // action stalls) drag the policy sideways.
+            policy.net.zero_grad();
             for _ in 0..self.episodes_per_epoch {
-                // Sample an episode regime.
-                let mean_bw = (500.0f64.ln()
-                    + rng.gen::<f64>() * (20_000.0f64.ln() - 500.0f64.ln()))
-                .exp();
-                let cv = 0.2 + rng.gen::<f64>() * 0.4;
-                let params = if self.randomize_params {
-                    QoeParams::from_unit([rng.gen(), rng.gen(), rng.gen()])
-                } else {
-                    QoeParams::default()
-                };
-                policy.set_params(params);
-                let qoe = QoeLin::from_params(&params, self.quality);
-                let sizes = SegmentSizes::generate(
-                    ladder,
-                    self.episode_segments,
-                    2.0,
-                    &VbrModel::cbr(),
-                    rng,
-                )
-                .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
-                let mut env = PlayerEnv::new(self.player)
-                    .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
-
-                let mut states: Vec<Vec<f64>> = Vec::new();
-                let mut actions: Vec<usize> = Vec::new();
-                let mut rewards: Vec<f64> = Vec::new();
-                for k in 0..self.episode_segments {
-                    let ctx = AbrContext {
-                        ladder,
-                        sizes: &sizes,
-                        next_segment: k,
-                        segment_duration: 2.0,
-                    };
-                    let s = state_vector(&env, &ctx, &params, &cfg);
-                    let x = Matrix::row_vector(&s);
-                    let logits = policy
-                        .net
-                        .forward(&x)
-                        .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
-                    let probs = softmax(&logits);
-                    // Sample an action.
-                    let u: f64 = rng.gen();
-                    let mut cum = 0.0;
-                    let mut action = cfg.n_levels - 1;
-                    for (i, &p) in probs.row(0).iter().enumerate() {
-                        cum += p;
-                        if u < cum {
-                            action = i;
-                            break;
-                        }
-                    }
-                    let level = action.min(ladder.top_level());
-                    let prev = env.last_level();
-                    let size = sizes
-                        .size_kbits(k, level)
-                        .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
-                    // Per-step bandwidth draw around the episode regime.
-                    let bw = (mean_bw * (1.0 + cv * gauss(rng))).max(50.0);
-                    let outcome = env
-                        .step(size, level, bw, 2.0, rng)
-                        .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
-                    let r = qoe.segment_score(ladder, level, prev, outcome.stall_time);
-                    states.push(s);
-                    actions.push(action);
-                    rewards.push(r);
-                }
-
-                // Discounted returns with mean baseline.
-                let mut returns = vec![0.0; rewards.len()];
-                let mut acc = 0.0;
-                for i in (0..rewards.len()).rev() {
-                    acc = rewards[i] + cfg.gamma * acc;
-                    returns[i] = acc;
-                }
-                let baseline = returns.iter().sum::<f64>() / returns.len() as f64;
-                let std = (returns
-                    .iter()
-                    .map(|r| (r - baseline) * (r - baseline))
-                    .sum::<f64>()
-                    / returns.len() as f64)
-                    .sqrt()
-                    .max(1e-6);
-
-                // Policy-gradient step: grad logits = (probs − onehot) · A.
-                let batch = Matrix::from_rows(&states)
-                    .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
-                policy.net.zero_grad();
-                let logits = policy
-                    .net
-                    .forward(&batch)
-                    .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
-                let probs = softmax(&logits);
-                let mut grad = probs.clone();
-                let n = states.len() as f64;
-                for (r, (&a, &ret)) in actions.iter().zip(&returns).enumerate() {
-                    let adv = (ret - baseline) / std;
-                    for c in 0..cfg.n_levels {
-                        let p = probs.get(r, c);
-                        let onehot = if c == a { 1.0 } else { 0.0 };
-                        grad.set(r, c, (p - onehot) * adv / n);
-                    }
-                }
-                policy
-                    .net
-                    .backward(&grad)
-                    .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
-                policy.net.step(&mut opt);
-
-                epoch_total += rewards.iter().sum::<f64>();
+                let ep = self.sample_episode(ladder, rng)?;
+                self.accumulate_episode_gradient(policy, ladder, &ep, rng)?;
             }
-            epoch_rewards.push(epoch_total / self.episodes_per_epoch as f64);
+            policy.net.step(&mut opt);
+            let eval_total: f64 = eval_suite
+                .iter()
+                .map(|ep| self.greedy_reward(policy, ladder, ep))
+                .sum::<Result<f64>>()?;
+            epoch_rewards.push(eval_total / eval_suite.len() as f64);
         }
         Ok(TrainStats { epoch_rewards })
+    }
+
+    /// Draw one episode: log-uniform mean bandwidth, uniform CV, random
+    /// objective parameters (when `randomize_params`), CBR segment sizes.
+    fn sample_episode<R: Rng + ?Sized>(
+        &self,
+        ladder: &BitrateLadder,
+        rng: &mut R,
+    ) -> Result<Episode> {
+        let mean_bw = (500.0f64.ln() + rng.gen::<f64>() * (20_000.0f64.ln() - 500.0f64.ln())).exp();
+        let cv = 0.2 + rng.gen::<f64>() * 0.4;
+        let params = if self.randomize_params {
+            QoeParams::from_unit([rng.gen(), rng.gen(), rng.gen()])
+        } else {
+            QoeParams::default()
+        };
+        let sizes =
+            SegmentSizes::generate(ladder, self.episode_segments, 2.0, &VbrModel::cbr(), rng)
+                .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
+        Ok(Episode {
+            mean_bw,
+            cv,
+            params,
+            sizes,
+            step_seed: rng.gen(),
+        })
+    }
+
+    /// Roll out the stochastic policy on `ep` and accumulate the REINFORCE
+    /// gradient (returns with mean baseline, clipped normalized advantage,
+    /// entropy bonus) into the network, scaled for a per-epoch step.
+    fn accumulate_episode_gradient<R: Rng + ?Sized>(
+        &self,
+        policy: &mut Pensieve,
+        ladder: &BitrateLadder,
+        ep: &Episode,
+        rng: &mut R,
+    ) -> Result<()> {
+        let cfg = policy.config;
+        policy.set_params(ep.params);
+        let qoe = QoeLin::from_params(&ep.params, self.quality);
+        let mut env =
+            PlayerEnv::new(self.player).map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
+        let mut step_rng = StdRng::seed_from_u64(ep.step_seed);
+
+        let mut states: Vec<Vec<f64>> = Vec::new();
+        let mut actions: Vec<usize> = Vec::new();
+        let mut rewards: Vec<f64> = Vec::new();
+        for k in 0..self.episode_segments {
+            let ctx = AbrContext {
+                ladder,
+                sizes: &ep.sizes,
+                next_segment: k,
+                segment_duration: 2.0,
+            };
+            let s = state_vector(&env, &ctx, &ep.params, &cfg);
+            let x = Matrix::row_vector(&s);
+            let logits = policy
+                .net
+                .forward(&x)
+                .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
+            let probs = softmax(&logits);
+            // Sample an action by inverse CDF from the caller's stream.
+            let u: f64 = rng.gen();
+            let mut cum = 0.0;
+            let mut action = cfg.n_levels - 1;
+            for (i, &p) in probs.row(0).iter().enumerate() {
+                cum += p;
+                if u < cum {
+                    action = i;
+                    break;
+                }
+            }
+            let r = Self::step_env(
+                &mut env,
+                ep,
+                ladder,
+                &qoe,
+                k,
+                action.min(ladder.top_level()),
+                &mut step_rng,
+            )?;
+            states.push(s);
+            actions.push(action);
+            rewards.push(r);
+        }
+
+        // Discounted returns with mean baseline.
+        let mut returns = vec![0.0; rewards.len()];
+        let mut acc = 0.0;
+        for i in (0..rewards.len()).rev() {
+            acc = rewards[i] + cfg.gamma * acc;
+            returns[i] = acc;
+        }
+        let baseline = returns.iter().sum::<f64>() / returns.len() as f64;
+        let std = (returns
+            .iter()
+            .map(|r| (r - baseline) * (r - baseline))
+            .sum::<f64>()
+            / returns.len() as f64)
+            .sqrt()
+            .max(1e-6);
+
+        // Policy-gradient contribution: grad logits = (probs − onehot) · A,
+        // minus the entropy-bonus gradient β·∂H/∂z with
+        // ∂H/∂z_c = −p_c (ln p_c + H).
+        let batch =
+            Matrix::from_rows(&states).map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
+        let logits = policy
+            .net
+            .forward(&batch)
+            .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
+        let probs = softmax(&logits);
+        let mut grad = probs.clone();
+        let n = states.len() as f64 * self.episodes_per_epoch as f64;
+        let beta = self.entropy_beta;
+        for (r, (&a, &ret)) in actions.iter().zip(&returns).enumerate() {
+            // Clip the normalized advantage: stall penalties are
+            // heavy-tailed and a single catastrophic segment otherwise
+            // dominates the whole episode's update.
+            let adv = ((ret - baseline) / std).clamp(-3.0, 3.0);
+            let entropy: f64 = (0..cfg.n_levels)
+                .map(|c| {
+                    let p = probs.get(r, c);
+                    if p > 0.0 {
+                        -p * p.ln()
+                    } else {
+                        0.0
+                    }
+                })
+                .sum();
+            for c in 0..cfg.n_levels {
+                let p = probs.get(r, c);
+                let onehot = if c == a { 1.0 } else { 0.0 };
+                // dH/dz_c; the loss term is −β·H, so subtract.
+                let dh_dz = -p * (p.max(1e-300).ln() + entropy);
+                grad.set(r, c, ((p - onehot) * adv - beta * dh_dz) / n);
+            }
+        }
+        policy
+            .net
+            .backward(&grad)
+            .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Total reward of the argmax policy on `ep`. Deterministic for a
+    /// given policy: the per-step draws replay from the episode's seed.
+    fn greedy_reward(
+        &self,
+        policy: &mut Pensieve,
+        ladder: &BitrateLadder,
+        ep: &Episode,
+    ) -> Result<f64> {
+        policy.set_params(ep.params);
+        let qoe = QoeLin::from_params(&ep.params, self.quality);
+        let mut env =
+            PlayerEnv::new(self.player).map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
+        let mut step_rng = StdRng::seed_from_u64(ep.step_seed);
+        let mut total = 0.0;
+        for k in 0..self.episode_segments {
+            let ctx = AbrContext {
+                ladder,
+                sizes: &ep.sizes,
+                next_segment: k,
+                segment_duration: 2.0,
+            };
+            // The inference-time path, so training-time evaluation can
+            // never diverge from deployed behaviour.
+            let level = policy.select(&env, &ctx);
+            total += Self::step_env(&mut env, ep, ladder, &qoe, k, level, &mut step_rng)?;
+        }
+        Ok(total)
+    }
+
+    /// Advance the player one segment at `level`, returning its QoE score.
+    fn step_env(
+        env: &mut PlayerEnv,
+        ep: &Episode,
+        ladder: &BitrateLadder,
+        qoe: &QoeLin,
+        k: usize,
+        level: usize,
+        step_rng: &mut StdRng,
+    ) -> Result<f64> {
+        let prev = env.last_level();
+        let size = ep
+            .sizes
+            .size_kbits(k, level)
+            .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
+        // Per-step bandwidth draw around the episode regime.
+        let bw = (ep.mean_bw * (1.0 + ep.cv * gauss(step_rng))).max(50.0);
+        let outcome = env
+            .step(size, level, bw, 2.0, step_rng)
+            .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
+        Ok(qoe.segment_score(ladder, level, prev, outcome.stall_time))
     }
 }
 
@@ -364,8 +491,7 @@ mod tests {
     fn fixture() -> (BitrateLadder, SegmentSizes) {
         let ladder = BitrateLadder::default_short_video();
         let mut rng = StdRng::seed_from_u64(1);
-        let sizes =
-            SegmentSizes::generate(&ladder, 30, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
+        let sizes = SegmentSizes::generate(&ladder, 30, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
         (ladder, sizes)
     }
 

@@ -53,10 +53,7 @@ impl QoeLin {
     ) -> f64 {
         let q = self.quality.q(ladder, level).unwrap_or(0.0);
         let switch = match prev_level {
-            Some(p) => self
-                .quality
-                .switch_penalty(ladder, p, level)
-                .unwrap_or(0.0),
+            Some(p) => self.quality.switch_penalty(ladder, p, level).unwrap_or(0.0),
             None => 0.0,
         };
         q - self.stall_weight * stall_time - self.switch_weight * switch
@@ -137,7 +134,11 @@ mod tests {
             user_id: 0,
             video_id: 0,
             video_duration: 6.0,
-            segments: vec![seg(1, 0.5, None), seg(2, 0.0, Some(1)), seg(2, 0.0, Some(2))],
+            segments: vec![
+                seg(1, 0.5, None),
+                seg(2, 0.0, Some(1)),
+                seg(2, 0.0, Some(2)),
+            ],
             watch_time: 6.0,
             end: lingxi_player::log::SessionEnd::Completed,
             exit_segment: None,

@@ -78,8 +78,7 @@ mod tests {
     fn fixture() -> (BitrateLadder, SegmentSizes) {
         let ladder = BitrateLadder::default_short_video();
         let mut rng = StdRng::seed_from_u64(1);
-        let sizes =
-            SegmentSizes::generate(&ladder, 50, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
+        let sizes = SegmentSizes::generate(&ladder, 50, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
         (ladder, sizes)
     }
 

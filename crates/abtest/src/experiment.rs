@@ -143,10 +143,8 @@ impl AbTest {
         let control_daily = self.run_arm(control_users, &make_control, false)?;
         let treatment_daily = self.run_arm(treatment_users, &make_treatment, true)?;
 
-        let control: Vec<DayMetrics> =
-            control_daily.iter().map(|d| aggregate_day(d)).collect();
-        let treatment: Vec<DayMetrics> =
-            treatment_daily.iter().map(|d| aggregate_day(d)).collect();
+        let control: Vec<DayMetrics> = control_daily.iter().map(|d| aggregate_day(d)).collect();
+        let treatment: Vec<DayMetrics> = treatment_daily.iter().map(|d| aggregate_day(d)).collect();
 
         let series = |name: &str, f: &dyn Fn(&DayMetrics) -> f64| -> Result<MetricSeries> {
             let rel: Vec<f64> = (0..days)
@@ -191,15 +189,15 @@ impl AbTest {
         } else {
             u64::from(is_treatment)
         };
-        crossbeam::scope(|scope| {
+        let panicked = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
             for worker_users in users.chunks(chunk.max(1)) {
                 let per_day = &per_day;
-                scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     for user in worker_users {
                         let mut runner = make_runner(user);
-                        for day in 0..days {
-                            let intervened =
-                                is_treatment && day >= self.schedule.intervention_day;
+                        for (day, bucket) in per_day.iter().enumerate() {
+                            let intervened = is_treatment && day >= self.schedule.intervention_day;
                             // Derive a deterministic stream per (arm, user,
                             // day) so thread scheduling can't change results.
                             let mut rng = StdRng::seed_from_u64(
@@ -208,15 +206,26 @@ impl AbTest {
                                     ^ ((day as u64) << 32)
                                     ^ (arm_tag << 63),
                             );
-                            let summaries =
-                                runner.run_user_day(user, day, intervened, &mut rng);
-                            per_day[day].lock().extend(summaries);
+                            let summaries = runner.run_user_day(user, day, intervened, &mut rng);
+                            bucket.lock().extend(summaries);
                         }
                     }
-                });
+                }));
             }
-        })
-        .map_err(|_| AbError::InvalidConfig("worker thread panicked".into()))?;
+            // Join every handle before judging: `any` alone would
+            // short-circuit on the first panic and leave later panicked
+            // threads to re-panic out of the scope instead of mapping to
+            // an error.
+            handles
+                .into_iter()
+                .map(|h| h.join().is_err())
+                .collect::<Vec<_>>()
+                .into_iter()
+                .any(|e| e)
+        });
+        if panicked {
+            return Err(AbError::InvalidConfig("worker thread panicked".into()));
+        }
         Ok(per_day.into_iter().map(|m| m.into_inner()).collect())
     }
 }
@@ -260,8 +269,7 @@ mod tests {
             (0..5)
                 .map(|_| {
                     let noise: f64 = rng.gen::<f64>() * 2.0;
-                    let watch =
-                        self.base + noise + if intervened { self.boost } else { 0.0 };
+                    let watch = self.base + noise + if intervened { self.boost } else { 0.0 };
                     SessionSummary {
                         user_id: 0,
                         watch_time: watch,
@@ -285,8 +293,18 @@ mod tests {
             .run(
                 &users[..20],
                 &users[20..],
-                |_| Box::new(SyntheticArm { base: 30.0, boost: 0.0 }),
-                |_| Box::new(SyntheticArm { base: 30.0, boost: 1.5 }),
+                |_| {
+                    Box::new(SyntheticArm {
+                        base: 30.0,
+                        boost: 0.0,
+                    })
+                },
+                |_| {
+                    Box::new(SyntheticArm {
+                        base: 30.0,
+                        boost: 1.5,
+                    })
+                },
             )
             .unwrap();
         // ~5% injected watch-time effect.
@@ -313,22 +331,55 @@ mod tests {
             test.run(
                 &users[..6],
                 &users[6..],
-                |_| Box::new(SyntheticArm { base: 30.0, boost: 0.0 }),
-                |_| Box::new(SyntheticArm { base: 30.0, boost: 1.0 }),
+                |_| {
+                    Box::new(SyntheticArm {
+                        base: 30.0,
+                        boost: 0.0,
+                    })
+                },
+                |_| {
+                    Box::new(SyntheticArm {
+                        base: 30.0,
+                        boost: 1.0,
+                    })
+                },
             )
             .unwrap()
         };
         let a = run(1);
         let b = run(4);
-        assert_eq!(a.watch_time.daily_rel_diff_pct, b.watch_time.daily_rel_diff_pct);
+        assert_eq!(
+            a.watch_time.daily_rel_diff_pct,
+            b.watch_time.daily_rel_diff_pct
+        );
     }
 
     #[test]
     fn schedule_validation() {
-        assert!(AbSchedule { days: 0, intervention_day: 0 }.validate().is_err());
-        assert!(AbSchedule { days: 5, intervention_day: 5 }.validate().is_err());
-        assert!(AbSchedule { days: 5, intervention_day: 1 }.validate().is_err());
-        assert!(AbSchedule { days: 5, intervention_day: 4 }.validate().is_err());
+        assert!(AbSchedule {
+            days: 0,
+            intervention_day: 0
+        }
+        .validate()
+        .is_err());
+        assert!(AbSchedule {
+            days: 5,
+            intervention_day: 5
+        }
+        .validate()
+        .is_err());
+        assert!(AbSchedule {
+            days: 5,
+            intervention_day: 1
+        }
+        .validate()
+        .is_err());
+        assert!(AbSchedule {
+            days: 5,
+            intervention_day: 4
+        }
+        .validate()
+        .is_err());
         assert!(AbSchedule::paper_default().validate().is_ok());
     }
 
@@ -340,8 +391,14 @@ mod tests {
             .run(
                 &[],
                 &users,
-                |_| Box::new(SyntheticArm { base: 1.0, boost: 0.0 }) as Box<dyn ArmRunner>,
-                |_| Box::new(SyntheticArm { base: 1.0, boost: 0.0 }) as Box<dyn ArmRunner>,
+                |_| Box::new(SyntheticArm {
+                    base: 1.0,
+                    boost: 0.0
+                }) as Box<dyn ArmRunner>,
+                |_| Box::new(SyntheticArm {
+                    base: 1.0,
+                    boost: 0.0
+                }) as Box<dyn ArmRunner>,
             )
             .is_err());
     }

@@ -75,7 +75,13 @@ pub fn relative_diff_pct(treatment: f64, control: f64) -> f64 {
 mod tests {
     use super::*;
 
-    fn summary(watch: f64, stall: f64, bitrate: f64, completed: bool, segs: usize) -> SessionSummary {
+    fn summary(
+        watch: f64,
+        stall: f64,
+        bitrate: f64,
+        completed: bool,
+        segs: usize,
+    ) -> SessionSummary {
         SessionSummary {
             user_id: 0,
             watch_time: watch,

@@ -41,9 +41,7 @@ impl Acquisition {
                 let z = improvement / sigma;
                 improvement * norm_cdf(z) + sigma * norm_pdf(z)
             }
-            Acquisition::ProbabilityOfImprovement { xi } => {
-                norm_cdf((best - mean - xi) / sigma)
-            }
+            Acquisition::ProbabilityOfImprovement { xi } => norm_cdf((best - mean - xi) / sigma),
             Acquisition::LowerConfidenceBound { kappa } => -(mean - kappa * sigma),
         }
     }

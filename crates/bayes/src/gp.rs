@@ -104,12 +104,16 @@ impl GpModel {
         if q.len() != self.x[0].len() {
             return Err(BayesError::InvalidConfig("query dimension mismatch".into()));
         }
-        let kq: Vec<f64> = self.x.iter().map(|p| self.config.kernel.eval(p, q)).collect();
+        let kq: Vec<f64> = self
+            .x
+            .iter()
+            .map(|p| self.config.kernel.eval(p, q))
+            .collect();
         let mean_st: f64 = kq.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
         // var = k(q,q) − kqᵀ K⁻¹ kq via v = L⁻¹ kq.
         let v = self.chol.solve_lower(&kq)?;
-        let var_st = (self.config.kernel.variance() - v.iter().map(|x| x * x).sum::<f64>())
-            .max(1e-12);
+        let var_st =
+            (self.config.kernel.variance() - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
         Ok((
             mean_st * self.y_std + self.y_mean,
             var_st * self.y_std * self.y_std,

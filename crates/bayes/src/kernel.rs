@@ -32,11 +32,7 @@ impl Kernel {
 
     /// Covariance between two points.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        let r2: f64 = a
-            .iter()
-            .zip(b)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum();
+        let r2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
         match *self {
             Kernel::Rbf {
                 variance,

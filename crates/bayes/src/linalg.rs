@@ -16,9 +16,7 @@ impl Cholesky {
     /// is read). Fails if a pivot is non-positive.
     pub fn factor(a: &[f64], n: usize) -> Result<Self> {
         if a.len() != n * n || n == 0 {
-            return Err(BayesError::InvalidConfig(format!(
-                "matrix must be {n}x{n}"
-            )));
+            return Err(BayesError::InvalidConfig(format!("matrix must be {n}x{n}")));
         }
         let mut l = vec![0.0; n * n];
         for i in 0..n {
@@ -53,8 +51,8 @@ impl Cholesky {
         let mut y = vec![0.0; self.n];
         for i in 0..self.n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[i * self.n + k] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                sum -= self.l[i * self.n + k] * yk;
             }
             y[i] = sum / self.l[i * self.n + i];
         }
@@ -69,8 +67,8 @@ impl Cholesky {
         let mut x = vec![0.0; self.n];
         for i in (0..self.n).rev() {
             let mut sum = y[i];
-            for k in (i + 1)..self.n {
-                sum -= self.l[k * self.n + i] * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l[k * self.n + i] * xk;
             }
             x[i] = sum / self.l[i * self.n + i];
         }
@@ -181,7 +179,9 @@ mod tests {
         let mut b_mat = vec![0.0; n * n];
         let mut seed = 42u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for v in b_mat.iter_mut() {

@@ -135,9 +135,7 @@ impl ObOptimizer {
             let cand: Vec<f64> = if i % 4 == 0 {
                 if let Some((bx, _)) = self.best() {
                     bx.iter()
-                        .map(|&v| {
-                            (v + (rng.gen::<f64>() * 2.0 - 1.0) * 0.1).clamp(0.0, 1.0)
-                        })
+                        .map(|&v| (v + (rng.gen::<f64>() * 2.0 - 1.0) * 0.1).clamp(0.0, 1.0))
                         .collect()
                 } else {
                     (0..d).map(|_| rng.gen()).collect()

@@ -4,6 +4,10 @@ use lingxi_bayes::*;
 use proptest::prelude::*;
 
 proptest! {
+    // GP fits per case: moderate count keeps CI time bounded while
+    // staying deterministic. Override with PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
     /// Cholesky solve residuals stay small on generated SPD systems.
     #[test]
     fn cholesky_solves_spd_systems(

@@ -70,7 +70,10 @@ fn bench_monte_carlo(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("evaluate_no_prune", |b| {
         let mut abr = Hyb::default_rule();
-        let mut pred = ProfilePredictor { profile, base: 0.01 };
+        let mut pred = ProfilePredictor {
+            profile,
+            base: 0.01,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         b.iter(|| {
             evaluate_parameters(

@@ -19,9 +19,8 @@ pub struct AbrFixture {
 pub fn abr_fixture(seed: u64) -> AbrFixture {
     let ladder = BitrateLadder::default_short_video();
     let mut rng = StdRng::seed_from_u64(seed);
-    let sizes =
-        SegmentSizes::generate(&ladder, 60, 2.0, &VbrModel::default_vbr(), &mut rng)
-            .expect("sizes");
+    let sizes = SegmentSizes::generate(&ladder, 60, 2.0, &VbrModel::default_vbr(), &mut rng)
+        .expect("sizes");
     let mut env = PlayerEnv::new(PlayerConfig::deterministic(10.0, 0.02)).expect("env");
     for k in 0..8 {
         let size = sizes.size_kbits(k, 1).expect("size");

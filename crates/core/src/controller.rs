@@ -127,9 +127,7 @@ impl LingXiConfig {
             ));
         }
         if self.max_trials == 0 {
-            return Err(CoreError::InvalidConfig(
-                "need at least one trial".into(),
-            ));
+            return Err(CoreError::InvalidConfig("need at least one trial".into()));
         }
         match &self.strategy {
             SearchStrategy::Bayesian => {
@@ -195,7 +193,11 @@ impl LingXiController {
     }
 
     /// Restore a controller from persisted long-term state.
-    pub fn with_state(config: LingXiConfig, tracker: UserStateTracker, params: QoeParams) -> Result<Self> {
+    pub fn with_state(
+        config: LingXiConfig,
+        tracker: UserStateTracker,
+        params: QoeParams,
+    ) -> Result<Self> {
         config.validate()?;
         Ok(Self {
             config,
@@ -234,8 +236,11 @@ impl LingXiController {
 
     /// Feed one live segment (Algorithm 1 line 5: state updates).
     pub fn observe_segment(&mut self, record: &SegmentRecord, segment_duration: f64) {
-        self.tracker
-            .push_segment(record.bitrate_kbps, record.throughput_kbps, segment_duration);
+        self.tracker.push_segment(
+            record.bitrate_kbps,
+            record.throughput_kbps,
+            segment_duration,
+        );
         if record.stall_time > 0.0 {
             self.tracker.push_stall(record.stall_time);
             self.stalls_since_opt += 1;
@@ -259,9 +264,7 @@ impl LingXiController {
     /// and personalization has nothing to gain.
     pub fn prunable(&self, env: &PlayerEnv, ladder: &BitrateLadder) -> bool {
         match env.bandwidth_model() {
-            Some(model) => {
-                model.lower_envelope(self.config.prune_sigma) > ladder.max_bitrate()
-            }
+            Some(model) => model.lower_envelope(self.config.prune_sigma) > ladder.max_bitrate(),
             None => false,
         }
     }
@@ -317,8 +320,7 @@ impl LingXiController {
                 let mut optimizer = ObOptimizer::new(ObserverConfig::for_dim(dims.len()))
                     .map_err(|e| CoreError::Subsystem(e.to_string()))?;
                 // Warm start from the current best (OBO.init(x*, ...)).
-                let warm: Vec<f64> =
-                    dims.iter().map(|d| d.get_unit(&self.best_params)).collect();
+                let warm: Vec<f64> = dims.iter().map(|d| d.get_unit(&self.best_params)).collect();
                 optimizer
                     .init_with(&warm)
                     .map_err(|e| CoreError::Subsystem(e.to_string()))?;
@@ -466,7 +468,10 @@ mod tests {
         let env = env_with_bandwidth(1200.0, 8);
         let ladder = BitrateLadder::default_short_video();
         let profile = StallProfile::new(SensitivityKind::Sensitive, 2.0, 0.35).unwrap();
-        let mut pred = ProfilePredictor { profile, base: 0.01 };
+        let mut pred = ProfilePredictor {
+            profile,
+            base: 0.01,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         c.observe_segment(&stalled_record(1.5), 2.0);
         c.observe_segment(&stalled_record(2.0), 2.0);
@@ -492,7 +497,10 @@ mod tests {
         let run = |profile: StallProfile, seed: u64| {
             let mut c = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
             let mut abr = Hyb::default_rule();
-            let mut pred = ProfilePredictor { profile, base: 0.01 };
+            let mut pred = ProfilePredictor {
+                profile,
+                base: 0.01,
+            };
             let mut rng = StdRng::seed_from_u64(seed);
             c.observe_segment(&stalled_record(2.0), 2.0);
             c.observe_segment(&stalled_record(2.0), 2.0);

@@ -26,9 +26,7 @@ pub mod predictor;
 pub mod session;
 pub mod state;
 
-pub use controller::{
-    LingXiConfig, LingXiController, OptimizeOutcome, ParamDim, SearchStrategy,
-};
+pub use controller::{LingXiConfig, LingXiController, OptimizeOutcome, ParamDim, SearchStrategy};
 pub use montecarlo::{evaluate_parameters, McConfig, McEvaluation};
 pub use predictor::{ConstantPredictor, ProfilePredictor, RolloutContext, RolloutPredictor};
 pub use session::{run_managed_session, ManagedOutcome};

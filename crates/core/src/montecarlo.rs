@@ -360,7 +360,10 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        assert!(eval.mean_stall > 0.0, "300 kbps below the ladder floor must stall");
+        assert!(
+            eval.mean_stall > 0.0,
+            "300 kbps below the ladder floor must stall"
+        );
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl RolloutPredictor for ProfilePredictor {
         };
         if ctx.switch_granularity != 0 {
             let magnitude = ctx.switch_granularity.unsigned_abs() as f64;
-            let direction = if ctx.switch_granularity < 0 { 1.15 } else { 1.0 };
+            let direction = if ctx.switch_granularity < 0 {
+                1.15
+            } else {
+                1.0
+            };
             p += 1.2e-2 * direction * (0.8 + 0.2 * magnitude);
         }
         if ctx.session_stall > 0.0 {
@@ -134,7 +138,10 @@ mod tests {
     #[test]
     fn profile_predictor_uses_session_stall() {
         let profile = StallProfile::new(SensitivityKind::Sensitive, 4.0, 0.4).unwrap();
-        let mut p = ProfilePredictor { profile, base: 0.01 };
+        let mut p = ProfilePredictor {
+            profile,
+            base: 0.01,
+        };
         let s = StateMatrix::zeros();
         // Quiet segment: base + the HD OS quality term only.
         let quiet = p.predict(&s, &ctx(false, 0.0, 0));
@@ -149,7 +156,10 @@ mod tests {
     #[test]
     fn profile_predictor_monotone_in_stall() {
         let profile = StallProfile::new(SensitivityKind::Sensitive, 4.0, 0.4).unwrap();
-        let mut p = ProfilePredictor { profile, base: 0.01 };
+        let mut p = ProfilePredictor {
+            profile,
+            base: 0.01,
+        };
         let s = StateMatrix::zeros();
         let mut prev = 0.0;
         for i in 0..10 {

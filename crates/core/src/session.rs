@@ -43,8 +43,7 @@ pub fn run_managed_session<R: Rng>(
     user: &mut dyn ExitModel,
     rng: &mut R,
 ) -> Result<ManagedOutcome> {
-    let mut env =
-        PlayerEnv::new(player_config).map_err(|e| CoreError::Subsystem(e.to_string()))?;
+    let mut env = PlayerEnv::new(player_config).map_err(|e| CoreError::Subsystem(e.to_string()))?;
     let seg_duration = video.sizes.segment_duration();
     let n_segments = video.n_segments();
     let mut segments = Vec::with_capacity(n_segments);
@@ -87,9 +86,7 @@ pub fn run_managed_session<R: Rng>(
 
         // LingXi observes the segment and may re-optimize.
         controller.observe_segment(&record, seg_duration);
-        if let Some(out) =
-            controller.maybe_optimize(abr, &env, ladder, predictor, rng)?
-        {
+        if let Some(out) = controller.maybe_optimize(abr, &env, ladder, predictor, rng)? {
             deployments.push(out.params);
         }
 
@@ -163,7 +160,10 @@ mod tests {
         let mut abr = Hyb::default_rule();
         let mut controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
         let profile = StallProfile::new(SensitivityKind::Sensitive, 2.0, 0.35).unwrap();
-        let mut predictor = ProfilePredictor { profile, base: 0.01 };
+        let mut predictor = ProfilePredictor {
+            profile,
+            base: 0.01,
+        };
         let mut user = QosExitModel::calibrated(profile);
         let mut rng = StdRng::seed_from_u64(2);
         let out = run_managed_session(
@@ -192,7 +192,10 @@ mod tests {
         let mut abr = Hyb::default_rule();
         let mut controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
         let profile = StallProfile::new(SensitivityKind::Insensitive, 10.0, 0.05).unwrap();
-        let mut predictor = ProfilePredictor { profile, base: 0.002 };
+        let mut predictor = ProfilePredictor {
+            profile,
+            base: 0.002,
+        };
         // Insensitive user so the session survives long enough to trigger.
         let mut user = QosExitModel::calibrated(profile);
         user.base_exit = 0.0;
@@ -228,7 +231,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         for s in 0..3 {
             let mut abr = Hyb::default_rule();
-            let mut predictor = ProfilePredictor { profile, base: 0.01 };
+            let mut predictor = ProfilePredictor {
+                profile,
+                base: 0.01,
+            };
             let mut user = QosExitModel::calibrated(profile);
             let _ = run_managed_session(
                 3,

@@ -66,8 +66,7 @@ impl StateStore {
         let path = self.path_for(state.user_id);
         // Write-then-rename so a crash mid-write never corrupts state.
         let tmp = path.with_extension("json.tmp");
-        fs::write(&tmp, json)
-            .map_err(|e| CoreError::Persistence(format!("write {tmp:?}: {e}")))?;
+        fs::write(&tmp, json).map_err(|e| CoreError::Persistence(format!("write {tmp:?}: {e}")))?;
         fs::rename(&tmp, &path)
             .map_err(|e| CoreError::Persistence(format!("rename to {path:?}: {e}")))?;
         Ok(())
@@ -104,7 +103,9 @@ impl StateStore {
             .map_err(|e| CoreError::Persistence(format!("list {:?}: {e}", self.dir)))?;
         for entry in entries.flatten() {
             if let Some(name) = entry.file_name().to_str() {
-                if let Some(stem) = name.strip_prefix("user_").and_then(|s| s.strip_suffix(".json"))
+                if let Some(stem) = name
+                    .strip_prefix("user_")
+                    .and_then(|s| s.strip_suffix(".json"))
                 {
                     if let Ok(id) = stem.parse() {
                         ids.push(id);
@@ -122,10 +123,8 @@ mod tests {
     use super::*;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "lingxi_state_test_{tag}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("lingxi_state_test_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

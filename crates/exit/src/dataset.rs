@@ -66,8 +66,7 @@ pub struct ExitDataset {
 impl ExitDataset {
     /// Build from raw entries filtered by `flavor`.
     pub fn new(raw: &[ExitEntry], flavor: DatasetFlavor) -> Result<Self> {
-        let entries: Vec<ExitEntry> =
-            raw.iter().filter(|e| flavor.keeps(e)).cloned().collect();
+        let entries: Vec<ExitEntry> = raw.iter().filter(|e| flavor.keeps(e)).cloned().collect();
         if entries.is_empty() {
             return Err(ExitError::BadDataset(format!(
                 "flavor {:?} keeps no entries",
@@ -102,20 +101,15 @@ impl ExitDataset {
     /// sets into `entries()`.
     pub fn split<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<(Vec<usize>, Vec<usize>)> {
         let labels: Vec<bool> = self.entries.iter().map(|e| e.exited).collect();
-        stratified_split(&labels, 0.8, rng)
-            .map_err(|e| ExitError::BadDataset(e.to_string()))
+        stratified_split(&labels, 0.8, rng).map_err(|e| ExitError::BadDataset(e.to_string()))
     }
 
     /// Balanced undersampling of a subset (by indices): majority class
     /// randomly reduced to minority size.
-    pub fn balance<R: Rng + ?Sized>(
-        &self,
-        indices: &[usize],
-        rng: &mut R,
-    ) -> Result<Vec<usize>> {
+    pub fn balance<R: Rng + ?Sized>(&self, indices: &[usize], rng: &mut R) -> Result<Vec<usize>> {
         let labels: Vec<bool> = indices.iter().map(|&i| self.entries[i].exited).collect();
-        let picked = balanced_undersample(&labels, rng)
-            .map_err(|e| ExitError::BadDataset(e.to_string()))?;
+        let picked =
+            balanced_undersample(&labels, rng).map_err(|e| ExitError::BadDataset(e.to_string()))?;
         Ok(picked.into_iter().map(|j| indices[j]).collect())
     }
 }

@@ -2,7 +2,9 @@
 //! merge → FC-64 → FC-2 → softmax.
 
 use lingxi_nn::seq::Branched;
-use lingxi_nn::{softmax, softmax_cross_entropy, Adam, Conv1d, Dense, Layer, Matrix, Relu, Sequential};
+use lingxi_nn::{
+    softmax, softmax_cross_entropy, Adam, Conv1d, Dense, Layer, Matrix, Relu, Sequential,
+};
 use lingxi_stats::BinaryConfusion;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -52,7 +54,7 @@ impl PredictorConfig {
         Self {
             channels: 8,
             fc: 16,
-            epochs: 8,
+            epochs: 16,
             ..Self::default()
         }
     }
@@ -90,7 +92,9 @@ impl ExitPredictor {
             return Err(ExitError::InvalidConfig("kernel out of range".into()));
         }
         if !(0.0..=1.0).contains(&config.threshold) {
-            return Err(ExitError::InvalidConfig("threshold must be in [0,1]".into()));
+            return Err(ExitError::InvalidConfig(
+                "threshold must be in [0,1]".into(),
+            ));
         }
         let mk = |rng: &mut R| -> Result<Sequential> {
             Ok(Sequential::new()
@@ -100,9 +104,7 @@ impl ExitPredictor {
                 ))
                 .push(Layer::Relu(Relu::new())))
         };
-        let branches: Vec<Sequential> = (0..N_DIMS)
-            .map(|_| mk(rng))
-            .collect::<Result<Vec<_>>>()?;
+        let branches: Vec<Sequential> = (0..N_DIMS).map(|_| mk(rng)).collect::<Result<Vec<_>>>()?;
         let out_len = MATRIX_LEN - config.kernel + 1;
         let merged = N_DIMS * config.channels * out_len;
         let head = Sequential::new()
@@ -129,8 +131,7 @@ impl ExitPredictor {
     fn branch_inputs(states: &[&StateMatrix]) -> Vec<Matrix> {
         (0..N_DIMS)
             .map(|d| {
-                let rows: Vec<Vec<f64>> =
-                    states.iter().map(|s| s.row(d).to_vec()).collect();
+                let rows: Vec<Vec<f64>> = states.iter().map(|s| s.row(d).to_vec()).collect();
                 Matrix::from_rows(&rows).expect("uniform row length")
             })
             .collect()

@@ -87,10 +87,7 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
             let points: Vec<(String, f64)> = (0..DAYS)
                 .map(|d| {
                     let baseline = f(&totals[1][d]).abs().max(1e-9);
-                    (
-                        format!("Day{}", d + 1),
-                        f(&totals[alg_idx][d]) / baseline,
-                    )
+                    (format!("Day{}", d + 1), f(&totals[alg_idx][d]) / baseline)
                 })
                 .collect();
             result.push_series(Series {
@@ -125,16 +122,21 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
     );
     // Watch-time winner instability: count how many days each alg wins.
     let mut wins = [0usize; 3];
-    for d in 0..DAYS {
+    for ((t0, t1), t2) in totals[0].iter().zip(&totals[1]).zip(&totals[2]) {
+        let watches = [t0.watch, t1.watch, t2.watch];
+        // First index wins ties, as strict `>` replacement did before.
         let mut best = 0;
-        for a in 1..3 {
-            if totals[a][d].watch > totals[best][d].watch {
+        for (a, &w) in watches.iter().enumerate().skip(1) {
+            if w > watches[best] {
                 best = a;
             }
         }
         wins[best] += 1;
     }
-    result.headline_value("watch_time_max_wins_by_single_alg", *wins.iter().max().unwrap() as f64);
+    result.headline_value(
+        "watch_time_max_wins_by_single_alg",
+        *wins.iter().max().unwrap() as f64,
+    );
 
     Ok(result)
 }

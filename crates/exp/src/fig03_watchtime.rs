@@ -59,7 +59,11 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
             .map(|(i, _)| i)
             .unwrap_or(0);
         by_tier[dominant].push(watch);
-        let stall_per_10k = if watch > 0.0 { stall / watch * 10_000.0 } else { 0.0 };
+        let stall_per_10k = if watch > 0.0 {
+            stall / watch * 10_000.0
+        } else {
+            0.0
+        };
         stall_rate_watch.push((stall_per_10k, watch));
     }
 
@@ -118,7 +122,10 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
     // the reason the paper moves to exit rates.
     let all_watch: Vec<f64> = stall_rate_watch.iter().map(|&(_, w)| w).collect();
     let mean = all_watch.iter().sum::<f64>() / all_watch.len().max(1) as f64;
-    let std = (all_watch.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>()
+    let std = (all_watch
+        .iter()
+        .map(|w| (w - mean) * (w - mean))
+        .sum::<f64>()
         / all_watch.len().max(1) as f64)
         .sqrt();
     result.headline_value("watch_time_cv", std / mean.max(1e-9));
@@ -138,7 +145,12 @@ mod tests {
         let stall = r.series_named("norm_watch_by_stall_rate").unwrap();
         assert_eq!(stall.points.len(), 6);
         // The claim is noise: daily watch time has substantial dispersion.
-        let cv = r.headline.iter().find(|(k, _)| k == "watch_time_cv").unwrap().1;
+        let cv = r
+            .headline
+            .iter()
+            .find(|(k, _)| k == "watch_time_cv")
+            .unwrap()
+            .1;
         assert!(cv > 0.2, "cv {cv}");
     }
 }

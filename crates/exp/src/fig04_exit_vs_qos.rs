@@ -9,7 +9,7 @@
 
 use lingxi_abr::Hyb;
 use lingxi_media::QualityTier;
- 
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -163,7 +163,11 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
             points: pts,
         });
     };
-    compound("exit_by_stall_beyond20s", &|o| o.watch_before > 20.0, &mut result);
+    compound(
+        "exit_by_stall_beyond20s",
+        &|o| o.watch_before > 20.0,
+        &mut result,
+    );
     compound("exit_by_stall_fullhd", &|o| o.tier == 3, &mut result);
     compound(
         "exit_by_stall_multiple",
@@ -173,23 +177,12 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
 
     // Headline magnitudes (Takeaway 1).
     let q = result.series_named("exit_by_quality").unwrap().ys();
-    let quality_span = q
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
+    let quality_span = q.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - q.iter().cloned().fold(f64::INFINITY, f64::min);
     let sw = result.series_named("exit_by_switch").unwrap().ys();
-    let switch_span = sw
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
-        - sw[2]; // vs no-switch centre
+    let switch_span = sw.iter().cloned().fold(f64::NEG_INFINITY, f64::max) - sw[2]; // vs no-switch centre
     let st = result.series_named("exit_by_stall").unwrap().ys();
-    let stall_span = st
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
-        - st[0];
+    let stall_span = st.iter().cloned().fold(f64::NEG_INFINITY, f64::max) - st[0];
     result.headline_value("quality_effect_span", quality_span);
     result.headline_value("switch_effect_span", switch_span);
     result.headline_value("stall_effect_span", stall_span);

@@ -41,9 +41,8 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
             .iter()
             .filter(|u| u.net.mean_kbps >= lo && u.net.mean_kbps < hi)
         {
-            let mut rng = StdRng::seed_from_u64(
-                seed ^ user.id.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xF08,
-            );
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ user.id.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xF08);
             let sessions = world.sessions_today(user, &mut rng);
             let mut exit_model = user.exit_model();
             let mut stalls = 0usize;
@@ -77,19 +76,14 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
 
     // (b) Recall vs accumulated stall count at prediction time.
     let harvested = harvest_entries(&world, seed ^ 0x8, 2)?;
-    let stall_entries: Vec<_> = harvested
-        .iter()
-        .filter(|h| h.entry.stalled)
-        .collect();
-    let raw: Vec<lingxi_exit::ExitEntry> =
-        stall_entries.iter().map(|h| h.entry).collect();
+    let stall_entries: Vec<_> = harvested.iter().filter(|h| h.entry.stalled).collect();
+    let raw: Vec<lingxi_exit::ExitEntry> = stall_entries.iter().map(|h| h.entry).collect();
     if raw.iter().any(|e| e.exited) && raw.iter().any(|e| !e.exited) {
         let ds = ExitDataset::new(&raw, DatasetFlavor::Stall).map_err(sub)?;
         let mut rng = StdRng::seed_from_u64(seed ^ 0x88);
         let (train, test) = ds.split(&mut rng).map_err(sub)?;
         let balanced = ds.balance(&train, &mut rng).map_err(sub)?;
-        let mut predictor =
-            ExitPredictor::new(PredictorConfig::small(), &mut rng).map_err(sub)?;
+        let mut predictor = ExitPredictor::new(PredictorConfig::small(), &mut rng).map_err(sub)?;
         predictor.train(&ds, &balanced, &mut rng).map_err(sub)?;
 
         // Group the *test* entries by the user's accumulated stall count.
@@ -111,10 +105,7 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
         }
         if !recall_points.is_empty() {
             // Headline: recall gain from 1 accumulated stall to >= 2.
-            let r1 = recall_points
-                .first()
-                .map(|(_, r)| *r)
-                .unwrap_or(0.0);
+            let r1 = recall_points.first().map(|(_, r)| *r).unwrap_or(0.0);
             let r2plus: Vec<f64> = recall_points.iter().skip(1).map(|(_, r)| *r).collect();
             if !r2plus.is_empty() {
                 let mean2 = r2plus.iter().sum::<f64>() / r2plus.len() as f64;
@@ -151,7 +142,12 @@ mod tests {
             );
         }
         // Stall entries were harvested.
-        let n = r.headline.iter().find(|(k, _)| k == "n_stall_entries").unwrap().1;
+        let n = r
+            .headline
+            .iter()
+            .find(|(k, _)| k == "n_stall_entries")
+            .unwrap()
+            .1;
         assert!(n > 10.0, "too few stall entries: {n}");
     }
 }

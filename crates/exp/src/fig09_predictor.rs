@@ -95,7 +95,11 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
     let metric_names = ["Acc", "Prec", "Recall", "F1"];
 
     // (a) Dataset composition.
-    for flavor in [DatasetFlavor::All, DatasetFlavor::Event, DatasetFlavor::Stall] {
+    for flavor in [
+        DatasetFlavor::All,
+        DatasetFlavor::Event,
+        DatasetFlavor::Stall,
+    ] {
         if let Some(m) = train_eval(&raw, flavor, true, seed)? {
             let pts: Vec<(&str, f64)> = metric_names
                 .iter()

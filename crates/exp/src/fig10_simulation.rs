@@ -99,9 +99,7 @@ impl<'w> Bench<'w> {
         let mut completed = 0usize;
         let mut total = 0usize;
         for user in &self.users {
-            let mut rng = StdRng::seed_from_u64(
-                seed ^ user.id.wrapping_mul(0x9E3779B97F4A7C15),
-            );
+            let mut rng = StdRng::seed_from_u64(seed ^ user.id.wrapping_mul(0x9E3779B97F4A7C15));
             let mut model = mk_user(user);
             for _ in 0..self.sessions_per_user {
                 let mut abr = self.make_abr(baseline);
@@ -109,9 +107,9 @@ impl<'w> Bench<'w> {
                 let exit_model = model.as_exit_model();
                 exit_model.reset_session();
                 let video = self.world.catalog.sample(&mut rng);
-                let trace = self
-                    .world
-                    .session_trace(user, (video.duration() * 3.0) as usize, &mut rng)?;
+                let trace =
+                    self.world
+                        .session_trace(user, (video.duration() * 3.0) as usize, &mut rng)?;
                 let setup = lingxi_player::SessionSetup {
                     user_id: user.id,
                     video,
@@ -166,9 +164,8 @@ impl<'w> Bench<'w> {
         let mut completed = 0usize;
         let mut total = 0usize;
         for user in &self.users {
-            let mut rng = StdRng::seed_from_u64(
-                seed ^ user.id.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xA11,
-            );
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ user.id.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xA11);
             let mut config = LingXiConfig::for_qoe_abr();
             config.strategy = strategy.clone();
             let mut controller = LingXiController::new(config).map_err(sub)?;
@@ -177,9 +174,9 @@ impl<'w> Bench<'w> {
             for _ in 0..self.sessions_per_user {
                 let mut abr = self.make_abr(baseline);
                 let video = self.world.catalog.sample(&mut rng);
-                let trace = self
-                    .world
-                    .session_trace(user, (video.duration() * 3.0) as usize, &mut rng)?;
+                let trace =
+                    self.world
+                        .session_trace(user, (video.duration() * 3.0) as usize, &mut rng)?;
                 let out = run_managed_session(
                     user.id,
                     video,
@@ -334,10 +331,7 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
             for &(_, c) in &pts {
                 best_fixed = best_fixed.max(c);
             }
-            result.push_series(Series::from_xy(
-                &format!("{panel}/fixed_sw{switch}"),
-                &pts,
-            ));
+            result.push_series(Series::from_xy(&format!("{panel}/fixed_sw{switch}"), &pts));
         }
         let lf = bench.completion_lingxi(
             baseline,

@@ -38,14 +38,12 @@ fn cell_mean_stall_param(
             max_stall_time: stall_time_thr,
             max_stall_count: stall_count_thr,
         };
-        let mut rule =
-            RuleBasedExit::new(stall_time_thr, stall_count_thr).map_err(sub)?;
+        let mut rule = RuleBasedExit::new(stall_time_thr, stall_count_thr).map_err(sub)?;
         for _ in 0..sessions {
             let mut abr = RobustMpc::default_rule();
             abr.set_params(QoeParams::default());
             let video = world.catalog.sample(&mut rng);
-            let trace =
-                world.session_trace(user, (video.duration() * 3.0) as usize, &mut rng)?;
+            let trace = world.session_trace(user, (video.duration() * 3.0) as usize, &mut rng)?;
             let out = run_managed_session(
                 user.id,
                 video,

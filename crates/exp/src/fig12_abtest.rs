@@ -53,10 +53,8 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
         )
         .map_err(sub)?;
 
-    let mut result = ExperimentResult::new(
-        "fig12",
-        "10-day DiD A/B: watch time, bitrate, stall time",
-    );
+    let mut result =
+        ExperimentResult::new("fig12", "10-day DiD A/B: watch time, bitrate, stall time");
     let day_labels = |series: &[f64]| -> Vec<(String, f64)> {
         series
             .iter()
@@ -104,7 +102,10 @@ mod tests {
         assert!(watch > -5.0, "watch-time DiD {watch}");
         // Series lengths: 10 days.
         assert_eq!(
-            r.series_named("watch_time_rel_diff_pct").unwrap().points.len(),
+            r.series_named("watch_time_rel_diff_pct")
+                .unwrap()
+                .points
+                .len(),
             10
         );
     }

@@ -49,9 +49,8 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
         let mut stall_static = 0.0;
         // Paired design: the same videos and traces drive both arms.
         for s in 0..sessions {
-            let mut pair_rng = StdRng::seed_from_u64(
-                seed ^ user.id.wrapping_mul(31) ^ ((s as u64) << 20),
-            );
+            let mut pair_rng =
+                StdRng::seed_from_u64(seed ^ user.id.wrapping_mul(31) ^ ((s as u64) << 20));
             let video = world.catalog.sample(&mut pair_rng);
             let trace =
                 world.session_trace(user, (video.duration() * 3.0) as usize, &mut pair_rng)?;
@@ -147,13 +146,15 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
         if bucket.is_empty() {
             continue;
         }
-        let betas: Vec<f64> = bucket.iter().flat_map(|o| o.betas.iter().cloned()).collect();
+        let betas: Vec<f64> = bucket
+            .iter()
+            .flat_map(|o| o.betas.iter().cloned())
+            .collect();
         if betas.is_empty() {
             continue;
         }
         let mean = betas.iter().sum::<f64>() / betas.len() as f64;
-        let sd = (betas.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>()
-            / betas.len() as f64)
+        let sd = (betas.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>() / betas.len() as f64)
             .sqrt();
         beta_mean_pts.push((edge, mean));
         beta_sd_pts.push((edge, sd));

@@ -122,8 +122,8 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
                     for (i, seg) in log.segments.iter().enumerate() {
                         if seg.stall_time > 0.0 {
                             stalls += 1;
-                            let exited_here = log.exit_segment == Some(i)
-                                || log.exit_segment == Some(i + 1);
+                            let exited_here =
+                                log.exit_segment == Some(i) || log.exit_segment == Some(i + 1);
                             if exited_here {
                                 stall_exits += 1;
                             }
@@ -152,8 +152,7 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
                     ));
                 }
                 // Scatter points for this day.
-                let pts: Vec<(f64, f64)> =
-                    xs.iter().cloned().zip(ys.iter().cloned()).collect();
+                let pts: Vec<(f64, f64)> = xs.iter().cloned().zip(ys.iter().cloned()).collect();
                 result.push_series(Series::from_xy(&format!("scatter_day{}", day + 1), &pts));
             }
         }

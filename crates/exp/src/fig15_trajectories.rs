@@ -28,8 +28,7 @@ fn archetypes() -> Vec<Archetype> {
     vec![
         Archetype {
             name: "user1_high_tolerance",
-            profile: StallProfile::new(SensitivityKind::Insensitive, 8.0, 0.04)
-                .expect("valid"),
+            profile: StallProfile::new(SensitivityKind::Insensitive, 8.0, 0.04).expect("valid"),
         },
         Archetype {
             name: "user2_high_tolerance",
@@ -62,15 +61,11 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
     )?;
     let sessions = ((30.0 * scale).round() as usize).clamp(8, 40);
 
-    let mut result = ExperimentResult::new(
-        "fig15",
-        "Per-user β trajectories across stall events",
-    );
+    let mut result = ExperimentResult::new("fig15", "Per-user β trajectories across stall events");
 
     let mut high_mean = Vec::new();
     let mut low_mean = Vec::new();
     for (aidx, arch) in archetypes().into_iter().enumerate() {
-        
         let user = UserRecord {
             id: 1000 + aidx as u64,
             // Mid-bandwidth cellular: stalls occur but are not inevitable,
@@ -97,8 +92,7 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
             let mut exit_model = QosExitModel::calibrated(arch.profile);
             let mut abr = Hyb::default_rule();
             let video = world.catalog.sample(&mut rng);
-            let trace =
-                world.session_trace(&user, (video.duration() * 3.0) as usize, &mut rng)?;
+            let trace = world.session_trace(&user, (video.duration() * 3.0) as usize, &mut rng)?;
             let out = run_managed_session(
                 user.id,
                 video,
@@ -118,15 +112,14 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
                     let x = event_idx as f64;
                     stall_pts.push((x, seg.stall_time));
                     beta_pts.push((x, controller.params().beta));
-                    let exited = out.log.exit_segment == Some(i)
-                        || out.log.exit_segment == Some(i + 1);
+                    let exited =
+                        out.log.exit_segment == Some(i) || out.log.exit_segment == Some(i + 1);
                     exit_pts.push((x, if exited { 1.0 } else { 0.0 }));
                 }
             }
         }
         if !beta_pts.is_empty() {
-            let mean_beta =
-                beta_pts.iter().map(|&(_, b)| b).sum::<f64>() / beta_pts.len() as f64;
+            let mean_beta = beta_pts.iter().map(|&(_, b)| b).sum::<f64>() / beta_pts.len() as f64;
             if aidx < 2 {
                 high_mean.push(mean_beta);
             } else {

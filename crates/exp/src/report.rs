@@ -34,10 +34,7 @@ impl Series {
     pub fn from_labelled(name: &str, points: &[(&str, f64)]) -> Self {
         Self {
             name: name.to_string(),
-            points: points
-                .iter()
-                .map(|(x, y)| (x.to_string(), *y))
-                .collect(),
+            points: points.iter().map(|(x, y)| (x.to_string(), *y)).collect(),
         }
     }
 

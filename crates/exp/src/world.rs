@@ -245,8 +245,8 @@ pub struct LingXiHybArm {
 impl LingXiHybArm {
     /// Build for one user.
     pub fn new(world: std::sync::Arc<World>, user: &UserRecord) -> Self {
-        let controller = LingXiController::new(LingXiConfig::for_hyb())
-            .expect("static config valid");
+        let controller =
+            LingXiController::new(LingXiConfig::for_hyb()).expect("static config valid");
         let predictor = ProfilePredictor {
             profile: user.stall,
             base: 0.015,
@@ -358,7 +358,8 @@ mod tests {
 
     #[test]
     fn static_arm_runs_a_day() {
-        let world = std::sync::Arc::new(World::build(&WorldConfig::default().scaled(0.05), 4).unwrap());
+        let world =
+            std::sync::Arc::new(World::build(&WorldConfig::default().scaled(0.05), 4).unwrap());
         let user = world.population.users()[0];
         let mut arm = StaticHybArm {
             params: QoeParams::default(),
@@ -371,7 +372,8 @@ mod tests {
 
     #[test]
     fn lingxi_arm_aa_phase_matches_baseline_behaviour() {
-        let world = std::sync::Arc::new(World::build(&WorldConfig::default().scaled(0.05), 6).unwrap());
+        let world =
+            std::sync::Arc::new(World::build(&WorldConfig::default().scaled(0.05), 6).unwrap());
         let user = world.population.users()[1];
         let mut arm = LingXiHybArm::new(world.clone(), &user);
         let mut rng = StdRng::seed_from_u64(7);

@@ -173,8 +173,7 @@ mod tests {
             n_videos: 50,
             ..CatalogConfig::default()
         };
-        let cat = Catalog::generate(BitrateLadder::default_short_video(), &cfg, &mut rng)
-            .unwrap();
+        let cat = Catalog::generate(BitrateLadder::default_short_video(), &cfg, &mut rng).unwrap();
         assert_eq!(cat.len(), 50);
         for v in cat.videos() {
             assert!(v.duration() >= cfg.min_duration);
@@ -190,8 +189,7 @@ mod tests {
             n_videos: 3000,
             ..CatalogConfig::default()
         };
-        let cat = Catalog::generate(BitrateLadder::default_short_video(), &cfg, &mut rng)
-            .unwrap();
+        let cat = Catalog::generate(BitrateLadder::default_short_video(), &cfg, &mut rng).unwrap();
         let m = cat.mean_duration();
         // Truncation at min_duration pushes the mean slightly above target.
         assert!(m > 42.0 && m < 58.0, "mean duration {m}");
@@ -204,8 +202,7 @@ mod tests {
             n_videos: 5,
             ..CatalogConfig::default()
         };
-        let cat = Catalog::generate(BitrateLadder::default_short_video(), &cfg, &mut rng)
-            .unwrap();
+        let cat = Catalog::generate(BitrateLadder::default_short_video(), &cfg, &mut rng).unwrap();
         assert_eq!(cat.video_cyclic(0).id, cat.video_cyclic(5).id);
         let v = cat.sample(&mut rng);
         assert!(v.id < 5);

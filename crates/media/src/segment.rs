@@ -87,7 +87,9 @@ impl SegmentSizes {
         rng: &mut R,
     ) -> Result<Self> {
         if n_segments == 0 {
-            return Err(MediaError::InvalidConfig("need at least one segment".into()));
+            return Err(MediaError::InvalidConfig(
+                "need at least one segment".into(),
+            ));
         }
         if !(segment_duration > 0.0) || !segment_duration.is_finite() {
             return Err(MediaError::InvalidConfig(
@@ -165,8 +167,8 @@ mod tests {
     fn vbr_sizes_average_to_nominal() {
         let l = BitrateLadder::default_short_video();
         let mut rng = StdRng::seed_from_u64(2);
-        let s = SegmentSizes::generate(&l, 20_000, 2.0, &VbrModel::default_vbr(), &mut rng)
-            .unwrap();
+        let s =
+            SegmentSizes::generate(&l, 20_000, 2.0, &VbrModel::default_vbr(), &mut rng).unwrap();
         let mean: f64 = (0..s.n_segments())
             .map(|k| s.size_kbits(k, 2).unwrap())
             .sum::<f64>()
@@ -182,8 +184,7 @@ mod tests {
     fn shared_complexity_scales_all_levels_together() {
         let l = BitrateLadder::default_short_video();
         let mut rng = StdRng::seed_from_u64(3);
-        let s =
-            SegmentSizes::generate(&l, 50, 2.0, &VbrModel::default_vbr(), &mut rng).unwrap();
+        let s = SegmentSizes::generate(&l, 50, 2.0, &VbrModel::default_vbr(), &mut rng).unwrap();
         for k in 0..50 {
             let r0 = s.size_kbits(k, 0).unwrap() / (350.0 * 2.0);
             let r3 = s.size_kbits(k, 3).unwrap() / (4300.0 * 2.0);

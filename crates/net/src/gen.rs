@@ -50,7 +50,9 @@ impl TraceGenerator for StationaryGaussGen {
         rng: &mut R,
     ) -> Result<BandwidthTrace> {
         if !(self.mean_kbps > 0.0) || !(self.cv >= 0.0) {
-            return Err(NetError::InvalidConfig("mean > 0 and cv >= 0 required".into()));
+            return Err(NetError::InvalidConfig(
+                "mean > 0 and cv >= 0 required".into(),
+            ));
         }
         let sigma = self.cv * self.mean_kbps;
         let samples = (0..n.max(1))
@@ -99,7 +101,9 @@ impl TraceGenerator for MarkovGen {
         rng: &mut R,
     ) -> Result<BandwidthTrace> {
         if !(self.good_kbps > 0.0 && self.bad_kbps > 0.0) {
-            return Err(NetError::InvalidConfig("state means must be positive".into()));
+            return Err(NetError::InvalidConfig(
+                "state means must be positive".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.p_gb) || !(0.0..=1.0).contains(&self.p_bg) {
             return Err(NetError::InvalidConfig(
@@ -145,7 +149,9 @@ impl TraceGenerator for LogNormalFadeGen {
         rng: &mut R,
     ) -> Result<BandwidthTrace> {
         if !(self.mean_kbps > 0.0) || !(self.cv >= 0.0) {
-            return Err(NetError::InvalidConfig("mean > 0 and cv >= 0 required".into()));
+            return Err(NetError::InvalidConfig(
+                "mean > 0 and cv >= 0 required".into(),
+            ));
         }
         let sigma = (self.cv * self.cv + 1.0).ln().sqrt();
         let mu = self.mean_kbps.ln() - sigma * sigma / 2.0;
@@ -283,7 +289,10 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(3);
         let t = g.generate(10_000, 1.0, &mut rng).unwrap();
-        assert!(t.samples().iter().all(|&s| s >= 1000.0 && s <= 15_000.0));
+        assert!(t
+            .samples()
+            .iter()
+            .all(|&s| (1000.0..=15_000.0).contains(&s)));
         let m = t.mean();
         assert!((m - 5000.0).abs() / 5000.0 < 0.15, "mean {m}");
     }

@@ -119,9 +119,7 @@ impl ProductionMixture {
             return Err(NetError::InvalidConfig("fractions must be in [0,1]".into()));
         }
         if ps.iter().sum::<f64>() > 1.0 + 1e-12 {
-            return Err(NetError::InvalidConfig(
-                "class fractions exceed 1.0".into(),
-            ));
+            return Err(NetError::InvalidConfig("class fractions exceed 1.0".into()));
         }
         Ok(())
     }
@@ -129,17 +127,16 @@ impl ProductionMixture {
     /// Sample one user profile.
     pub fn sample_profile<R: Rng + ?Sized>(&self, rng: &mut R) -> UserNetProfile {
         let u: f64 = rng.gen();
-        let (class, lo, hi, cv_lo, cv_hi): (NetClass, f64, f64, f64, f64) = if u
-            < self.p_constrained
-        {
-            (NetClass::Constrained, 400.0, 2000.0, 0.5, 0.9)
-        } else if u < self.p_constrained + self.p_cellular {
-            (NetClass::Cellular, 2000.0, 6000.0, 0.35, 0.6)
-        } else if u < self.p_constrained + self.p_cellular + self.p_wifi {
-            (NetClass::Wifi, 6000.0, 20_000.0, 0.2, 0.45)
-        } else {
-            (NetClass::Broadband, 20_000.0, 50_000.0, 0.08, 0.2)
-        };
+        let (class, lo, hi, cv_lo, cv_hi): (NetClass, f64, f64, f64, f64) =
+            if u < self.p_constrained {
+                (NetClass::Constrained, 400.0, 2000.0, 0.5, 0.9)
+            } else if u < self.p_constrained + self.p_cellular {
+                (NetClass::Cellular, 2000.0, 6000.0, 0.35, 0.6)
+            } else if u < self.p_constrained + self.p_cellular + self.p_wifi {
+                (NetClass::Wifi, 6000.0, 20_000.0, 0.2, 0.45)
+            } else {
+                (NetClass::Broadband, 20_000.0, 50_000.0, 0.08, 0.2)
+            };
         // Log-uniform within the class band: smooths the CDF between bands.
         let mean_kbps = (lo.ln() + rng.gen::<f64>() * (hi.ln() - lo.ln())).exp();
         let cv = cv_lo + rng.gen::<f64>() * (cv_hi - cv_lo);
@@ -151,11 +148,7 @@ impl ProductionMixture {
     }
 
     /// Sample a whole population.
-    pub fn sample_population<R: Rng + ?Sized>(
-        &self,
-        n: usize,
-        rng: &mut R,
-    ) -> Vec<UserNetProfile> {
+    pub fn sample_population<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<UserNetProfile> {
         (0..n).map(|_| self.sample_profile(rng)).collect()
     }
 }
@@ -174,8 +167,7 @@ mod tests {
         let pop = m.sample_population(20_000, &mut rng);
         // Fraction below the default top bitrate (4300 kbps) should be
         // roughly the paper's ~10% (constrained class + low cellular tail).
-        let below = pop.iter().filter(|p| p.mean_kbps < 4300.0).count() as f64
-            / pop.len() as f64;
+        let below = pop.iter().filter(|p| p.mean_kbps < 4300.0).count() as f64 / pop.len() as f64;
         assert!(below > 0.12 && below < 0.30, "below-max fraction {below}");
         // Specifically the sub-2Mbps share is close to p_constrained.
         let constrained = pop
@@ -183,7 +175,10 @@ mod tests {
             .filter(|p| p.class == NetClass::Constrained)
             .count() as f64
             / pop.len() as f64;
-        assert!((constrained - 0.10).abs() < 0.02, "constrained {constrained}");
+        assert!(
+            (constrained - 0.10).abs() < 0.02,
+            "constrained {constrained}"
+        );
     }
 
     #[test]

@@ -71,9 +71,10 @@ impl Dense {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Result<Matrix> {
-        let x = self.cache_x.as_ref().ok_or_else(|| NnError::InvalidConfig(
-            "backward called before forward".into(),
-        ))?;
+        let x = self
+            .cache_x
+            .as_ref()
+            .ok_or_else(|| NnError::InvalidConfig("backward called before forward".into()))?;
         let gw = x.transpose().matmul(grad_out)?;
         match &mut self.grad_w {
             Some(existing) => existing.add_assign(&gw)?,
@@ -189,9 +190,10 @@ impl Conv1d {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Result<Matrix> {
-        let x = self.cache_x.as_ref().ok_or_else(|| NnError::InvalidConfig(
-            "backward called before forward".into(),
-        ))?;
+        let x = self
+            .cache_x
+            .as_ref()
+            .ok_or_else(|| NnError::InvalidConfig("backward called before forward".into()))?;
         if grad_out.cols() != self.out_features() || grad_out.rows() != x.rows() {
             return Err(NnError::ShapeMismatch {
                 expected: format!("{}x{}", x.rows(), self.out_features()),
@@ -453,12 +455,8 @@ mod tests {
     fn conv_gradient_check() {
         let mut r = rng();
         let mut c = Conv1d::new(2, 5, 3, 3, &mut r).unwrap();
-        let x = Matrix::from_vec(
-            1,
-            10,
-            (0..10).map(|i| (i as f64 * 0.37).sin()).collect(),
-        )
-        .unwrap();
+        let x =
+            Matrix::from_vec(1, 10, (0..10).map(|i| (i as f64 * 0.37).sin()).collect()).unwrap();
         let y = c.forward(&x).unwrap();
         let ones = Matrix::from_vec(1, y.cols(), vec![1.0; y.cols()]).unwrap();
         let gx = c.backward(&ones).unwrap();

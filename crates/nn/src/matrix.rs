@@ -106,7 +106,10 @@ impl Matrix {
         if self.cols != other.rows {
             return Err(NnError::ShapeMismatch {
                 expected: format!("inner dims equal ({} vs {})", self.cols, other.rows),
-                got: format!("{}x{} * {}x{}", self.rows, self.cols, other.rows, other.cols),
+                got: format!(
+                    "{}x{} * {}x{}",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);

@@ -304,8 +304,7 @@ mod tests {
         let b1 = Sequential::new()
             .push(Layer::Dense(Dense::new(1, 4, &mut rng).unwrap()))
             .push(Layer::Relu(Relu::new()));
-        let head = Sequential::new()
-            .push(Layer::Dense(Dense::new_xavier(8, 2, &mut rng).unwrap()));
+        let head = Sequential::new().push(Layer::Dense(Dense::new_xavier(8, 2, &mut rng).unwrap()));
         let mut net = Branched::new(vec![b0, b1], head);
         assert!(net.param_count() > 0);
 

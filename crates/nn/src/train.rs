@@ -94,8 +94,7 @@ impl<'a> Trainer<'a> {
                 let mut xb = Matrix::zeros(chunk.len(), d);
                 let mut yb = Vec::with_capacity(chunk.len());
                 for (bi, &i) in chunk.iter().enumerate() {
-                    xb.as_mut_slice()[bi * d..(bi + 1) * d]
-                        .copy_from_slice(self.features.row(i));
+                    xb.as_mut_slice()[bi * d..(bi + 1) * d].copy_from_slice(self.features.row(i));
                     yb.push(self.labels[i]);
                 }
                 net.zero_grad();
@@ -145,7 +144,11 @@ mod tests {
         let mut labels = Vec::new();
         for i in 0..n {
             let theta = rng.gen_range(0.0..std::f64::consts::TAU);
-            let (r, label) = if i % 2 == 0 { (1.0, 0usize) } else { (3.0, 1usize) };
+            let (r, label) = if i % 2 == 0 {
+                (1.0, 0usize)
+            } else {
+                (3.0, 1usize)
+            };
             let jitter: f64 = rng.gen_range(-0.2..0.2);
             rows.push(vec![(r + jitter) * theta.cos(), (r + jitter) * theta.sin()]);
             labels.push(label);

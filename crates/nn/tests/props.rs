@@ -6,6 +6,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 proptest! {
+    // Each case builds matrices/nets; keep the count moderate so
+    // `cargo test -q` stays in CI time. Override with PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
     #[test]
     fn softmax_rows_are_distributions(
         rows in 1usize..6,

@@ -191,8 +191,10 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(PlayerConfig::default().validate().is_ok());
-        let mut c = PlayerConfig::default();
-        c.history_window = 0;
+        let c = PlayerConfig {
+            history_window: 0,
+            ..PlayerConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

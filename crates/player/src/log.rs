@@ -34,7 +34,7 @@ pub struct SegmentRecord {
 impl SegmentRecord {
     /// Whether this segment changed quality relative to its predecessor.
     pub fn is_switch(&self) -> bool {
-        self.switched_from.map_or(false, |f| f != self.level)
+        self.switched_from.is_some_and(|f| f != self.level)
     }
 
     /// Signed switch granularity (`level - previous level`), 0 if none —

@@ -77,7 +77,11 @@ where
             .expect("segment and level verified in range");
         // Effective throughput over this download, integrated on the trace.
         let dl = setup.trace.download_time(env.wall_time(), size);
-        let bandwidth = if dl > 0.0 { size / dl } else { setup.trace.at(env.wall_time()) };
+        let bandwidth = if dl > 0.0 {
+            size / dl
+        } else {
+            setup.trace.at(env.wall_time())
+        };
         let switched_from = env.last_level();
         let outcome = env.step(size, level, bandwidth, seg_duration, rng)?;
         let bitrate = setup.ladder.bitrate(level).expect("level clamped");
@@ -145,13 +149,7 @@ mod tests {
             config: PlayerConfig::deterministic(10.0, 0.0),
         };
         let mut rng = StdRng::seed_from_u64(2);
-        let log = run_session(
-            &setup,
-            |_| 3,
-            |_, _, _| ExitDecision::Continue,
-            &mut rng,
-        )
-        .unwrap();
+        let log = run_session(&setup, |_| 3, |_, _, _| ExitDecision::Continue, &mut rng).unwrap();
         assert_eq!(log.end, SessionEnd::Completed);
         assert_eq!(log.watch_time, log.video_duration);
         assert_eq!(log.segments.len(), setup.video.n_segments());
@@ -204,13 +202,7 @@ mod tests {
             config: PlayerConfig::deterministic(10.0, 0.0),
         };
         let mut rng = StdRng::seed_from_u64(4);
-        let log = run_session(
-            &setup,
-            |_| 0,
-            |_, _, _| ExitDecision::Continue,
-            &mut rng,
-        )
-        .unwrap();
+        let log = run_session(&setup, |_| 0, |_, _, _| ExitDecision::Continue, &mut rng).unwrap();
         assert!(log.total_stall() > 0.0);
         assert!(log.stall_count() > 1);
     }
@@ -227,13 +219,7 @@ mod tests {
             config: PlayerConfig::deterministic(10.0, 0.0),
         };
         let mut rng = StdRng::seed_from_u64(5);
-        let log = run_session(
-            &setup,
-            |_| 99,
-            |_, _, _| ExitDecision::Continue,
-            &mut rng,
-        )
-        .unwrap();
+        let log = run_session(&setup, |_| 99, |_, _, _| ExitDecision::Continue, &mut rng).unwrap();
         assert!(log.segments.iter().all(|s| s.level == 3));
     }
 

@@ -78,8 +78,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<TTestResult> {
     }
     let se = se2.sqrt();
     let t = (ma - mb) / se;
-    let df = se2 * se2
-        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
     Ok(TTestResult {
         t,
         df,

@@ -21,9 +21,7 @@ pub mod sampling;
 
 pub use confusion::{BinaryConfusion, ClassMetrics};
 pub use corr::{pearson, spearman};
-pub use describe::{
-    harmonic_mean, mean, median, percentile, std_dev, variance, Summary,
-};
+pub use describe::{harmonic_mean, mean, median, percentile, std_dev, variance, Summary};
 pub use dist::{norm_cdf, norm_pdf, norm_quantile, LogNormalDist, NormalDist};
 pub use ecdf::{Ecdf, Histogram};
 pub use hypothesis::{did_estimate, paired_t_test, welch_t_test, DidResult, TTestResult};

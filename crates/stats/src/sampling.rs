@@ -75,10 +75,7 @@ pub fn stratified_split<R: Rng + ?Sized>(
 /// Balanced undersampling: return indices where the majority class has been
 /// randomly undersampled to the minority class count. Preserves all minority
 /// items. Errors if either class is absent.
-pub fn balanced_undersample<R: Rng + ?Sized>(
-    labels: &[bool],
-    rng: &mut R,
-) -> Result<Vec<usize>> {
+pub fn balanced_undersample<R: Rng + ?Sized>(labels: &[bool], rng: &mut R) -> Result<Vec<usize>> {
     let pos: Vec<usize> = labels
         .iter()
         .enumerate()

@@ -4,6 +4,10 @@ use lingxi_stats::*;
 use proptest::prelude::*;
 
 proptest! {
+    // Cheap numeric properties: a high case count is still fast.
+    // Deterministic and CI-bounded; override with PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
     #[test]
     fn percentile_bounded_by_extremes(
         xs in proptest::collection::vec(-1e6f64..1e6, 1..200),

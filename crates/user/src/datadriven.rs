@@ -18,11 +18,7 @@ use crate::{Result, UserError};
 pub const FEATURES: usize = 6;
 
 /// Extract per-segment features given the running session state.
-fn features(
-    view: &SegmentView<'_>,
-    session_stall: f64,
-    session_events: usize,
-) -> [f64; FEATURES] {
+fn features(view: &SegmentView<'_>, session_stall: f64, session_events: usize) -> [f64; FEATURES] {
     let top = view.ladder.top_level().max(1) as f64;
     [
         (session_stall / 10.0).min(3.0),
@@ -199,7 +195,9 @@ mod tests {
     fn fit_learns_threshold_behaviour() {
         let examples = synth_examples(600, 1);
         let mut rng = StdRng::seed_from_u64(2);
-        let mut model = DataDrivenTrainer::default().fit(&examples, &mut rng).unwrap();
+        let mut model = DataDrivenTrainer::default()
+            .fit(&examples, &mut rng)
+            .unwrap();
         // Well below threshold → low probability; far above → high.
         let low = model.prob_for(&[0.05, 0.1, 0.0, 0.5, 0.5, 0.0]);
         let high = model.prob_for(&[0.9, 0.1, 0.0, 0.5, 0.5, 0.0]);

@@ -122,7 +122,10 @@ impl UserPopulation {
     /// Users whose mean bandwidth is below `kbps` — the long-tail cohort of
     /// §5.4.
     pub fn low_bandwidth_users(&self, kbps: f64) -> Vec<&UserRecord> {
-        self.users.iter().filter(|u| u.net.mean_kbps < kbps).collect()
+        self.users
+            .iter()
+            .filter(|u| u.net.mean_kbps < kbps)
+            .collect()
     }
 
     /// Split users into `n` traffic buckets by id hash — the A/B cohort

@@ -73,7 +73,9 @@ impl StallProfile {
     /// Create a profile; tolerance must be positive.
     pub fn new(kind: SensitivityKind, tolerance: f64, ceiling: f64) -> Result<Self> {
         if !(tolerance > 0.0) || !tolerance.is_finite() {
-            return Err(UserError::InvalidConfig("tolerance must be positive".into()));
+            return Err(UserError::InvalidConfig(
+                "tolerance must be positive".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&ceiling) {
             return Err(UserError::InvalidConfig("ceiling must be in [0,1]".into()));
@@ -255,13 +257,18 @@ mod tests {
     fn drift_distribution_shape() {
         let d = ToleranceDrift::default();
         let mut rng = StdRng::seed_from_u64(2);
-        let deltas: Vec<f64> = (0..20_000).map(|_| d.sample_delta(&mut rng).abs()).collect();
+        let deltas: Vec<f64> = (0..20_000)
+            .map(|_| d.sample_delta(&mut rng).abs())
+            .collect();
         let stable = deltas.iter().filter(|&&x| x < 1.0).count() as f64 / deltas.len() as f64;
         let moderate = deltas.iter().filter(|&&x| (2.0..=4.0).contains(&x)).count() as f64
             / deltas.len() as f64;
         assert!(stable > 0.5, "stable share {stable}");
         assert!(moderate > 0.15, "moderate share {moderate}");
-        assert!(deltas.iter().cloned().fold(0.0, f64::max) > 6.0, "long tail missing");
+        assert!(
+            deltas.iter().cloned().fold(0.0, f64::max) > 6.0,
+            "long tail missing"
+        );
     }
 
     #[test]

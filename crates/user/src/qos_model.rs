@@ -34,7 +34,7 @@ pub trait ExitModel: Send {
     /// object-safe — managed sessions hold users as `&mut dyn ExitModel`.
     fn decide(&mut self, view: &SegmentView<'_>, rng: &mut dyn rand::RngCore) -> bool {
         let p = self.exit_prob(view).clamp(0.0, 1.0);
-        (&mut *rng).gen::<f64>() < p
+        (*rng).gen::<f64>() < p
     }
 }
 
@@ -183,9 +183,7 @@ mod tests {
     }
 
     fn model() -> QosExitModel {
-        QosExitModel::calibrated(
-            StallProfile::new(SensitivityKind::Sensitive, 3.0, 0.3).unwrap(),
-        )
+        QosExitModel::calibrated(StallProfile::new(SensitivityKind::Sensitive, 3.0, 0.3).unwrap())
     }
 
     #[test]
@@ -195,29 +193,58 @@ mod tests {
         // Quality effect: LD vs FullHD, no stall, no switch.
         let r_ld = record(0, 0.0, Some(0));
         let r_hd = record(3, 0.0, Some(3));
-        let p_ld = m.exit_prob(&SegmentView { env: &env, record: &r_ld, ladder: &ladder });
+        let p_ld = m.exit_prob(&SegmentView {
+            env: &env,
+            record: &r_ld,
+            ladder: &ladder,
+        });
         m.reset_session();
-        let p_fhd = m.exit_prob(&SegmentView { env: &env, record: &r_hd, ladder: &ladder });
+        let p_fhd = m.exit_prob(&SegmentView {
+            env: &env,
+            record: &r_hd,
+            ladder: &ladder,
+        });
         m.reset_session();
         let quality_effect = p_ld - p_fhd;
-        assert!(quality_effect > 1e-3 && quality_effect < 2e-2, "quality {quality_effect}");
+        assert!(
+            quality_effect > 1e-3 && quality_effect < 2e-2,
+            "quality {quality_effect}"
+        );
 
         // Switch effect.
         let r_sw = record(1, 0.0, Some(3));
-        let p_sw = m.exit_prob(&SegmentView { env: &env, record: &r_sw, ladder: &ladder });
+        let p_sw = m.exit_prob(&SegmentView {
+            env: &env,
+            record: &r_sw,
+            ladder: &ladder,
+        });
         m.reset_session();
         let r_nosw = record(1, 0.0, Some(1));
-        let p_nosw = m.exit_prob(&SegmentView { env: &env, record: &r_nosw, ladder: &ladder });
+        let p_nosw = m.exit_prob(&SegmentView {
+            env: &env,
+            record: &r_nosw,
+            ladder: &ladder,
+        });
         m.reset_session();
         let switch_effect = p_sw - p_nosw;
-        assert!(switch_effect > 5e-3 && switch_effect < 5e-2, "switch {switch_effect}");
+        assert!(
+            switch_effect > 5e-3 && switch_effect < 5e-2,
+            "switch {switch_effect}"
+        );
 
         // Stall effect dominates.
         let r_stall = record(1, 6.0, Some(1));
-        let p_stall = m.exit_prob(&SegmentView { env: &env, record: &r_stall, ladder: &ladder });
+        let p_stall = m.exit_prob(&SegmentView {
+            env: &env,
+            record: &r_stall,
+            ladder: &ladder,
+        });
         m.reset_session();
         let stall_effect = p_stall - p_nosw;
-        assert!(stall_effect > 5e-2 && stall_effect < 0.45, "stall {stall_effect}");
+        assert!(
+            stall_effect > 5e-2 && stall_effect < 0.45,
+            "stall {stall_effect}"
+        );
 
         assert!(stall_effect > switch_effect && switch_effect > quality_effect);
     }
@@ -227,10 +254,18 @@ mod tests {
         let (ladder, env) = fixture();
         let mut m = model();
         let down = record(0, 0.0, Some(2));
-        let p_down = m.exit_prob(&SegmentView { env: &env, record: &down, ladder: &ladder });
+        let p_down = m.exit_prob(&SegmentView {
+            env: &env,
+            record: &down,
+            ladder: &ladder,
+        });
         m.reset_session();
         let up = record(2, 0.0, Some(0));
-        let p_up = m.exit_prob(&SegmentView { env: &env, record: &up, ladder: &ladder });
+        let p_up = m.exit_prob(&SegmentView {
+            env: &env,
+            record: &up,
+            ladder: &ladder,
+        });
         m.reset_session();
         // Compare pure smoothness terms (quality terms differ too, so use
         // the model's internals).
@@ -245,12 +280,24 @@ mod tests {
         let (ladder, env) = fixture();
         let mut m = model();
         let r1 = record(1, 1.0, Some(1));
-        let p1 = m.exit_prob(&SegmentView { env: &env, record: &r1, ladder: &ladder });
+        let p1 = m.exit_prob(&SegmentView {
+            env: &env,
+            record: &r1,
+            ladder: &ladder,
+        });
         let r2 = record(1, 1.5, Some(1));
-        let p2 = m.exit_prob(&SegmentView { env: &env, record: &r2, ladder: &ladder });
+        let p2 = m.exit_prob(&SegmentView {
+            env: &env,
+            record: &r2,
+            ladder: &ladder,
+        });
         assert!(p2 > p1, "repeat stall must compound: {p1} -> {p2}");
         m.reset_session();
-        let p3 = m.exit_prob(&SegmentView { env: &env, record: &r1, ladder: &ladder });
+        let p3 = m.exit_prob(&SegmentView {
+            env: &env,
+            record: &r1,
+            ladder: &ladder,
+        });
         assert!((p3 - p1).abs() < 1e-12, "reset must clear session state");
     }
 
@@ -267,10 +314,21 @@ mod tests {
         let env_new = PlayerEnv::new(PlayerConfig::deterministic(10.0, 0.0)).unwrap();
         let r = record(1, 4.0, Some(1));
         let mut m1 = model();
-        let p_new = m1.exit_prob(&SegmentView { env: &env_new, record: &r, ladder: &ladder });
+        let p_new = m1.exit_prob(&SegmentView {
+            env: &env_new,
+            record: &r,
+            ladder: &ladder,
+        });
         let mut m2 = model();
-        let p_long = m2.exit_prob(&SegmentView { env: &env_long, record: &r, ladder: &ladder });
-        assert!(p_long < p_new, "engaged users more tolerant: {p_long} vs {p_new}");
+        let p_long = m2.exit_prob(&SegmentView {
+            env: &env_long,
+            record: &r,
+            ladder: &ladder,
+        });
+        assert!(
+            p_long < p_new,
+            "engaged users more tolerant: {p_long} vs {p_new}"
+        );
     }
 
     #[test]
@@ -283,7 +341,11 @@ mod tests {
         let mut exits = 0;
         for _ in 0..2000 {
             m.reset_session();
-            let view = SegmentView { env: &env, record: &r, ladder: &ladder };
+            let view = SegmentView {
+                env: &env,
+                record: &r,
+                ladder: &ladder,
+            };
             if m.decide(&view, &mut rng) {
                 exits += 1;
             }

@@ -45,9 +45,7 @@ impl RuleBasedExit {
         let mut rules = Vec::with_capacity(64);
         for count in 2..=9usize {
             for time in 2..=9usize {
-                rules.push(
-                    RuleBasedExit::new(time as f64, count).expect("grid thresholds valid"),
-                );
+                rules.push(RuleBasedExit::new(time as f64, count).expect("grid thresholds valid"));
             }
         }
         rules
@@ -60,8 +58,7 @@ impl ExitModel for RuleBasedExit {
             self.session_stall += view.record.stall_time;
             self.session_events += 1;
         }
-        if self.session_stall >= self.max_stall_time
-            || self.session_events >= self.max_stall_count
+        if self.session_stall >= self.max_stall_time || self.session_events >= self.max_stall_count
         {
             1.0
         } else {
@@ -154,16 +151,14 @@ mod tests {
     fn grid_is_8x8() {
         let grid = RuleBasedExit::grid();
         assert_eq!(grid.len(), 64);
-        assert!(grid
-            .iter()
-            .all(|r| (2.0..=9.0).contains(&r.max_stall_time)
-                && (2..=9).contains(&r.max_stall_count)));
+        assert!(grid.iter().all(
+            |r| (2.0..=9.0).contains(&r.max_stall_time) && (2..=9).contains(&r.max_stall_count)
+        ));
         // All distinct.
         for (i, a) in grid.iter().enumerate() {
             for b in &grid[i + 1..] {
                 assert!(
-                    a.max_stall_time != b.max_stall_time
-                        || a.max_stall_count != b.max_stall_count
+                    a.max_stall_time != b.max_stall_time || a.max_stall_count != b.max_stall_count
                 );
             }
         }

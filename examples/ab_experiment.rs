@@ -9,9 +9,7 @@ use lingxi::exp::world::{LingXiHybArm, StaticHybArm, World, WorldConfig};
 use lingxi::prelude::*;
 
 fn main() {
-    let world = Arc::new(
-        World::build(&WorldConfig::default().scaled(0.15), 11).expect("world"),
-    );
+    let world = Arc::new(World::build(&WorldConfig::default().scaled(0.15), 11).expect("world"));
     let buckets = world.population.traffic_split(2);
     let control: Vec<UserRecord> = buckets[0].iter().map(|u| **u).collect();
     let treatment: Vec<UserRecord> = buckets[1].iter().map(|u| **u).collect();
@@ -39,7 +37,10 @@ fn main() {
         .expect("experiment");
 
     for series in [&report.watch_time, &report.bitrate, &report.stall_time] {
-        println!("\n=== {} (relative % diff, treatment vs control) ===", series.name);
+        println!(
+            "\n=== {} (relative % diff, treatment vs control) ===",
+            series.name
+        );
         for (d, v) in series.daily_rel_diff_pct.iter().enumerate() {
             let phase = if d < 5 { "AA" } else { "AB" };
             println!("  day {:>2} [{phase}]  {v:>8.3}%", d + 1);

@@ -45,17 +45,18 @@ fn main() {
     let store_dir = std::env::temp_dir().join("lingxi_example_state");
     let store = StateStore::open(&store_dir).expect("state store");
 
-    println!("{:<14} {:>9} {:>12} {:>14}", "user", "sessions", "final beta", "optimizations");
+    println!(
+        "{:<14} {:>9} {:>12} {:>14}",
+        "user", "sessions", "final beta", "optimizations"
+    );
     for (uid, (name, profile)) in users.iter().enumerate() {
         // Restore long-term state if this user streamed before.
         let restored = store.load(uid as u64).expect("load");
         let mut controller = match restored {
-            Some(state) => LingXiController::with_state(
-                LingXiConfig::for_hyb(),
-                state.tracker,
-                state.params,
-            )
-            .expect("controller"),
+            Some(state) => {
+                LingXiController::with_state(LingXiConfig::for_hyb(), state.tracker, state.params)
+                    .expect("controller")
+            }
             None => LingXiController::new(LingXiConfig::for_hyb()).expect("controller"),
         };
         let mut predictor = ProfilePredictor {

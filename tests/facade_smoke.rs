@@ -1,0 +1,177 @@
+//! Facade smoke test: the `lingxi::prelude` re-exports resolve and the
+//! README/lib.rs quickstart path (`Catalog::generate` →
+//! `run_managed_session`) runs deterministically and fast.
+
+use std::time::Instant;
+
+use lingxi::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every prelude name referenced by type or value position, so a future
+/// re-export regression is a compile error here rather than a downstream
+/// user surprise.
+#[test]
+fn prelude_reexports_resolve() {
+    // abr
+    let _: ThroughputRule = ThroughputRule::default_rule();
+    let _: Bba = Bba::default_rule();
+    let _: Bola = Bola::default_rule();
+    let _: Hyb = Hyb::default_rule();
+    let _: RobustMpc = RobustMpc::default_rule();
+    let _: QoeParams = QoeParams::default();
+    let _ = PensieveConfig::default();
+    let mut rng = StdRng::seed_from_u64(0);
+    let pensieve: Pensieve = Pensieve::new(PensieveConfig::default(), &mut rng).unwrap();
+    let _: Box<dyn Abr> = Box::new(pensieve);
+    let _ = QoeLin::from_params(&QoeParams::default(), QualityMap::LinearMbps);
+    // media
+    let ladder: BitrateLadder = BitrateLadder::default_short_video();
+    let _: CatalogConfig = CatalogConfig::default();
+    let _: VbrModel = VbrModel::default_vbr();
+    let _: QualityTier = QualityTier::Sd;
+    let sizes: SegmentSizes =
+        SegmentSizes::generate(&ladder, 4, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
+    let _ = sizes.n_segments();
+    // net
+    let _: BandwidthTrace = BandwidthTrace::constant(1000.0, 10, 1.0).unwrap();
+    let _: UserNetProfile = UserNetProfile {
+        class: NetClass::Wifi,
+        mean_kbps: 5000.0,
+        cv: 0.3,
+    };
+    let _ = ProductionMixture::default();
+    let _ = RttModel::default_mobile();
+    let _: Box<dyn BandwidthEstimator> = Box::new(lingxi::net::EwmaEstimator::new(0.3).unwrap());
+    // player
+    let _: PlayerConfig = PlayerConfig::default();
+    let _: BmaxPolicy = BmaxPolicy::Fixed(10.0);
+    let env: PlayerEnv = PlayerEnv::new(PlayerConfig::default()).unwrap();
+    let _ = env.buffer();
+    let _: Option<SessionLog> = None;
+    let _: Option<SessionSetup<'_>> = None;
+    let _: ExitDecision = ExitDecision::Continue;
+    // user
+    let profile: StallProfile = StallProfile::new(SensitivityKind::Sensitive, 2.0, 0.5).unwrap();
+    let _: QosExitModel = QosExitModel::calibrated(profile);
+    let _: RuleBasedExit = RuleBasedExit::new(6.0, 3).unwrap();
+    let _: PopulationConfig = PopulationConfig::default();
+    let _: Option<UserPopulation> = None;
+    let _: Option<UserRecord> = None;
+    let _: Option<SegmentView<'_>> = None;
+    let _: Option<Box<dyn ExitModel>> = None;
+    // exit
+    let _: UserStateTracker = UserStateTracker::new();
+    let _: StateMatrix = StateMatrix::zeros();
+    let _: PredictorConfig = PredictorConfig::small();
+    let _: Option<ExitPredictor> = None;
+    let _: Option<HybridPredictor> = None;
+    let _: Option<ExitDataset> = None;
+    let _: DatasetFlavor = DatasetFlavor::All;
+    // bayes
+    let _: ObserverConfig = ObserverConfig::for_dim(2);
+    let _: ObOptimizer = ObOptimizer::new(ObserverConfig::for_dim(2)).unwrap();
+    // core
+    let _: LingXiConfig = LingXiConfig::for_hyb();
+    let _: LingXiController = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+    let _: McConfig = McConfig::default();
+    let _: ProfilePredictor = ProfilePredictor {
+        profile,
+        base: 0.01,
+    };
+    let _: SearchStrategy = SearchStrategy::default();
+    let _: LongTermState = LongTermState::new(1);
+    let _: Option<StateStore> = None;
+    let _: Option<RolloutContext> = None;
+    let _: Option<Box<dyn RolloutPredictor>> = None;
+    // abtest
+    let _: AbSchedule = AbSchedule::paper_default();
+    let _: Option<AbTest> = None;
+    let _: Option<Box<dyn ArmRunner>> = None;
+}
+
+/// The quickstart doctest path, under a fixed seed, with a wall-clock
+/// budget: the facade's first-contact experience must stay fast.
+#[test]
+fn quickstart_path_runs_fast() {
+    let start = Instant::now();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let catalog = Catalog::generate(
+        BitrateLadder::default_short_video(),
+        &CatalogConfig {
+            n_videos: 3,
+            ..CatalogConfig::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let trace = BandwidthTrace::constant(1200.0, 600, 1.0).unwrap();
+
+    let mut abr = Hyb::default_rule();
+    let mut controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+    let profile = StallProfile::new(SensitivityKind::Sensitive, 2.0, 0.5).unwrap();
+    let mut predictor = ProfilePredictor {
+        profile,
+        base: 0.01,
+    };
+    let mut user = QosExitModel::calibrated(profile);
+
+    let outcome = run_managed_session(
+        1,
+        catalog.video_cyclic(0),
+        catalog.ladder(),
+        &trace,
+        PlayerConfig::default(),
+        &mut abr,
+        &mut controller,
+        &mut predictor,
+        &mut user,
+        &mut rng,
+    )
+    .unwrap();
+
+    assert!(!outcome.log.segments.is_empty());
+    assert!(outcome.log.total_stall() >= 0.0);
+    assert!(outcome.log.watch_time <= outcome.log.video_duration + 1e-9);
+
+    // Determinism: the same seed reproduces the same session.
+    let mut rng2 = StdRng::seed_from_u64(7);
+    let catalog2 = Catalog::generate(
+        BitrateLadder::default_short_video(),
+        &CatalogConfig {
+            n_videos: 3,
+            ..CatalogConfig::default()
+        },
+        &mut rng2,
+    )
+    .unwrap();
+    let mut abr2 = Hyb::default_rule();
+    let mut controller2 = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+    let mut predictor2 = ProfilePredictor {
+        profile,
+        base: 0.01,
+    };
+    let mut user2 = QosExitModel::calibrated(profile);
+    let outcome2 = run_managed_session(
+        1,
+        catalog2.video_cyclic(0),
+        catalog2.ladder(),
+        &trace,
+        PlayerConfig::default(),
+        &mut abr2,
+        &mut controller2,
+        &mut predictor2,
+        &mut user2,
+        &mut rng2,
+    )
+    .unwrap();
+    assert_eq!(outcome.log.segments.len(), outcome2.log.segments.len());
+    assert_eq!(outcome.log.watch_time, outcome2.log.watch_time);
+
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 5.0,
+        "quickstart took {elapsed:?}, budget is 5 s"
+    );
+}

@@ -31,7 +31,10 @@ fn full_managed_pipeline_reduces_stalls_for_sensitive_user() {
 
     let run_arm = |managed: bool, seed: u64| -> (f64, usize) {
         let mut controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
-        let mut predictor = ProfilePredictor { profile, base: 0.01 };
+        let mut predictor = ProfilePredictor {
+            profile,
+            base: 0.01,
+        };
         let mut total_stall = 0.0;
         let mut completions = 0usize;
         for s in 0..16 {
@@ -120,7 +123,10 @@ fn long_term_state_roundtrips_through_store() {
         cv: 0.5,
     };
     let mut controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
-    let mut predictor = ProfilePredictor { profile, base: 0.01 };
+    let mut predictor = ProfilePredictor {
+        profile,
+        base: 0.01,
+    };
     let mut rng = StdRng::seed_from_u64(7);
     for s in 0..6 {
         let video = catalog.video_cyclic(s);
@@ -173,12 +179,9 @@ fn long_term_state_roundtrips_through_store() {
         assert!((a - b).abs() < 1e-9);
     }
     // A controller restored from the state carries the tuned parameters.
-    let c2 = LingXiController::with_state(
-        LingXiConfig::for_hyb(),
-        restored.tracker,
-        restored.params,
-    )
-    .unwrap();
+    let c2 =
+        LingXiController::with_state(LingXiConfig::for_hyb(), restored.tracker, restored.params)
+            .unwrap();
     assert_eq!(c2.params(), controller.params());
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -219,9 +222,7 @@ fn ab_engine_runs_lingxi_vs_static_end_to_end() {
     use lingxi::exp::world::{LingXiHybArm, StaticHybArm, World, WorldConfig};
     use std::sync::Arc;
 
-    let world = Arc::new(
-        World::build(&WorldConfig::default().scaled(0.04), 5).unwrap(),
-    );
+    let world = Arc::new(World::build(&WorldConfig::default().scaled(0.04), 5).unwrap());
     let users: Vec<UserRecord> = world.population.users().to_vec();
     let mut test = AbTest::new(6);
     test.common_random_numbers = true;
@@ -265,7 +266,9 @@ fn pensieve_policy_tunable_at_inference() {
         episode_segments: 20,
         ..Default::default()
     };
-    trainer.train(&mut policy, catalog.ladder(), &mut rng).unwrap();
+    trainer
+        .train(&mut policy, catalog.ladder(), &mut rng)
+        .unwrap();
     // Same state, two parameterisations: outputs must be valid levels and
     // the probability vectors must differ.
     let env = PlayerEnv::new(PlayerConfig::default()).unwrap();

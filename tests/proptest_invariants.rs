@@ -6,6 +6,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 proptest! {
+    // Whole-pipeline cases (sessions, Monte-Carlo evaluations) are the
+    // most expensive properties in the workspace: keep the count low so
+    // `cargo test -q` completes in CI time. Override with PROPTEST_CASES.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
     /// The player buffer always stays within [0, B_max] whatever the
     /// segment sizes and bandwidths thrown at it (Eq. 3's clamping).
     #[test]

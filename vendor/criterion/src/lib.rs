@@ -1,0 +1,301 @@
+//! Offline, dependency-free stand-in for `criterion`.
+//!
+//! Implements the measurement subset this workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size`, `bench_function`, `bench_with_input`, `finish`),
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Behavior mirrors upstream criterion's two modes:
+//!
+//! - under `cargo bench` (the harness receives `--bench`), every benchmark
+//!   is warmed up and timed over an adaptive iteration count, reporting
+//!   mean ns/iteration;
+//! - under `cargo test` (no `--bench` flag), every benchmark body runs
+//!   exactly once so bench code is exercised without the timing cost.
+
+use std::time::{Duration, Instant};
+
+/// Measurement state passed to each benchmark closure.
+pub struct Bencher {
+    /// Run the body exactly once (test mode) instead of timing it.
+    quick: bool,
+    /// Target measurement duration per benchmark.
+    measurement_time: Duration,
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, storing the mean cost per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            std::hint::black_box(f());
+            self.result_ns = None;
+            return;
+        }
+        // Warm up and estimate the per-call cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.measurement_time / 4 {
+            std::hint::black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_call = warmup_start.elapsed().as_nanos() as f64 / warmup_iters.max(1) as f64;
+        let target = self.measurement_time.as_nanos() as f64;
+        let iters = ((target / per_call.max(1.0)) as u64).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.result_ns = Some(elapsed.as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: std::fmt::Display>(name: impl Into<String>, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Parameter-only id (joined to the group name).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark id.
+pub trait IntoBenchmarkId {
+    /// Render to the printed id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    quick: bool,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Upstream criterion's harness receives `--bench` from `cargo
+        // bench`; without it (e.g. `cargo test --benches`) run in quick
+        // test mode.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Self {
+            quick: !bench_mode,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            quick: self.quick,
+            measurement_time: self.measurement_time,
+            result_ns: None,
+        };
+        f(&mut b);
+        match b.result_ns {
+            Some(ns) => println!("{id:<40} time: {}", format_ns(ns)),
+            None => println!("{id:<40} ok (test mode)"),
+        }
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        self.run_one(&id, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the adaptive iteration count ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.c.measurement_time = t;
+        self
+    }
+
+    /// Benchmark one function within the group.
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        self.c.run_one(&id, &mut f);
+        self
+    }
+
+    /// Benchmark one function parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, ID: IntoBenchmarkId, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        self.c.run_one(&id, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Re-export for closures that want criterion's `black_box`.
+pub use std::hint::black_box;
+
+/// Group benchmark functions under one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_criterion() -> Criterion {
+        Criterion {
+            quick: true,
+            measurement_time: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut ran = 0u32;
+        quick_criterion().bench_function("unit", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn groups_and_inputs_run() {
+        let mut calls = Vec::new();
+        let mut c = quick_criterion();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        for n in [2usize, 4] {
+            group.bench_with_input(BenchmarkId::new("case", n), &n, |b, &n| {
+                b.iter(|| calls.push(n))
+            });
+        }
+        group.finish();
+        assert_eq!(calls, vec![2, 4]);
+    }
+
+    #[test]
+    fn timed_mode_measures() {
+        let mut c = Criterion {
+            quick: false,
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut b = Bencher {
+            quick: false,
+            measurement_time: c.measurement_time,
+            result_ns: None,
+        };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(b.result_ns.is_some());
+        assert!(b.result_ns.unwrap() > 0.0);
+        c.bench_function("timed", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("gp_step", 8).into_id(), "gp_step/8");
+        assert_eq!(BenchmarkId::from_parameter(3).into_id(), "3");
+    }
+}

@@ -1,0 +1,411 @@
+//! Offline, dependency-free stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! reduced serde: [`Serialize`] lowers a value into a self-describing
+//! [`value::Value`] tree and [`Deserialize`] lifts one back. The derive
+//! macros ([`serde_derive`]) support named-field structs and enums with
+//! unit / tuple / struct variants, plus the `#[serde(skip)]` and
+//! `#[serde(default)]` field attributes — exactly the surface this
+//! workspace uses. `serde_json` (also vendored) renders `Value` to JSON
+//! text and parses it back.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+pub mod value {
+    //! The self-describing data model every type serializes through.
+
+    /// A serialized value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null` (also `Option::None`).
+        Null,
+        /// Boolean.
+        Bool(bool),
+        /// Unsigned integer.
+        U64(u64),
+        /// Signed (negative) integer.
+        I64(i64),
+        /// Floating point.
+        F64(f64),
+        /// String.
+        Str(String),
+        /// Sequence (`Vec`, arrays, tuples).
+        Seq(Vec<Value>),
+        /// Map with insertion-ordered string keys (structs).
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Borrow as a map, if this is one.
+        pub fn as_map(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Map(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// Borrow as a sequence, if this is one.
+        pub fn as_seq(&self) -> Option<&[Value]> {
+            match self {
+                Value::Seq(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Look up `key` in a map value.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_map()
+                .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        }
+
+        /// A short name of the variant, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::U64(_) | Value::I64(_) => "integer",
+                Value::F64(_) => "number",
+                Value::Str(_) => "string",
+                Value::Seq(_) => "sequence",
+                Value::Map(_) => "map",
+            }
+        }
+    }
+}
+
+use value::Value;
+
+/// Serialization/deserialization error (a message, like `serde::de::Error`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can lower themselves into a [`Value`].
+pub trait Serialize {
+    /// Lower into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can lift themselves back out of a [`Value`].
+pub trait Deserialize: Sized {
+    /// Lift from the data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_error<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!(
+        "expected {expected}, found {}",
+        got.kind()
+    )))
+}
+
+// ---- primitives ----------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => type_error("bool", other),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    other => return type_error("unsigned integer", other),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )+};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range for i64")))?,
+                    other => return type_error("integer", other),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )+};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => type_error("number", other),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => type_error("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => type_error("single-character string", other),
+        }
+    }
+}
+
+// ---- containers ----------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => type_error("sequence", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = match v {
+            Value::Seq(items) => items,
+            other => return type_error("sequence", other),
+        };
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        // len checked above, so the conversion cannot fail.
+        Ok(parsed.try_into().unwrap())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = match v {
+                    Value::Seq(items) => items,
+                    other => return type_error("tuple sequence", other),
+                };
+                if items.len() != LEN {
+                    return Err(Error::custom(format!(
+                        "expected tuple of length {LEN}, found {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::value::Value;
+    use super::{Deserialize, Serialize};
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(x: T) {
+        let v = x.to_value();
+        assert_eq!(T::from_value(&v).unwrap(), x);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(true);
+        roundtrip(42u64);
+        roundtrip(-17i64);
+        roundtrip(3.25f64);
+        roundtrip(7usize);
+        roundtrip("hello".to_string());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1.0f64, 2.5, -3.0]);
+        roundtrip(Some(9u64));
+        roundtrip(Option::<f64>::None);
+        roundtrip([1.0f64, 2.0, 3.0, 4.0]);
+        roundtrip(("tag".to_string(), 0.5f64));
+        roundtrip(vec![("a".to_string(), 1.0f64), ("b".to_string(), 2.0)]);
+    }
+
+    #[test]
+    fn integer_cross_width() {
+        assert_eq!(u8::from_value(&Value::U64(200)).unwrap(), 200);
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert_eq!(i32::from_value(&Value::I64(-5)).unwrap(), -5);
+        assert_eq!(f64::from_value(&Value::U64(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(bool::from_value(&Value::F64(1.0)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+        assert!(<[f64; 2]>::from_value(&Value::Seq(vec![Value::F64(1.0)])).is_err());
+    }
+}

@@ -1,0 +1,575 @@
+//! Offline, dependency-free stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde`'s `Value` data model, without `syn`/`quote` (the
+//! build container has no crates.io access). Supported shapes — the full
+//! set this workspace uses:
+//!
+//! - structs with named fields (plus unit and tuple structs);
+//! - enums with unit, tuple, and struct variants (externally tagged);
+//! - `#[serde(skip)]` (omit on serialize, `Default::default()` on
+//!   deserialize) and `#[serde(default)]` (default when missing).
+//!
+//! Generic types are intentionally rejected: nothing in the workspace
+//! derives serde on a generic type, and supporting bounds would triple the
+//! parser for no benefit.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (&item.body, dir) {
+        (Body::Struct(fields), Direction::Serialize) => struct_serialize(&item.name, fields),
+        (Body::Struct(fields), Direction::Deserialize) => struct_deserialize(&item.name, fields),
+        (Body::Tuple(n), Direction::Serialize) => tuple_serialize(&item.name, *n),
+        (Body::Tuple(n), Direction::Deserialize) => tuple_deserialize(&item.name, *n),
+        (Body::Unit, Direction::Serialize) => unit_serialize(&item.name),
+        (Body::Unit, Direction::Deserialize) => unit_deserialize(&item.name),
+        (Body::Enum(variants), Direction::Serialize) => enum_serialize(&item.name, variants),
+        (Body::Enum(variants), Direction::Deserialize) => enum_deserialize(&item.name, variants),
+    };
+    code.parse().unwrap()
+}
+
+// ---- model ---------------------------------------------------------------
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(skip)]`: omitted on serialize, defaulted on deserialize.
+    skip: bool,
+    /// `#[serde(default)]`: defaulted when missing on deserialize.
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---- parsing -------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Consume leading attributes; report whether serde `skip` / `default`
+    /// markers were among them.
+    fn skip_attributes(&mut self) -> (bool, bool) {
+        let (mut skip, mut default) = (false, false);
+        while self.at_punct('#') {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(head)) = inner.next() {
+                    if head.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            for t in args.stream() {
+                                if let TokenTree::Ident(i) = t {
+                                    match i.to_string().as_str() {
+                                        "skip" | "skip_serializing" | "skip_deserializing" => {
+                                            skip = true
+                                        }
+                                        "default" => default = true,
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (skip, default)
+    }
+
+    /// Consume `pub`, `pub(crate)`, etc., if present.
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Consume type tokens until a `,` at angle-bracket depth 0 (the comma
+    /// itself is consumed). Parens/brackets arrive as single groups, so
+    /// only `<`/`>` need explicit depth tracking.
+    fn skip_type_until_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if c.at_punct('<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                body: Body::Struct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                body: Body::Tuple(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                body: Body::Unit,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                body: Body::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let (skip, default) = c.skip_attributes();
+        c.skip_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        c.skip_type_until_comma();
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+/// Count fields of a tuple struct / tuple variant (top-level commas; a
+/// trailing comma does not add a field).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0usize;
+    loop {
+        let (_, _) = c.skip_attributes();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_type_until_comma();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while let Some(t) = c.peek() {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                c.next();
+                break;
+            }
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---- codegen -------------------------------------------------------------
+
+const VALUE: &str = "::serde::value::Value";
+
+fn push_named_fields_ser(out: &mut String, fields: &[Field], accessor: &dyn Fn(&str) -> String) {
+    out.push_str(&format!(
+        "let mut __m: ::std::vec::Vec<(::std::string::String, {VALUE})> = ::std::vec::Vec::new();\n"
+    ));
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__m.push((\"{name}\".to_string(), ::serde::Serialize::to_value({access})));\n",
+            name = f.name,
+            access = accessor(&f.name),
+        ));
+    }
+    out.push_str(&format!("{VALUE}::Map(__m)\n"));
+}
+
+/// Build the `Name { field: ..., }` constructor body reading from `__src`
+/// (a `&Value` expected to be a map).
+fn named_fields_de(type_path: &str, type_label: &str, fields: &[Field], src: &str) -> String {
+    let mut out = format!("{type_path} {{\n");
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+        } else if f.default {
+            out.push_str(&format!(
+                "{name}: match {src}.get(\"{name}\") {{ \
+                   ::core::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                   ::core::option::Option::None => ::core::default::Default::default() }},\n",
+                name = f.name,
+            ));
+        } else {
+            out.push_str(&format!(
+                "{name}: match {src}.get(\"{name}\") {{ \
+                   ::core::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, \
+                   ::core::option::Option::None => return ::core::result::Result::Err(\
+                     ::serde::Error::custom(\"missing field `{name}` in {label}\")) }},\n",
+                name = f.name,
+                label = type_label,
+            ));
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn struct_serialize(name: &str, fields: &[Field]) -> String {
+    let mut body = String::new();
+    push_named_fields_ser(&mut body, fields, &|f| format!("&self.{f}"));
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> {VALUE} {{\n{body}}}\n\
+         }}\n"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let ctor = named_fields_de(name, name, fields, "__v");
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(__v: &{VALUE}) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+             if __v.as_map().is_none() {{\n\
+               return ::core::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected map for {name}, found {{}}\", __v.kind())));\n\
+             }}\n\
+             ::core::result::Result::Ok({ctor})\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+fn tuple_serialize(name: &str, n: usize) -> String {
+    let body = if n == 1 {
+        // Newtype structs are transparent, like upstream serde.
+        "::serde::Serialize::to_value(&self.0)".to_string()
+    } else {
+        let items: Vec<String> = (0..n)
+            .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+            .collect();
+        format!("{VALUE}::Seq(::std::vec![{}])", items.join(", "))
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> {VALUE} {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn tuple_deserialize(name: &str, n: usize) -> String {
+    let body = if n == 1 {
+        format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+    } else {
+        let items: Vec<String> = (0..n)
+            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+            .collect();
+        format!(
+            "let __items = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+               \"expected sequence for {name}\"))?;\n\
+             if __items.len() != {n} {{\n\
+               return ::core::result::Result::Err(::serde::Error::custom(\
+                 \"wrong tuple length for {name}\"));\n\
+             }}\n\
+             ::core::result::Result::Ok({name}({items}))",
+            items = items.join(", ")
+        )
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(__v: &{VALUE}) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+fn unit_serialize(name: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> {VALUE} {{ {VALUE}::Null }}\n\
+         }}\n"
+    )
+}
+
+fn unit_deserialize(name: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(_v: &{VALUE}) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+             ::core::result::Result::Ok({name})\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => {VALUE}::Str(\"{vname}\".to_string()),\n"
+                ));
+            }
+            VariantShape::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("{VALUE}::Seq(::std::vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname}({binds}) => {VALUE}::Map(::std::vec![(\
+                       \"{vname}\".to_string(), {inner})]),\n",
+                    binds = binders.join(", "),
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let mut inner = String::new();
+                push_named_fields_ser(&mut inner, fields, &|f| f.to_string());
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => {VALUE}::Map(::std::vec![(\
+                       \"{vname}\".to_string(), {{ {inner} }})]),\n",
+                    binds = binders.join(", "),
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> {VALUE} {{\n\
+             match self {{\n{arms}}}\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut str_arms = String::new();
+    let mut map_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                str_arms.push_str(&format!(
+                    "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            VariantShape::Tuple(n) => {
+                let body = if *n == 1 {
+                    format!(
+                        "::core::result::Result::Ok({name}::{vname}(\
+                           ::serde::Deserialize::from_value(__inner)?))"
+                    )
+                } else {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let __items = __inner.as_seq().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected sequence for {name}::{vname}\"))?;\n\
+                           if __items.len() != {n} {{\n\
+                             return ::core::result::Result::Err(::serde::Error::custom(\
+                               \"wrong tuple length for {name}::{vname}\"));\n\
+                           }}\n\
+                           ::core::result::Result::Ok({name}::{vname}({items})) }}",
+                        items = items.join(", ")
+                    )
+                };
+                map_arms.push_str(&format!("\"{vname}\" => {body},\n"));
+            }
+            VariantShape::Struct(fields) => {
+                let ctor = named_fields_de(
+                    &format!("{name}::{vname}"),
+                    &format!("{name}::{vname}"),
+                    fields,
+                    "__inner",
+                );
+                map_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                       if __inner.as_map().is_none() {{\n\
+                         return ::core::result::Result::Err(::serde::Error::custom(\
+                           \"expected map for {name}::{vname}\"));\n\
+                       }}\n\
+                       ::core::result::Result::Ok({ctor})\n\
+                     }},\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(__v: &{VALUE}) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+             match __v {{\n\
+               {VALUE}::Str(__s) => match __s.as_str() {{\n\
+                 {str_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                   ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+               }},\n\
+               {VALUE}::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = (&__entries[0].0, &__entries[0].1);\n\
+                 match __tag.as_str() {{\n\
+                   {map_arms}\
+                   __other => ::core::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n\
+               }},\n\
+               __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected variant of {name}, found {{}}\", __other.kind()))),\n\
+             }}\n\
+           }}\n\
+         }}\n"
+    )
+}
