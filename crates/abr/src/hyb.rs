@@ -1,7 +1,7 @@
 //! HYB — the production throughput+buffer hybrid the paper deploys LingXi
 //! over (§5.3).
 //!
-//! "The HYB algorithm ... select[s] maximum bitrates while maintaining
+//! "The HYB algorithm ... select\[s\] maximum bitrates while maintaining
 //! `d_k(Q_k)/C_k < β·B` to prevent stalls. Rather than explicit QoE
 //! optimization, HYB employs the β parameter to tune algorithmic
 //! aggressiveness": a big β trusts the bandwidth estimate (downloads may

@@ -15,6 +15,16 @@
 //!
 //! Every algorithm implements [`Abr`], whose `set_params` accepts a
 //! [`QoeParams`] — the vector LingXi's Bayesian optimizer searches over.
+//!
+//! ```
+//! use lingxi_abr::{Abr, Hyb, QoeParams};
+//!
+//! // LingXi's knob on HYB is β (§5.3): parameters round-trip through the
+//! // uniform `Abr` interface every algorithm implements.
+//! let mut abr = Hyb::default_rule();
+//! abr.set_params(QoeParams { beta: 0.5, ..QoeParams::default() });
+//! assert_eq!(Abr::params(&abr).beta, 0.5);
+//! ```
 
 pub mod abr;
 pub mod bba;

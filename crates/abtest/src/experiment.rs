@@ -139,34 +139,12 @@ impl AbTest {
         if control_users.is_empty() || treatment_users.is_empty() {
             return Err(AbError::InvalidConfig("empty cohort".into()));
         }
-        let days = self.schedule.days;
         let control_daily = self.run_arm(control_users, &make_control, false)?;
         let treatment_daily = self.run_arm(treatment_users, &make_treatment, true)?;
 
         let control: Vec<DayMetrics> = control_daily.iter().map(|d| aggregate_day(d)).collect();
         let treatment: Vec<DayMetrics> = treatment_daily.iter().map(|d| aggregate_day(d)).collect();
-
-        let series = |name: &str, f: &dyn Fn(&DayMetrics) -> f64| -> Result<MetricSeries> {
-            let rel: Vec<f64> = (0..days)
-                .map(|d| relative_diff_pct(f(&treatment[d]), f(&control[d])))
-                .collect();
-            let (pre, post) = rel.split_at(self.schedule.intervention_day);
-            let did = did_estimate(pre, post).map_err(|e| AbError::Stats(e.to_string()))?;
-            Ok(MetricSeries {
-                name: name.to_string(),
-                daily_rel_diff_pct: rel,
-                did,
-            })
-        };
-
-        Ok(AbReport {
-            schedule: self.schedule,
-            watch_time: series("watch_time", &|m| m.watch_time)?,
-            bitrate: series("bitrate", &|m| m.mean_bitrate)?,
-            stall_time: series("stall_time", &|m| m.stall_time)?,
-            control,
-            treatment,
-        })
+        did_report(self.schedule, control, treatment)
     }
 
     /// Run one arm, returning per-day session summaries.
@@ -180,8 +158,13 @@ impl AbTest {
         F: Fn(&UserRecord) -> Box<dyn ArmRunner> + Sync,
     {
         let days = self.schedule.days;
-        let per_day: Vec<Mutex<Vec<SessionSummary>>> =
-            (0..days).map(|_| Mutex::new(Vec::new())).collect();
+        // One slot per user, written by exactly one worker. The final merge
+        // walks users in cohort order, so day buckets — and therefore every
+        // float reduction downstream — are byte-identical for any thread
+        // count (completion-order `extend` into shared day buckets is not:
+        // float sums aren't associative).
+        let slots: Vec<Mutex<Vec<Vec<SessionSummary>>>> =
+            users.iter().map(|_| Mutex::new(Vec::new())).collect();
         let n_threads = self.threads.max(1);
         let chunk = users.len().div_ceil(n_threads);
         let arm_tag = if self.common_random_numbers {
@@ -191,12 +174,14 @@ impl AbTest {
         };
         let panicked = std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for worker_users in users.chunks(chunk.max(1)) {
-                let per_day = &per_day;
+            for (worker_users, worker_slots) in
+                users.chunks(chunk.max(1)).zip(slots.chunks(chunk.max(1)))
+            {
                 handles.push(scope.spawn(move || {
-                    for user in worker_users {
+                    for (user, slot) in worker_users.iter().zip(worker_slots) {
                         let mut runner = make_runner(user);
-                        for (day, bucket) in per_day.iter().enumerate() {
+                        let mut user_days = Vec::with_capacity(days);
+                        for day in 0..days {
                             let intervened = is_treatment && day >= self.schedule.intervention_day;
                             // Derive a deterministic stream per (arm, user,
                             // day) so thread scheduling can't change results.
@@ -206,9 +191,9 @@ impl AbTest {
                                     ^ ((day as u64) << 32)
                                     ^ (arm_tag << 63),
                             );
-                            let summaries = runner.run_user_day(user, day, intervened, &mut rng);
-                            bucket.lock().extend(summaries);
+                            user_days.push(runner.run_user_day(user, day, intervened, &mut rng));
                         }
+                        *slot.lock() = user_days;
                     }
                 }));
             }
@@ -226,8 +211,58 @@ impl AbTest {
         if panicked {
             return Err(AbError::InvalidConfig("worker thread panicked".into()));
         }
-        Ok(per_day.into_iter().map(|m| m.into_inner()).collect())
+        let mut per_day: Vec<Vec<SessionSummary>> = (0..days).map(|_| Vec::new()).collect();
+        for slot in slots {
+            for (day, summaries) in slot.into_inner().into_iter().enumerate() {
+                per_day[day].extend(summaries);
+            }
+        }
+        Ok(per_day)
     }
+}
+
+/// Build the full [`AbReport`] — the paper's three metric series with their
+/// difference-in-differences verdicts (Fig. 12) — from per-day cohort
+/// metrics.
+///
+/// [`AbTest::run`] calls this with its own day aggregates; the fleet engine
+/// calls it with per-epoch metrics merged across shards, which is how a
+/// population-scale simulation feeds the same DiD pipeline as the
+/// session-level driver.
+pub fn did_report(
+    schedule: AbSchedule,
+    control: Vec<DayMetrics>,
+    treatment: Vec<DayMetrics>,
+) -> Result<AbReport> {
+    schedule.validate()?;
+    if control.len() != schedule.days || treatment.len() != schedule.days {
+        return Err(AbError::InvalidConfig(format!(
+            "need {} day metrics per cohort, got {} control / {} treatment",
+            schedule.days,
+            control.len(),
+            treatment.len()
+        )));
+    }
+    let series = |name: &str, f: &dyn Fn(&DayMetrics) -> f64| -> Result<MetricSeries> {
+        let rel: Vec<f64> = (0..schedule.days)
+            .map(|d| relative_diff_pct(f(&treatment[d]), f(&control[d])))
+            .collect();
+        let (pre, post) = rel.split_at(schedule.intervention_day);
+        let did = did_estimate(pre, post).map_err(|e| AbError::Stats(e.to_string()))?;
+        Ok(MetricSeries {
+            name: name.to_string(),
+            daily_rel_diff_pct: rel,
+            did,
+        })
+    };
+    Ok(AbReport {
+        schedule,
+        watch_time: series("watch_time", &|m| m.watch_time)?,
+        bitrate: series("bitrate", &|m| m.mean_bitrate)?,
+        stall_time: series("stall_time", &|m| m.stall_time)?,
+        control,
+        treatment,
+    })
 }
 
 #[cfg(test)]
@@ -352,6 +387,22 @@ mod tests {
             a.watch_time.daily_rel_diff_pct,
             b.watch_time.daily_rel_diff_pct
         );
+    }
+
+    #[test]
+    fn did_report_validates_lengths() {
+        let schedule = AbSchedule::paper_default();
+        let ok: Vec<DayMetrics> = (0..10)
+            .map(|d| DayMetrics {
+                watch_time: 100.0 + d as f64,
+                mean_bitrate: 2000.0,
+                stall_time: 5.0,
+                sessions: 10,
+                ..DayMetrics::default()
+            })
+            .collect();
+        assert!(did_report(schedule, ok.clone(), ok.clone()).is_ok());
+        assert!(did_report(schedule, ok[..9].to_vec(), ok).is_err());
     }
 
     #[test]

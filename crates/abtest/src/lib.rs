@@ -8,10 +8,25 @@
 //! across days. This crate reproduces that pipeline over simulated
 //! populations; the experiment harness (`lingxi-exp`) supplies the arms.
 
+//!
+//! ```
+//! use lingxi_abtest::{did_report, AbSchedule, DayMetrics};
+//!
+//! // A +10% watch-time lift landing on the intervention day is recovered
+//! // by the DiD estimate over per-day cohort metrics.
+//! let day = |w: f64| DayMetrics { watch_time: w, sessions: 10, ..DayMetrics::default() };
+//! let control: Vec<_> = (0..10).map(|d| day(100.0 + (d % 3) as f64)).collect();
+//! let treatment: Vec<_> = (0..10)
+//!     .map(|d| day(if d >= 5 { 110.0 } else { 100.0 } + (d % 3) as f64))
+//!     .collect();
+//! let report = did_report(AbSchedule::paper_default(), control, treatment).unwrap();
+//! assert!(report.watch_time.did.effect > 5.0);
+//! ```
+
 pub mod experiment;
 pub mod metrics;
 
-pub use experiment::{AbReport, AbSchedule, AbTest, ArmRunner, MetricSeries};
+pub use experiment::{did_report, AbReport, AbSchedule, AbTest, ArmRunner, MetricSeries};
 pub use metrics::{aggregate_day, relative_diff_pct, DayMetrics};
 
 /// Errors from experiment orchestration.

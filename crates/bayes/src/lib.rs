@@ -10,6 +10,20 @@
 //!
 //! Everything works on the unit cube; callers map physical parameters
 //! through `QoeParams::to_unit`/`from_unit`.
+//!
+//! ```
+//! use lingxi_bayes::{ObOptimizer, ObserverConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Warm-start from the previous optimum (§3.1), then propose on [0,1].
+//! let mut opt = ObOptimizer::new(ObserverConfig::for_dim(1)).unwrap();
+//! opt.init_with(&[0.5]).unwrap();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let x = opt.next_candidate(&mut rng);
+//! assert_eq!(x.len(), 1);
+//! assert!((0.0..=1.0).contains(&x[0]));
+//! opt.update(x, 0.12).unwrap();
+//! ```
 
 pub mod acquisition;
 pub mod gp;

@@ -1,4 +1,15 @@
-//! Shared fixtures for the criterion benchmarks.
+//! Shared fixtures for the criterion benchmarks (`perf` for the §4/§6
+//! cost claims, `figures` for the per-figure harnesses, `fleet` for
+//! engine throughput).
+//!
+//! ```
+//! use lingxi_bench::abr_fixture;
+//!
+//! // Benches share one warmed-up mid-session environment.
+//! let fx = abr_fixture(1);
+//! assert_eq!(fx.sizes.n_segments(), 60);
+//! assert!(fx.env.buffer() > 0.0);
+//! ```
 
 use lingxi_media::{BitrateLadder, SegmentSizes, VbrModel};
 use lingxi_player::{PlayerConfig, PlayerEnv};

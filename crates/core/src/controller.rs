@@ -13,7 +13,7 @@ use lingxi_player::{PlayerEnv, SegmentRecord};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::montecarlo::{evaluate_parameters, McConfig};
+use crate::montecarlo::{evaluate_parameters_in, McConfig, McScratch};
 use crate::predictor::RolloutPredictor;
 use crate::{CoreError, Result};
 
@@ -280,6 +280,22 @@ impl LingXiController {
         predictor: &mut dyn RolloutPredictor,
         rng: &mut R,
     ) -> Result<Option<OptimizeOutcome>> {
+        self.maybe_optimize_in(abr, env, ladder, predictor, &mut McScratch::new(), rng)
+    }
+
+    /// [`LingXiController::maybe_optimize`] with caller-owned Monte-Carlo
+    /// scratch, so fleet workers amortize rollout allocations across every
+    /// session they run. A fresh scratch reproduces `maybe_optimize`
+    /// exactly.
+    pub fn maybe_optimize_in<R: Rng + ?Sized>(
+        &mut self,
+        abr: &mut dyn Abr,
+        env: &PlayerEnv,
+        ladder: &BitrateLadder,
+        predictor: &mut dyn RolloutPredictor,
+        scratch: &mut McScratch,
+        rng: &mut R,
+    ) -> Result<Option<OptimizeOutcome>> {
         if !self.triggered() {
             return Ok(None);
         }
@@ -296,7 +312,7 @@ impl LingXiController {
 
         // Evaluate the incumbent first: challengers must beat it by the
         // adoption margin, so flat objectives keep the current parameters.
-        let incumbent_eval = evaluate_parameters(
+        let incumbent_eval = evaluate_parameters_in(
             abr,
             self.best_params,
             bandwidth,
@@ -306,6 +322,7 @@ impl LingXiController {
             predictor,
             &self.config.mc,
             None,
+            scratch,
             rng,
         )?;
         let incumbent_rate = incumbent_eval.exit_rate;
@@ -331,7 +348,7 @@ impl LingXiController {
                         d.set_unit(&mut candidate, v);
                     }
                     let prune = best_rate.is_finite().then_some(best_rate);
-                    let eval = evaluate_parameters(
+                    let eval = evaluate_parameters_in(
                         abr,
                         candidate,
                         bandwidth,
@@ -341,6 +358,7 @@ impl LingXiController {
                         predictor,
                         &self.config.mc,
                         prune,
+                        scratch,
                         rng,
                     )?;
                     trials += 1;
@@ -361,7 +379,7 @@ impl LingXiController {
                 // L(F): score every fixed candidate, capped by max_trials.
                 for candidate in candidates.into_iter().take(self.config.max_trials) {
                     let prune = best_rate.is_finite().then_some(best_rate);
-                    let eval = evaluate_parameters(
+                    let eval = evaluate_parameters_in(
                         abr,
                         candidate,
                         bandwidth,
@@ -371,6 +389,7 @@ impl LingXiController {
                         predictor,
                         &self.config.mc,
                         prune,
+                        scratch,
                         rng,
                     )?;
                     trials += 1;

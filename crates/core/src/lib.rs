@@ -18,19 +18,37 @@
 //! Deployment machinery (§4) is here too: dual-layer state management with
 //! JSON persistence (HDF5 substitution documented in DESIGN.md), the
 //! trigger, and both pruning stages (virtual-playback early termination and
-//! the pre-playback `μ − 3σ > Q_max` skip).
+//! the pre-playback `μ − 3σ > Q_max` skip). For fleet-scale workloads the
+//! [`cache`] module layers a sharded, write-behind [`ShardedStateCache`]
+//! over the durable [`StateStore`] (see ARCHITECTURE.md).
+//!
+//! ```
+//! use lingxi_core::{LingXiConfig, LingXiController};
+//!
+//! // The §5.3 deployment configuration: trigger after η = 2 stalls,
+//! // searching HYB's β only.
+//! let controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+//! assert_eq!(controller.optimizations(), 0);
+//! assert!(!controller.triggered());
+//! ```
 
+#![warn(missing_docs)]
+
+pub mod cache;
 pub mod controller;
 pub mod montecarlo;
 pub mod predictor;
 pub mod session;
 pub mod state;
 
+pub use cache::{CacheConfig, CacheStats, ShardedStateCache};
 pub use controller::{LingXiConfig, LingXiController, OptimizeOutcome, ParamDim, SearchStrategy};
-pub use montecarlo::{evaluate_parameters, McConfig, McEvaluation};
+pub use montecarlo::{
+    evaluate_parameters, evaluate_parameters_in, McConfig, McEvaluation, McScratch,
+};
 pub use predictor::{ConstantPredictor, ProfilePredictor, RolloutContext, RolloutPredictor};
-pub use session::{run_managed_session, ManagedOutcome};
-pub use state::{LongTermState, StateStore};
+pub use session::{run_managed_session, run_managed_session_in, ManagedOutcome, SessionBuffers};
+pub use state::{LongTermState, StateScan, StateStore};
 
 /// Errors from the LingXi control loop.
 #[derive(Debug, Clone, PartialEq)]

@@ -86,6 +86,25 @@ pub struct McEvaluation {
     pub mean_stall: f64,
 }
 
+/// Reusable scratch space for Monte-Carlo evaluations.
+///
+/// Each evaluation builds a virtual video (a [`SegmentSizes`] table); a
+/// scratch owned by the caller amortizes that allocation across the many
+/// evaluations of an optimization pass — and, in the fleet engine, across
+/// every session a shard worker runs. A fresh scratch behaves identically
+/// to none at all, so results never depend on scratch reuse.
+#[derive(Debug, Default)]
+pub struct McScratch {
+    sizes: Option<SegmentSizes>,
+}
+
+impl McScratch {
+    /// An empty scratch; buffers are created on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Evaluate candidate `params` by virtual playback (Algorithm 2).
 #[allow(clippy::too_many_arguments)]
 pub fn evaluate_parameters<R: Rng + ?Sized>(
@@ -100,6 +119,37 @@ pub fn evaluate_parameters<R: Rng + ?Sized>(
     prune_threshold: Option<f64>,
     rng: &mut R,
 ) -> Result<McEvaluation> {
+    evaluate_parameters_in(
+        abr,
+        params,
+        bandwidth,
+        user_state,
+        env,
+        ladder,
+        predictor,
+        config,
+        prune_threshold,
+        &mut McScratch::new(),
+        rng,
+    )
+}
+
+/// [`evaluate_parameters`] with caller-owned scratch buffers — the
+/// allocation-amortized variant the fleet hot path uses.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_parameters_in<R: Rng + ?Sized>(
+    abr: &mut dyn Abr,
+    params: QoeParams,
+    bandwidth: NormalDist,
+    user_state: &UserStateTracker,
+    env: &PlayerEnv,
+    ladder: &BitrateLadder,
+    predictor: &mut dyn RolloutPredictor,
+    config: &McConfig,
+    prune_threshold: Option<f64>,
+    scratch: &mut McScratch,
+    rng: &mut R,
+) -> Result<McEvaluation> {
     config.validate()?;
     if !(bandwidth.mu > 0.0) {
         return Err(CoreError::InvalidConfig(
@@ -107,15 +157,33 @@ pub fn evaluate_parameters<R: Rng + ?Sized>(
         ));
     }
     let n_segments = config.segments_per_sample();
-    // Virtual video: CBR segments at the ladder's nominal rates.
-    let sizes = SegmentSizes::generate(
-        ladder,
-        n_segments,
-        config.segment_duration,
-        &VbrModel::cbr(),
-        rng,
-    )
-    .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+    // Virtual video: CBR segments at the ladder's nominal rates. CBR draws
+    // nothing from `rng`, so refilling a reused table and generating a
+    // fresh one are indistinguishable.
+    let sizes: &SegmentSizes = match &mut scratch.sizes {
+        Some(sizes) => {
+            sizes
+                .refill(
+                    ladder,
+                    n_segments,
+                    config.segment_duration,
+                    &VbrModel::cbr(),
+                    rng,
+                )
+                .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+            sizes
+        }
+        slot @ None => slot.insert(
+            SegmentSizes::generate(
+                ladder,
+                n_segments,
+                config.segment_duration,
+                &VbrModel::cbr(),
+                rng,
+            )
+            .map_err(|e| CoreError::Subsystem(e.to_string()))?,
+        ),
+    };
 
     abr.set_params(params);
     let mut watched = 0usize;
@@ -135,7 +203,7 @@ pub fn evaluate_parameters<R: Rng + ?Sized>(
         while t_sim < config.t_sample {
             let ctx = AbrContext {
                 ladder,
-                sizes: &sizes,
+                sizes,
                 next_segment: k.min(n_segments - 1),
                 segment_duration: config.segment_duration,
             };
@@ -380,6 +448,35 @@ mod tests {
         };
         assert!(bad2.validate().is_err());
         assert_eq!(McConfig::default().segments_per_sample(), 24);
+    }
+
+    #[test]
+    fn scratch_reuse_is_transparent() {
+        let (ladder, env, tracker) = fixture();
+        let eval_with = |scratch: &mut McScratch| {
+            let mut abr = Hyb::default_rule();
+            let mut pred = ConstantPredictor { p: 0.05 };
+            let mut rng = StdRng::seed_from_u64(11);
+            evaluate_parameters_in(
+                &mut abr,
+                QoeParams::default(),
+                NormalDist::new(4000.0, 1500.0).unwrap(),
+                &tracker,
+                &env,
+                &ladder,
+                &mut pred,
+                &McConfig::default(),
+                None,
+                scratch,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        let mut scratch = McScratch::new();
+        let first = eval_with(&mut scratch);
+        // Reusing the warm scratch must not change anything.
+        let second = eval_with(&mut scratch);
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! background thread; in the simulator it is interleaved, which preserves
 //! the control flow under test).
 
-use lingxi_abr::{Abr, AbrContext};
+use lingxi_abr::{Abr, AbrContext, QoeParams};
 use lingxi_media::{BitrateLadder, Video};
 use lingxi_net::BandwidthTrace;
 use lingxi_player::{PlayerConfig, PlayerEnv, SessionEnd, SessionLog};
@@ -16,6 +16,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::controller::LingXiController;
+use crate::montecarlo::McScratch;
 use crate::predictor::RolloutPredictor;
 use crate::{CoreError, Result};
 
@@ -29,7 +30,58 @@ pub struct ManagedOutcome {
     pub deployments: Vec<lingxi_abr::QoeParams>,
 }
 
+/// Reusable buffers for driving many managed sessions from one worker.
+///
+/// A managed session's hot-path allocations are the per-segment log and
+/// the Monte-Carlo rollout scratch; a worker that owns one `SessionBuffers`
+/// and calls [`run_managed_session_in`] amortizes both across every session
+/// it runs. The fleet engine keeps one per shard worker.
+#[derive(Debug)]
+pub struct SessionBuffers {
+    log: SessionLog,
+    deployments: Vec<QoeParams>,
+    mc: McScratch,
+}
+
+impl Default for SessionBuffers {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionBuffers {
+    /// Fresh buffers; capacity grows on first use and is retained after.
+    pub fn new() -> Self {
+        Self {
+            log: SessionLog {
+                user_id: 0,
+                video_id: 0,
+                video_duration: 0.0,
+                segments: Vec::new(),
+                watch_time: 0.0,
+                end: SessionEnd::Completed,
+                exit_segment: None,
+            },
+            deployments: Vec::new(),
+            mc: McScratch::new(),
+        }
+    }
+
+    /// The last session's playback log (borrowed; cleared by the next run).
+    pub fn log(&self) -> &SessionLog {
+        &self.log
+    }
+
+    /// Parameters deployed during the last session.
+    pub fn deployments(&self) -> &[QoeParams] {
+        &self.deployments
+    }
+}
+
 /// Run one session with LingXi managing `abr`'s parameters.
+///
+/// Convenience wrapper over [`run_managed_session_in`] that allocates
+/// fresh buffers and returns an owned [`ManagedOutcome`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_managed_session<R: Rng>(
     user_id: u64,
@@ -43,11 +95,51 @@ pub fn run_managed_session<R: Rng>(
     user: &mut dyn ExitModel,
     rng: &mut R,
 ) -> Result<ManagedOutcome> {
+    let mut buffers = SessionBuffers::new();
+    run_managed_session_in(
+        user_id,
+        video,
+        ladder,
+        trace,
+        player_config,
+        abr,
+        controller,
+        predictor,
+        user,
+        &mut buffers,
+        rng,
+    )?;
+    Ok(ManagedOutcome {
+        log: buffers.log,
+        deployments: buffers.deployments,
+    })
+}
+
+/// Run one managed session into caller-owned buffers (the fleet hot path).
+///
+/// The playback log lands in `buffers` — read it via
+/// [`SessionBuffers::log`] before the next call overwrites it. Results are
+/// bit-identical to [`run_managed_session`] under the same RNG stream.
+#[allow(clippy::too_many_arguments)]
+pub fn run_managed_session_in<R: Rng>(
+    user_id: u64,
+    video: &Video,
+    ladder: &BitrateLadder,
+    trace: &BandwidthTrace,
+    player_config: PlayerConfig,
+    abr: &mut dyn Abr,
+    controller: &mut LingXiController,
+    predictor: &mut dyn RolloutPredictor,
+    user: &mut dyn ExitModel,
+    buffers: &mut SessionBuffers,
+    rng: &mut R,
+) -> Result<()> {
     let mut env = PlayerEnv::new(player_config).map_err(|e| CoreError::Subsystem(e.to_string()))?;
     let seg_duration = video.sizes.segment_duration();
     let n_segments = video.n_segments();
-    let mut segments = Vec::with_capacity(n_segments);
-    let mut deployments = Vec::new();
+    buffers.log.segments.clear();
+    buffers.log.segments.reserve(n_segments);
+    buffers.deployments.clear();
     let mut end = SessionEnd::Completed;
     let mut exit_segment = None;
     user.reset_session();
@@ -82,12 +174,14 @@ pub fn run_managed_session<R: Rng>(
             .bitrate(level)
             .map_err(|e| CoreError::Subsystem(e.to_string()))?;
         let record = env.record(&outcome, level, bitrate, size, switched_from);
-        segments.push(record);
+        buffers.log.segments.push(record);
 
         // LingXi observes the segment and may re-optimize.
         controller.observe_segment(&record, seg_duration);
-        if let Some(out) = controller.maybe_optimize(abr, &env, ladder, predictor, rng)? {
-            deployments.push(out.params);
+        if let Some(out) =
+            controller.maybe_optimize_in(abr, &env, ladder, predictor, &mut buffers.mc, rng)?
+        {
+            buffers.deployments.push(out.params);
         }
 
         // User decision.
@@ -113,18 +207,13 @@ pub fn run_managed_session<R: Rng>(
         (_, None) => env.playback_time().min(video_duration),
     };
 
-    Ok(ManagedOutcome {
-        log: SessionLog {
-            user_id,
-            video_id: video.id,
-            video_duration,
-            segments,
-            watch_time,
-            end,
-            exit_segment,
-        },
-        deployments,
-    })
+    buffers.log.user_id = user_id;
+    buffers.log.video_id = video.id;
+    buffers.log.video_duration = video_duration;
+    buffers.log.watch_time = watch_time;
+    buffers.log.end = end;
+    buffers.log.exit_segment = exit_segment;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -219,6 +308,65 @@ mod tests {
             "stall-heavy session must trigger OBO"
         );
         assert!(!out.deployments.is_empty());
+    }
+
+    #[test]
+    fn buffered_variant_matches_allocating_variant() {
+        let cat = catalog();
+        let trace = BandwidthTrace::constant(900.0, 2000, 1.0).unwrap();
+        let profile = StallProfile::new(SensitivityKind::Sensitive, 2.0, 0.3).unwrap();
+        let run_fresh = |s: usize| {
+            let mut abr = Hyb::default_rule();
+            let mut controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+            let mut predictor = ProfilePredictor {
+                profile,
+                base: 0.01,
+            };
+            let mut user = QosExitModel::calibrated(profile);
+            let mut rng = StdRng::seed_from_u64(100 + s as u64);
+            run_managed_session(
+                9,
+                cat.video_cyclic(s),
+                cat.ladder(),
+                &trace,
+                PlayerConfig::deterministic(10.0, 0.0),
+                &mut abr,
+                &mut controller,
+                &mut predictor,
+                &mut user,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        // One reused buffer across sessions must reproduce each fresh run.
+        let mut buffers = SessionBuffers::new();
+        for s in 0..3 {
+            let mut abr = Hyb::default_rule();
+            let mut controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+            let mut predictor = ProfilePredictor {
+                profile,
+                base: 0.01,
+            };
+            let mut user = QosExitModel::calibrated(profile);
+            let mut rng = StdRng::seed_from_u64(100 + s as u64);
+            run_managed_session_in(
+                9,
+                cat.video_cyclic(s),
+                cat.ladder(),
+                &trace,
+                PlayerConfig::deterministic(10.0, 0.0),
+                &mut abr,
+                &mut controller,
+                &mut predictor,
+                &mut user,
+                &mut buffers,
+                &mut rng,
+            )
+            .unwrap();
+            let fresh = run_fresh(s);
+            assert_eq!(buffers.log(), &fresh.log, "session {s} log diverged");
+            assert_eq!(buffers.deployments(), &fresh.deployments[..]);
+        }
     }
 
     #[test]

@@ -96,26 +96,60 @@ impl StateStore {
         }
     }
 
-    /// User ids currently persisted.
+    /// User ids currently persisted. Lossy: entries that do not parse as
+    /// `user_<id>.json` are dropped; use [`StateStore::scan`] when the
+    /// caller must know about them (fleet startup does).
     pub fn list(&self) -> Result<Vec<u64>> {
-        let mut ids = Vec::new();
+        Ok(self.scan()?.ids)
+    }
+
+    /// Enumerate the store, reporting malformed entries instead of silently
+    /// dropping them: a corrupt or foreign filename in the state directory
+    /// means a user whose history would otherwise vanish without a trace.
+    pub fn scan(&self) -> Result<StateScan> {
+        let mut scan = StateScan::default();
         let entries = fs::read_dir(&self.dir)
             .map_err(|e| CoreError::Persistence(format!("list {:?}: {e}", self.dir)))?;
         for entry in entries.flatten() {
-            if let Some(name) = entry.file_name().to_str() {
-                if let Some(stem) = name
-                    .strip_prefix("user_")
-                    .and_then(|s| s.strip_suffix(".json"))
-                {
-                    if let Ok(id) = stem.parse() {
-                        ids.push(id);
-                    }
-                }
+            if entry.path().is_dir() {
+                continue;
+            }
+            let raw = entry.file_name();
+            let Some(name) = raw.to_str() else {
+                scan.warnings.push("non-UTF-8 filename in state dir".into());
+                continue;
+            };
+            if name.ends_with(".json.tmp") {
+                // Write-then-rename leftovers from a crash mid-save: the
+                // rename never landed, so the durable copy is still intact.
+                scan.warnings.push(format!("stale temp file {name}"));
+                continue;
+            }
+            match name
+                .strip_prefix("user_")
+                .and_then(|s| s.strip_suffix(".json"))
+            {
+                Some(stem) => match stem.parse() {
+                    Ok(id) => scan.ids.push(id),
+                    Err(_) => scan.warnings.push(format!("unparseable user id in {name}")),
+                },
+                None => scan.warnings.push(format!("foreign file {name}")),
             }
         }
-        ids.sort_unstable();
-        Ok(ids)
+        scan.ids.sort_unstable();
+        scan.warnings.sort_unstable();
+        Ok(scan)
     }
+}
+
+/// Result of [`StateStore::scan`]: the parseable user ids plus one warning
+/// per entry that could not be attributed to a user.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StateScan {
+    /// User ids persisted under well-formed names, ascending.
+    pub ids: Vec<u64>,
+    /// Human-readable descriptions of malformed entries, sorted.
+    pub warnings: Vec<String>,
 }
 
 #[cfg(test)]
@@ -163,6 +197,27 @@ mod tests {
         assert!(store.delete(2).unwrap());
         assert!(!store.delete(2).unwrap());
         assert_eq!(store.list().unwrap(), vec![1, 3]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_reports_malformed_entries() {
+        let dir = temp_dir("scan");
+        let store = StateStore::open(&dir).unwrap();
+        for id in [4u64, 9] {
+            store.save(&LongTermState::new(id)).unwrap();
+        }
+        fs::write(dir.join("user_notanumber.json"), "{}").unwrap();
+        fs::write(dir.join("README.txt"), "hello").unwrap();
+        fs::write(dir.join("user_3.json.tmp"), "{").unwrap();
+        let scan = store.scan().unwrap();
+        assert_eq!(scan.ids, vec![4, 9]);
+        assert_eq!(scan.warnings.len(), 3, "warnings: {:?}", scan.warnings);
+        assert!(scan.warnings.iter().any(|w| w.contains("user_notanumber")));
+        assert!(scan.warnings.iter().any(|w| w.contains("README.txt")));
+        assert!(scan.warnings.iter().any(|w| w.contains("user_3.json.tmp")));
+        // `list` stays lossy but consistent with the scan.
+        assert_eq!(store.list().unwrap(), scan.ids);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,138 @@
+//! Property-based equivalence of the sharded write-behind cache and the
+//! direct [`StateStore`] path.
+//!
+//! The contract under test (see `lingxi_core::cache`): for ANY interleaving
+//! of save/load/evict/flush — across any shard count and any LRU capacity,
+//! including capacities small enough to force evictions mid-sequence —
+//! every `load` observes exactly what the direct store path would, and
+//! after a final `flush` the durable layer holds exactly the same
+//! [`LongTermState`] per user as a store written directly.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lingxi_core::{CacheConfig, LongTermState, ShardedStateCache, StateStore};
+use proptest::prelude::*;
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "lingxi_cache_props_{tag}_{}_{n}",
+        std::process::id()
+    ))
+}
+
+/// A distinguishable state: `stamp` lands in fields the serializer carries,
+/// so stale or lost writes are caught by equality.
+fn state_for(user: u64, stamp: u8) -> LongTermState {
+    let mut s = LongTermState::new(user);
+    s.optimizations = stamp as usize + 1;
+    s.params.beta = 0.1 + stamp as f64 / 512.0;
+    s.tracker.push_segment(800.0, 700.0 + stamp as f64, 2.0);
+    s
+}
+
+proptest! {
+    // Filesystem-heavy: keep the default case count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_interleaving_roundtrips_like_direct_store(
+        // (op, user, stamp): 0 = save, 1 = load, 2 = evict, 3 = flush.
+        ops in proptest::collection::vec((0u8..4, 0u64..12, 0u8..=254), 1..60),
+        shards in 1usize..5,
+        capacity in 1usize..6,
+    ) {
+        let cache_dir = fresh_dir("cache");
+        let direct_dir = fresh_dir("direct");
+        let cache = ShardedStateCache::new(
+            StateStore::open(&cache_dir).unwrap(),
+            CacheConfig {
+                shards,
+                capacity_per_shard: capacity,
+                write_through: false,
+            },
+        )
+        .unwrap();
+        let direct = StateStore::open(&direct_dir).unwrap();
+
+        for (op, user, stamp) in &ops {
+            match op {
+                0 => {
+                    let s = state_for(*user, *stamp);
+                    cache.save(&s).unwrap();
+                    direct.save(&s).unwrap();
+                }
+                1 => {
+                    // Cached read must observe exactly the direct value.
+                    prop_assert_eq!(cache.load(*user).unwrap(), direct.load(*user).unwrap());
+                }
+                2 => {
+                    // Eviction is invisible to the API contract.
+                    cache.evict(*user).unwrap();
+                }
+                _ => {
+                    cache.flush().unwrap();
+                }
+            }
+        }
+        cache.flush().unwrap();
+
+        // Durable layers now agree: same users, same state per user.
+        let behind = cache.store().list().unwrap();
+        prop_assert_eq!(&behind, &direct.list().unwrap());
+        for id in behind {
+            prop_assert_eq!(
+                cache.store().load(id).unwrap(),
+                direct.load(id).unwrap()
+            );
+        }
+        // And reads through the (now clean) cache still match.
+        for user in 0u64..12 {
+            prop_assert_eq!(cache.load(user).unwrap(), direct.load(user).unwrap());
+        }
+
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let _ = std::fs::remove_dir_all(&direct_dir);
+    }
+
+    #[test]
+    fn write_through_and_write_behind_agree(
+        ops in proptest::collection::vec((0u8..2, 0u64..8, 0u8..=254), 1..40),
+    ) {
+        let wb_dir = fresh_dir("wb");
+        let wt_dir = fresh_dir("wt");
+        let wb = ShardedStateCache::new(
+            StateStore::open(&wb_dir).unwrap(),
+            CacheConfig { shards: 3, capacity_per_shard: 2, write_through: false },
+        )
+        .unwrap();
+        let wt = ShardedStateCache::new(
+            StateStore::open(&wt_dir).unwrap(),
+            CacheConfig { shards: 1, capacity_per_shard: 64, write_through: true },
+        )
+        .unwrap();
+        for (op, user, stamp) in &ops {
+            match op {
+                0 => {
+                    let s = state_for(*user, *stamp);
+                    wb.save(&s).unwrap();
+                    wt.save(&s).unwrap();
+                }
+                _ => {
+                    prop_assert_eq!(wb.load(*user).unwrap(), wt.load(*user).unwrap());
+                }
+            }
+        }
+        wb.flush().unwrap();
+        wt.flush().unwrap();
+        prop_assert_eq!(
+            wb.store().list().unwrap(),
+            wt.store().list().unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&wb_dir);
+        let _ = std::fs::remove_dir_all(&wt_dir);
+    }
+}

@@ -15,6 +15,19 @@
 //! five per-row 1-D convolutions (kernel 4, 64 channels), a merge, an
 //! FC-64 and an FC-2 softmax head (Fig. 7), trained with cross-entropy on
 //! balanced-undersampled stall events (§3.3 "Dataset and Preprocessing").
+//!
+//! ```
+//! use lingxi_exit::UserStateTracker;
+//!
+//! // The tracker turns live playback into the 5×8 state matrix the
+//! // predictor consumes (§3.3).
+//! let mut tracker = UserStateTracker::new();
+//! tracker.push_segment(800.0, 1500.0, 2.0);
+//! tracker.push_stall(2.5);
+//! assert_eq!(tracker.recent_stall_count(), 1);
+//! let matrix = tracker.matrix();
+//! assert_eq!(matrix.rows.len(), lingxi_exit::N_DIMS);
+//! ```
 
 pub mod dataset;
 pub mod features;

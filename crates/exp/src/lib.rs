@@ -9,6 +9,17 @@
 //!
 //! Absolute values are simulator-scale, not production-scale; what must
 //! match the paper is the *shape* of each series (see EXPERIMENTS.md).
+//!
+//! ```
+//! use lingxi_exp::{ExperimentResult, Series};
+//!
+//! // Every experiment returns this renderable/CSV-dumpable container.
+//! let mut r = ExperimentResult::new("fig00", "doc example");
+//! r.headline_value("effect", 0.146);
+//! r.push_series(Series::from_xy("curve", &[(0.0, 1.0), (1.0, 0.5)]));
+//! assert!(r.render().contains("fig00"));
+//! assert_eq!(r.series_named("curve").unwrap().ys(), vec![1.0, 0.5]);
+//! ```
 
 pub mod datasets;
 pub mod fig01_qos_saturation;
@@ -24,6 +35,7 @@ pub mod fig12_abtest;
 pub mod fig13_longtail;
 pub mod fig14_correlation;
 pub mod fig15_trajectories;
+pub mod fleet;
 pub mod report;
 pub mod world;
 
@@ -64,7 +76,9 @@ pub fn sub<E: std::fmt::Display>(e: E) -> ExpError {
     ExpError::Subsystem(e.to_string())
 }
 
-/// All experiment ids in paper order.
+/// All paper-figure experiment ids in paper order. The `fleet` scale
+/// experiment (see [`fleet`]) is run explicitly by id — it is a systems
+/// benchmark, not a figure, so `all` does not include it.
 pub const ALL_EXPERIMENTS: [&str; 13] = [
     "fig01", "fig02", "fig03", "fig04", "fig05", "fig08", "fig09", "fig10", "fig11", "fig12",
     "fig13", "fig14", "fig15",
@@ -86,6 +100,7 @@ pub fn run_experiment(id: &str, seed: u64, scale: f64) -> Result<ExperimentResul
         "fig13" => fig13_longtail::run(seed, scale),
         "fig14" => fig14_correlation::run(seed, scale),
         "fig15" => fig15_trajectories::run(seed, scale),
+        "fleet" => fleet::run(seed, scale),
         other => Err(ExpError::Subsystem(format!("unknown experiment {other}"))),
     }
 }

@@ -1,0 +1,294 @@
+//! Fleet configuration: engine sizing and the scenario matrix axes
+//! (population mix × trace mix × ABR mix).
+
+use std::path::PathBuf;
+
+use lingxi_abr::{Abr, Bola, Hyb, ThroughputRule};
+use lingxi_core::{CacheConfig, LingXiConfig};
+use lingxi_net::ProductionMixture;
+use lingxi_player::PlayerConfig;
+
+use crate::{mix64, FleetError, Result};
+
+/// A/B mode: split the population into control/treatment cohorts by user-id
+/// parity and intervene (enable LingXi management) on the treatment cohort
+/// from `intervention_epoch` on. Per-epoch cohort metrics then feed the
+/// difference-in-differences pipeline of `lingxi-abtest` at population
+/// scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbSplit {
+    /// First epoch (0-based) on which the treatment cohort is managed;
+    /// earlier epochs form the AA phase. The DiD t-test needs ≥ 2 epochs
+    /// on each side.
+    pub intervention_epoch: usize,
+}
+
+/// Which ABR a user runs. Only HYB is LingXi-managed (its β is the knob
+/// the §5.3 deployment tunes); the rate- and buffer-based baselines run
+/// plain, which keeps the fleet workload heterogeneous like production.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbrPolicy {
+    /// HYB under LingXi management.
+    Hyb,
+    /// Rate-based baseline (FESTIVE/PANDA family).
+    Throughput,
+    /// BOLA (Lyapunov buffer control).
+    Bola,
+}
+
+impl AbrPolicy {
+    /// Instantiate the algorithm.
+    pub fn build(&self) -> Box<dyn Abr> {
+        match self {
+            AbrPolicy::Hyb => Box::new(Hyb::default_rule()),
+            AbrPolicy::Throughput => Box::new(ThroughputRule::default_rule()),
+            AbrPolicy::Bola => Box::new(Bola::default_rule()),
+        }
+    }
+
+    /// Whether LingXi manages this policy's parameters.
+    pub fn managed(&self) -> bool {
+        matches!(self, AbrPolicy::Hyb)
+    }
+
+    /// The controller configuration used when managed.
+    pub fn lingxi_config(&self) -> LingXiConfig {
+        LingXiConfig::for_hyb()
+    }
+}
+
+/// The ABR-mix axis of the scenario matrix: deterministic per-user policy
+/// assignment by hashed user id, so the mix is shard-count invariant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbrMix {
+    /// Fraction of users on LingXi-managed HYB.
+    pub p_hyb: f64,
+    /// Fraction on the throughput rule; the remainder runs BOLA.
+    pub p_throughput: f64,
+}
+
+impl Default for AbrMix {
+    fn default() -> Self {
+        Self {
+            p_hyb: 0.6,
+            p_throughput: 0.25,
+        }
+    }
+}
+
+impl AbrMix {
+    /// Everyone on LingXi-managed HYB (the A/B scenario).
+    pub fn all_hyb() -> Self {
+        Self {
+            p_hyb: 1.0,
+            p_throughput: 0.0,
+        }
+    }
+
+    /// Validate the mix weights.
+    pub fn validate(&self) -> Result<()> {
+        let ok = (0.0..=1.0).contains(&self.p_hyb)
+            && (0.0..=1.0).contains(&self.p_throughput)
+            && self.p_hyb + self.p_throughput <= 1.0 + 1e-12;
+        if !ok {
+            return Err(FleetError::InvalidConfig(
+                "ABR mix weights must be in [0,1] and sum to at most 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The policy a given user runs (stable under any shard count).
+    pub fn policy_for(&self, user_id: u64) -> AbrPolicy {
+        let u = (mix64(user_id ^ 0xAB12_34CD_56EF_7890) >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.p_hyb {
+            AbrPolicy::Hyb
+        } else if u < self.p_hyb + self.p_throughput {
+            AbrPolicy::Throughput
+        } else {
+            AbrPolicy::Bola
+        }
+    }
+}
+
+/// Engine sizing and policy (scenario-independent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Worker shards (threads). User ids hash onto shards.
+    pub shards: usize,
+    /// Simulated days; state persists across epochs through the cache.
+    pub epochs: usize,
+    /// Base seed; every (user, epoch) derives its own stream, so results
+    /// do not depend on the shard count.
+    pub seed: u64,
+    /// Directory backing the durable [`lingxi_core::StateStore`]. Reusing
+    /// a non-empty directory warm-starts users from persisted state (a
+    /// production restart); use a fresh directory for reproducible runs.
+    pub state_dir: PathBuf,
+    /// Sharded state-cache sizing.
+    pub cache: CacheConfig,
+    /// Player model configuration.
+    pub player: PlayerConfig,
+    /// A/B cohort mode; `None` runs the whole population as one cohort.
+    pub ab: Option<AbSplit>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            epochs: 2,
+            seed: 42,
+            state_dir: std::env::temp_dir().join("lingxi_fleet_state"),
+            cache: CacheConfig::default(),
+            player: PlayerConfig::default(),
+            ab: None,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(FleetError::InvalidConfig("need at least one shard".into()));
+        }
+        if self.epochs == 0 {
+            return Err(FleetError::InvalidConfig("need at least one epoch".into()));
+        }
+        self.cache.validate().map_err(crate::sub)?;
+        if let Some(ab) = &self.ab {
+            if ab.intervention_epoch < 2 || self.epochs.saturating_sub(ab.intervention_epoch) < 2 {
+                return Err(FleetError::InvalidConfig(
+                    "A/B mode needs >= 2 epochs on each side of the intervention".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One cell of the scenario matrix: a population, its network (trace) mix
+/// and its ABR mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScenario {
+    /// Scenario label for reports.
+    pub name: String,
+    /// Population size.
+    pub n_users: usize,
+    /// Catalog size.
+    pub n_videos: usize,
+    /// Mean sessions per user per epoch (engagement — the population-mix
+    /// axis together with `n_users`).
+    pub mean_sessions_per_epoch: f64,
+    /// Bandwidth-population mixture (the trace-mix axis).
+    pub mixture: ProductionMixture,
+    /// ABR assignment mix.
+    pub abr_mix: AbrMix,
+}
+
+impl Default for FleetScenario {
+    fn default() -> Self {
+        Self {
+            name: "default".into(),
+            n_users: 1000,
+            n_videos: 40,
+            mean_sessions_per_epoch: 4.0,
+            mixture: ProductionMixture::default(),
+            abr_mix: AbrMix::default(),
+        }
+    }
+}
+
+impl FleetScenario {
+    /// Validate the scenario.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_users == 0 || self.n_videos == 0 {
+            return Err(FleetError::InvalidConfig(
+                "need at least one user and one video".into(),
+            ));
+        }
+        if !(self.mean_sessions_per_epoch > 0.0) {
+            return Err(FleetError::InvalidConfig(
+                "mean sessions per epoch must be positive".into(),
+            ));
+        }
+        self.mixture.validate().map_err(crate::sub)?;
+        self.abr_mix.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abr_mix_assignment_matches_weights() {
+        let mix = AbrMix {
+            p_hyb: 0.5,
+            p_throughput: 0.3,
+        };
+        let n = 20_000u64;
+        let mut counts = [0usize; 3];
+        for id in 0..n {
+            match mix.policy_for(id) {
+                AbrPolicy::Hyb => counts[0] += 1,
+                AbrPolicy::Throughput => counts[1] += 1,
+                AbrPolicy::Bola => counts[2] += 1,
+            }
+        }
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!((frac(counts[0]) - 0.5).abs() < 0.02, "{counts:?}");
+        assert!((frac(counts[1]) - 0.3).abs() < 0.02, "{counts:?}");
+        assert!((frac(counts[2]) - 0.2).abs() < 0.02, "{counts:?}");
+        // Stable: same id, same policy.
+        assert_eq!(mix.policy_for(123), mix.policy_for(123));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(FleetConfig {
+            shards: 0,
+            ..FleetConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FleetConfig {
+            epochs: 0,
+            ..FleetConfig::default()
+        }
+        .validate()
+        .is_err());
+        // A/B phases too short.
+        assert!(FleetConfig {
+            epochs: 3,
+            ab: Some(AbSplit {
+                intervention_epoch: 2
+            }),
+            ..FleetConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FleetConfig {
+            epochs: 4,
+            ab: Some(AbSplit {
+                intervention_epoch: 2
+            }),
+            ..FleetConfig::default()
+        }
+        .validate()
+        .is_ok());
+        assert!(FleetScenario {
+            n_users: 0,
+            ..FleetScenario::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AbrMix {
+            p_hyb: 0.8,
+            p_throughput: 0.5,
+        }
+        .validate()
+        .is_err());
+    }
+}

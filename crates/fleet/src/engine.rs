@@ -1,0 +1,491 @@
+//! The sharded fleet engine: shard workers, epoch barriers, deterministic
+//! metric merge.
+//!
+//! Determinism model: every (user, epoch) derives its own RNG stream from
+//! the base seed alone — never from the shard id or thread schedule — and
+//! a user's long-term state is only ever touched by the worker that owns
+//! the user in that epoch. Any partition of users over shards therefore
+//! computes identical per-user results, and the epoch-barrier merge folds
+//! them in ascending user-id order, so merged metrics are bit-identical
+//! for any shard count.
+
+use std::time::Instant;
+
+use lingxi_abr::AbrContext;
+use lingxi_abtest::{aggregate_day, did_report, AbSchedule};
+use lingxi_core::{
+    run_managed_session_in, LingXiController, ProfilePredictor, SessionBuffers, ShardedStateCache,
+    StateStore,
+};
+use lingxi_media::{BitrateLadder, Catalog, CatalogConfig, VbrModel};
+use lingxi_player::{run_session, ExitDecision, SessionSetup, SessionSummary};
+use lingxi_user::{
+    ExitModel, PopulationConfig, SegmentView, ToleranceDrift, UserPopulation, UserRecord,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{AbrPolicy, FleetConfig, FleetScenario};
+use crate::report::{EpochMetrics, FleetReport};
+use crate::{mix64, sub, FleetError, Result};
+
+/// One user's sessions for one epoch, as produced by a shard worker.
+struct UserEpochRow {
+    user_id: u64,
+    summaries: Vec<SessionSummary>,
+}
+
+/// The fleet-simulation engine.
+#[derive(Debug)]
+pub struct FleetEngine {
+    config: FleetConfig,
+}
+
+impl FleetEngine {
+    /// Create an engine; validates the configuration.
+    pub fn new(config: FleetConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Which shard owns a user.
+    fn shard_of(&self, user_id: u64) -> usize {
+        (mix64(user_id) % self.config.shards as u64) as usize
+    }
+
+    /// Per-(user, epoch) RNG stream, independent of shard count.
+    fn stream_seed(&self, user_id: u64, epoch: usize) -> u64 {
+        mix64(self.config.seed ^ mix64(user_id) ^ mix64((epoch as u64) << 17 | 0x5EED))
+    }
+
+    /// Whether this user's sessions run under LingXi management in `epoch`
+    /// (A/B mode gates the odd-id treatment cohort on the intervention).
+    fn lingxi_active(&self, user_id: u64, epoch: usize) -> bool {
+        match &self.config.ab {
+            None => true,
+            Some(ab) => user_id % 2 == 1 && epoch >= ab.intervention_epoch,
+        }
+    }
+
+    /// Run one scenario to completion.
+    pub fn run(&self, scenario: &FleetScenario) -> Result<FleetReport> {
+        scenario.validate()?;
+
+        // World construction is deterministic from (seed, scenario).
+        let mut world_rng = StdRng::seed_from_u64(self.config.seed);
+        let catalog = Catalog::generate(
+            BitrateLadder::default_short_video(),
+            &CatalogConfig {
+                n_videos: scenario.n_videos,
+                vbr: VbrModel::default_vbr(),
+                ..CatalogConfig::default()
+            },
+            &mut world_rng,
+        )
+        .map_err(sub)?;
+        let population = UserPopulation::generate(
+            &PopulationConfig {
+                n_users: scenario.n_users,
+                mixture: scenario.mixture,
+                mean_sessions_per_day: scenario.mean_sessions_per_epoch,
+            },
+            &mut world_rng,
+        )
+        .map_err(sub)?;
+
+        // Durable layer + cache; surface the startup scan instead of
+        // silently dropping users behind corrupt filenames.
+        let store = StateStore::open(&self.config.state_dir).map_err(sub)?;
+        let state_warnings = store.scan().map_err(sub)?.warnings;
+        let cache = ShardedStateCache::new(store, self.config.cache).map_err(sub)?;
+
+        // Hash users onto shards (ascending id within each shard).
+        let mut shard_users: Vec<Vec<UserRecord>> = vec![Vec::new(); self.config.shards];
+        for user in population.users() {
+            shard_users[self.shard_of(user.id)].push(*user);
+        }
+
+        let start = Instant::now();
+        let mut epochs = Vec::with_capacity(self.config.epochs);
+        let mut sessions = 0usize;
+        let mut segments = 0usize;
+        for epoch in 0..self.config.epochs {
+            // ---- parallel phase: one worker per shard ----
+            let shard_results: Vec<std::result::Result<Result<Vec<UserEpochRow>>, String>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = shard_users
+                        .iter()
+                        .map(|users| {
+                            let catalog = &catalog;
+                            let cache = &cache;
+                            scope.spawn(move || {
+                                self.run_shard_epoch(users, epoch, scenario, catalog, cache)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().map_err(|p| {
+                                p.downcast_ref::<String>()
+                                    .cloned()
+                                    .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                                    .unwrap_or_else(|| "unknown panic".into())
+                            })
+                        })
+                        .collect()
+                });
+
+            // ---- epoch barrier: merge in user-id order, then flush ----
+            let mut rows: Vec<UserEpochRow> = Vec::with_capacity(population.len());
+            for result in shard_results {
+                rows.extend(result.map_err(FleetError::WorkerPanic)??);
+            }
+            rows.sort_by_key(|r| r.user_id);
+
+            let ab_mode = self.config.ab.is_some();
+            let mut all = Vec::new();
+            let mut control = Vec::new();
+            let mut treatment = Vec::new();
+            for row in &rows {
+                sessions += row.summaries.len();
+                segments += row.summaries.iter().map(|s| s.segments).sum::<usize>();
+                all.extend(row.summaries.iter().copied());
+                if ab_mode {
+                    if row.user_id % 2 == 0 {
+                        control.extend(row.summaries.iter().copied());
+                    } else {
+                        treatment.extend(row.summaries.iter().copied());
+                    }
+                }
+            }
+            let flushed = cache.flush().map_err(sub)?;
+            epochs.push(EpochMetrics {
+                epoch,
+                all: aggregate_day(&all),
+                control: ab_mode.then(|| aggregate_day(&control)),
+                treatment: ab_mode.then(|| aggregate_day(&treatment)),
+                flushed,
+            });
+        }
+        let elapsed = start.elapsed();
+
+        // Population-scale DiD over the per-epoch cohort metrics.
+        let did = match &self.config.ab {
+            Some(ab) => Some(
+                did_report(
+                    AbSchedule {
+                        days: self.config.epochs,
+                        intervention_day: ab.intervention_epoch,
+                    },
+                    epochs.iter().filter_map(|e| e.control).collect(),
+                    epochs.iter().filter_map(|e| e.treatment).collect(),
+                )
+                .map_err(sub)?,
+            ),
+            None => None,
+        };
+
+        Ok(FleetReport {
+            scenario: scenario.name.clone(),
+            shards: self.config.shards,
+            users: population.len(),
+            epochs,
+            sessions,
+            segments,
+            elapsed,
+            cache: cache.stats(),
+            state_warnings,
+            did,
+        })
+    }
+
+    /// One shard worker's epoch: run every owned user's sessions.
+    fn run_shard_epoch(
+        &self,
+        users: &[UserRecord],
+        epoch: usize,
+        scenario: &FleetScenario,
+        catalog: &Catalog,
+        cache: &ShardedStateCache,
+    ) -> Result<Vec<UserEpochRow>> {
+        let drift = ToleranceDrift::default();
+        let mut buffers = SessionBuffers::new();
+        let mut rows = Vec::with_capacity(users.len());
+        for user in users {
+            let mut rng = StdRng::seed_from_u64(self.stream_seed(user.id, epoch));
+            let policy = scenario.abr_mix.policy_for(user.id);
+            let managed = policy.managed() && self.lingxi_active(user.id, epoch);
+            let summaries = self.run_user_epoch(
+                user,
+                catalog,
+                cache,
+                policy,
+                managed,
+                &drift,
+                &mut buffers,
+                &mut rng,
+            )?;
+            rows.push(UserEpochRow {
+                user_id: user.id,
+                summaries,
+            });
+        }
+        Ok(rows)
+    }
+
+    /// Sessions a user plays this epoch (Poisson-ish jitter around the
+    /// user's engagement level, drawn from the user's own stream).
+    fn sessions_this_epoch<R: Rng>(&self, user: &UserRecord, rng: &mut R) -> usize {
+        let jitter = 0.5 + rng.gen::<f64>();
+        ((user.sessions_per_day * jitter).round() as usize).clamp(1, 60)
+    }
+
+    /// Run one user's epoch worth of sessions.
+    #[allow(clippy::too_many_arguments)]
+    fn run_user_epoch(
+        &self,
+        user: &UserRecord,
+        catalog: &Catalog,
+        cache: &ShardedStateCache,
+        policy: AbrPolicy,
+        managed: bool,
+        drift: &ToleranceDrift,
+        buffers: &mut SessionBuffers,
+        rng: &mut StdRng,
+    ) -> Result<Vec<SessionSummary>> {
+        let n_sessions = self.sessions_this_epoch(user, rng);
+        let mut exit_model = user.exit_model_for_day(drift, rng);
+        let mut abr = policy.build();
+        let ladder = catalog.ladder();
+        let mut summaries = Vec::with_capacity(n_sessions);
+
+        if managed {
+            // Warm-start the controller from the user's persisted state.
+            let mut state = cache.load_or_new(user.id).map_err(sub)?;
+            let mut controller = LingXiController::with_state(
+                policy.lingxi_config(),
+                state.tracker.clone(),
+                state.params,
+            )
+            .map_err(sub)?;
+            let mut predictor = ProfilePredictor {
+                profile: user.stall,
+                base: 0.015,
+            };
+            for _ in 0..n_sessions {
+                let video = catalog.sample(rng);
+                let seconds = ((video.duration() * 3.0) as usize).max(60);
+                let trace = user.net.trace(seconds, 1.0, rng).map_err(sub)?;
+                abr.reset();
+                run_managed_session_in(
+                    user.id,
+                    video,
+                    ladder,
+                    &trace,
+                    self.config.player,
+                    abr.as_mut(),
+                    &mut controller,
+                    &mut predictor,
+                    &mut exit_model,
+                    buffers,
+                    rng,
+                )
+                .map_err(sub)?;
+                summaries.push(buffers.log().summary());
+            }
+            // Write-behind: dirty the cache entry; the epoch barrier (or an
+            // LRU eviction) batches it into the durable store.
+            state.tracker = controller.tracker().clone();
+            state.params = controller.params();
+            state.optimizations += controller.optimizations();
+            cache.save(&state).map_err(sub)?;
+        } else {
+            for _ in 0..n_sessions {
+                let video = catalog.sample(rng);
+                let seconds = ((video.duration() * 3.0) as usize).max(60);
+                let trace = user.net.trace(seconds, 1.0, rng).map_err(sub)?;
+                abr.reset();
+                exit_model.reset_session();
+                let setup = SessionSetup {
+                    user_id: user.id,
+                    video,
+                    ladder,
+                    trace: &trace,
+                    config: self.config.player,
+                };
+                let sizes = &video.sizes;
+                let log = run_session(
+                    &setup,
+                    |env| {
+                        let ctx = AbrContext {
+                            ladder,
+                            sizes,
+                            next_segment: env.segment_index(),
+                            segment_duration: sizes.segment_duration(),
+                        };
+                        abr.select(env, &ctx)
+                    },
+                    |env, record, r| {
+                        let view = SegmentView {
+                            env,
+                            record,
+                            ladder,
+                        };
+                        if exit_model.decide(&view, r) {
+                            ExitDecision::Exit
+                        } else {
+                            ExitDecision::Continue
+                        }
+                    },
+                    rng,
+                )
+                .map_err(sub)?;
+                summaries.push(log.summary());
+            }
+        }
+        Ok(summaries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AbSplit, AbrMix};
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lingxi_fleet_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_scenario() -> FleetScenario {
+        FleetScenario {
+            name: "small".into(),
+            n_users: 24,
+            n_videos: 8,
+            mean_sessions_per_epoch: 2.0,
+            ..FleetScenario::default()
+        }
+    }
+
+    #[test]
+    fn merged_metrics_identical_across_shard_counts() {
+        let scenario = small_scenario();
+        let run = |shards: usize, tag: &str| {
+            let dir = temp_dir(tag);
+            let config = FleetConfig {
+                shards,
+                epochs: 2,
+                seed: 7,
+                state_dir: dir.clone(),
+                ..FleetConfig::default()
+            };
+            let report = FleetEngine::new(config).unwrap().run(&scenario).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            report
+        };
+        let one = run(1, "inv1");
+        let four = run(4, "inv4");
+        assert_eq!(one.merged_metrics(), four.merged_metrics());
+        assert_eq!(one.sessions, four.sessions);
+        assert_eq!(one.segments, four.segments);
+        assert!(one.sessions >= 24, "every user plays >= 1 session");
+    }
+
+    #[test]
+    fn ab_mode_produces_population_did() {
+        let dir = temp_dir("ab");
+        let config = FleetConfig {
+            shards: 3,
+            epochs: 4,
+            seed: 11,
+            state_dir: dir.clone(),
+            ab: Some(AbSplit {
+                intervention_epoch: 2,
+            }),
+            ..FleetConfig::default()
+        };
+        let scenario = FleetScenario {
+            abr_mix: AbrMix::all_hyb(),
+            ..small_scenario()
+        };
+        let report = FleetEngine::new(config).unwrap().run(&scenario).unwrap();
+        let did = report.did.expect("A/B mode reports DiD");
+        assert_eq!(did.watch_time.daily_rel_diff_pct.len(), 4);
+        assert!(did.watch_time.did.effect.is_finite());
+        for e in &report.epochs {
+            let c = e.control.unwrap();
+            let t = e.treatment.unwrap();
+            assert!(c.sessions > 0 && t.sessions > 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn state_persists_and_warm_starts_across_runs() {
+        let dir = temp_dir("persist");
+        let scenario = FleetScenario {
+            abr_mix: AbrMix::all_hyb(),
+            // Constrained-heavy mixture so stalls (and optimizations) occur.
+            mixture: lingxi_net::ProductionMixture {
+                p_constrained: 0.6,
+                p_cellular: 0.3,
+                p_wifi: 0.1,
+            },
+            ..small_scenario()
+        };
+        let config = FleetConfig {
+            shards: 2,
+            epochs: 1,
+            seed: 3,
+            state_dir: dir.clone(),
+            ..FleetConfig::default()
+        };
+        let first = FleetEngine::new(config.clone())
+            .unwrap()
+            .run(&scenario)
+            .unwrap();
+        assert!(first.state_warnings.is_empty());
+        let persisted = StateStore::open(&dir).unwrap().list().unwrap();
+        assert_eq!(persisted.len(), 24, "write-behind flushed all users");
+        // Second run warm-starts from disk and surfaces corrupt entries.
+        std::fs::write(dir.join("user_oops.json"), "{").unwrap();
+        let second = FleetEngine::new(config).unwrap().run(&scenario).unwrap();
+        assert_eq!(second.state_warnings.len(), 1);
+        assert!(second.state_warnings[0].contains("user_oops"));
+        assert!(second.cache.misses > 0, "warm start loads from the store");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn abr_mix_runs_unmanaged_policies() {
+        let dir = temp_dir("mix");
+        let config = FleetConfig {
+            shards: 2,
+            epochs: 1,
+            seed: 5,
+            state_dir: dir.clone(),
+            ..FleetConfig::default()
+        };
+        let scenario = FleetScenario {
+            // No HYB users at all: nothing is managed, no state persists.
+            abr_mix: AbrMix {
+                p_hyb: 0.0,
+                p_throughput: 0.5,
+            },
+            ..small_scenario()
+        };
+        let report = FleetEngine::new(config).unwrap().run(&scenario).unwrap();
+        assert!(report.sessions > 0);
+        assert_eq!(StateStore::open(&dir).unwrap().list().unwrap().len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,84 @@
+//! Fleet run reports: per-epoch merged metrics, throughput, cache
+//! behaviour and the optional population-scale DiD verdict.
+
+use std::time::Duration;
+
+use lingxi_abtest::{AbReport, DayMetrics};
+use lingxi_core::CacheStats;
+
+/// Metrics of one epoch, merged across shards at the epoch barrier.
+///
+/// The merge walks users in ascending user-id order regardless of which
+/// shard ran them, so every field is bit-identical for any shard count
+/// under the same seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochMetrics {
+    /// Epoch index (a simulated day).
+    pub epoch: usize,
+    /// Whole-population aggregate.
+    pub all: DayMetrics,
+    /// Control-cohort aggregate (A/B mode only).
+    pub control: Option<DayMetrics>,
+    /// Treatment-cohort aggregate (A/B mode only).
+    pub treatment: Option<DayMetrics>,
+    /// Write-behind entries persisted at this epoch's barrier flush.
+    /// Diagnostic: unlike the metric aggregates this *may* vary with shard
+    /// count, because LRU evictions already persisted some entries early.
+    pub flushed: usize,
+}
+
+/// Everything a fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Scenario label.
+    pub scenario: String,
+    /// Shard (worker thread) count used.
+    pub shards: usize,
+    /// Population size.
+    pub users: usize,
+    /// Per-epoch merged metrics.
+    pub epochs: Vec<EpochMetrics>,
+    /// Total sessions played.
+    pub sessions: usize,
+    /// Total segments downloaded.
+    pub segments: usize,
+    /// Wall-clock time of the epoch loop (excludes world construction).
+    pub elapsed: Duration,
+    /// State-cache behaviour counters.
+    pub cache: CacheStats,
+    /// Startup-scan warnings from the durable store (corrupt/foreign
+    /// filenames that would otherwise silently drop users).
+    pub state_warnings: Vec<String>,
+    /// Population-scale difference-in-differences over per-epoch cohort
+    /// metrics (A/B mode only).
+    pub did: Option<AbReport>,
+}
+
+impl FleetReport {
+    /// Sessions per wall-clock second — the fleet throughput metric.
+    pub fn sessions_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.sessions as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Segments per wall-clock second.
+    pub fn segments_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.segments as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The per-epoch whole-population metrics, for cross-run comparison:
+    /// two runs of the same seed and scenario must produce equal vectors
+    /// whatever their shard counts.
+    pub fn merged_metrics(&self) -> Vec<DayMetrics> {
+        self.epochs.iter().map(|e| e.all).collect()
+    }
+}

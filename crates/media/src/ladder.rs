@@ -42,7 +42,7 @@ impl QualityTier {
 ///
 /// The default ladder mirrors a short-video production ladder with one
 /// level per tier: 350 / 800 / 1850 / 4300 kbps. `Q_max` (the top bitrate)
-/// doubles as the stall-penalty weight μ in `QoE_lin` ("we set [μ] to the
+/// doubles as the stall-penalty weight μ in `QoE_lin` ("we set \[μ\] to the
 /// maximum video quality value", §2.1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BitrateLadder {

@@ -7,6 +7,17 @@
 //! LD / SD / HD / Full HD (Fig. 3, 4a). This crate owns all three, plus a
 //! generator for short-video catalogs whose duration distribution feeds the
 //! Monte-Carlo `T_sample` ("average length of online videos", §3.2).
+//!
+//! ```
+//! use lingxi_media::{BitrateLadder, SegmentSizes, VbrModel};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // CBR sizes are exactly bitrate × duration: 350 kbps × 2 s = 700 kbit.
+//! let ladder = BitrateLadder::default_short_video();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let sizes = SegmentSizes::generate(&ladder, 10, 2.0, &VbrModel::cbr(), &mut rng).unwrap();
+//! assert_eq!(sizes.size_kbits(0, 0).unwrap(), 700.0);
+//! ```
 
 pub mod catalog;
 pub mod ladder;

@@ -120,6 +120,49 @@ impl SegmentSizes {
         })
     }
 
+    /// Regenerate this size table in place for a (possibly different)
+    /// segment count, reusing the existing row allocations. The LingXi
+    /// Monte-Carlo hot path builds one virtual video per parameter
+    /// evaluation; refilling an owned table instead of calling
+    /// [`SegmentSizes::generate`] keeps that path allocation-free after
+    /// the first evaluation.
+    pub fn refill<R: Rng + ?Sized>(
+        &mut self,
+        ladder: &BitrateLadder,
+        n_segments: usize,
+        segment_duration: f64,
+        vbr: &VbrModel,
+        rng: &mut R,
+    ) -> Result<()> {
+        if n_segments == 0 {
+            return Err(MediaError::InvalidConfig(
+                "need at least one segment".into(),
+            ));
+        }
+        if !(segment_duration > 0.0) || !segment_duration.is_finite() {
+            return Err(MediaError::InvalidConfig(
+                "segment duration must be positive".into(),
+            ));
+        }
+        vbr.validate()?;
+        self.segment_duration = segment_duration;
+        self.sizes.resize_with(n_segments, Vec::new);
+        let levels = ladder.bitrates().len();
+        for row in &mut self.sizes {
+            row.resize(levels, 0.0);
+            let shared = vbr.factor(rng);
+            for (slot, &b) in row.iter_mut().zip(ladder.bitrates()) {
+                let f = if vbr.shared_complexity {
+                    shared
+                } else {
+                    vbr.factor(rng)
+                };
+                *slot = b * segment_duration * f;
+            }
+        }
+        Ok(())
+    }
+
     /// Number of segments.
     pub fn n_segments(&self) -> usize {
         self.sizes.len()
@@ -151,6 +194,27 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn refill_matches_generate_and_reshapes() {
+        let l = BitrateLadder::default_short_video();
+        let vbr = VbrModel::default_vbr();
+        let fresh = SegmentSizes::generate(&l, 24, 2.0, &vbr, &mut StdRng::seed_from_u64(9));
+        let mut reused =
+            SegmentSizes::generate(&l, 7, 4.0, &vbr, &mut StdRng::seed_from_u64(1)).unwrap();
+        reused
+            .refill(&l, 24, 2.0, &vbr, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(Some(&reused), fresh.as_ref().ok(), "same seed, same table");
+        // Shrinking works too, and validation still applies.
+        reused
+            .refill(&l, 3, 2.0, &vbr, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(reused.n_segments(), 3);
+        assert!(reused
+            .refill(&l, 0, 2.0, &vbr, &mut StdRng::seed_from_u64(9))
+            .is_err());
+    }
 
     #[test]
     fn cbr_sizes_exact() {

@@ -9,6 +9,15 @@
 //! population matching the published bandwidth CDF (Fig. 2a: only ~10% of
 //! users average below the top bitrate; the distribution stretches to
 //! ~50 Mbps).
+//!
+//! ```
+//! use lingxi_net::BandwidthTrace;
+//!
+//! // 5 Mbps flat for 60 s: downloading 5000 kbit takes exactly 1 s.
+//! let trace = BandwidthTrace::constant(5000.0, 60, 1.0).unwrap();
+//! assert_eq!(trace.at(10.0), 5000.0);
+//! assert!((trace.download_time(0.0, 5000.0) - 1.0).abs() < 1e-9);
+//! ```
 
 pub mod estimator;
 pub mod gen;

@@ -16,6 +16,16 @@
 //!   serialize with plain `serde` (the deployment section of the paper
 //!   persists long-term state; we persist trained models the same way).
 //! - All randomness is injected; training is reproducible given a seed.
+//!
+//! ```
+//! use lingxi_nn::Matrix;
+//!
+//! // (batch, features) activations flow through plain matrices.
+//! let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+//! let y = x.matmul(&x.transpose()).unwrap();
+//! assert_eq!(y.get(0, 0), 5.0); // 1·1 + 2·2
+//! assert_eq!(y.get(1, 1), 25.0); // 3·3 + 4·4
+//! ```
 
 pub mod init;
 pub mod layer;

@@ -3,8 +3,8 @@
 //! Supports plain chains (Dense/ReLU stacks) and the paper's *multi-branch*
 //! front end: Fig. 7 runs each of the five state rows through its own 1-D
 //! convolution, then merges (concatenates) the branch outputs before the
-//! fully-connected head. [`Sequential`] models the chain;
-//! [`branched_forward`]/[`Sequential::forward_multi`] handle the branch +
+//! fully-connected head. [`Sequential`] models the chain; [`Branched`]
+//! (with [`concat_features`]/[`split_features`]) handles the branch +
 //! merge pattern.
 
 use serde::{Deserialize, Serialize};

@@ -4,7 +4,7 @@
 //! The same buffer recursion drives both the "online" player (sessions over
 //! bandwidth traces) and LingXi's Monte-Carlo *virtual* player (rollouts
 //! over sampled bandwidth), exactly as in the paper where §3.2 states the
-//! virtual environment "references previous classic works [34] and
+//! virtual environment "references previous classic works \[34\] and
 //! production environment settings".
 //!
 //! Buffer recursion (paper Eq. 3), all in seconds of playback:
@@ -17,6 +17,19 @@
 //! ```
 //!
 //! `B_max` itself adapts to the bandwidth model (`B_max = f(N(μ, σ²))`).
+//!
+//! ```
+//! use lingxi_player::{PlayerConfig, PlayerEnv};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // One segment through the Eq. 3 buffer recursion: 1600 kbit at
+//! // 3200 kbps downloads in 0.5 s, leaving buffer for the 2 s of content.
+//! let mut env = PlayerEnv::new(PlayerConfig::deterministic(10.0, 0.0)).unwrap();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let outcome = env.step(1600.0, 1, 3200.0, 2.0, &mut rng).unwrap();
+//! assert_eq!(outcome.stall_time, 0.0);
+//! assert!(env.buffer() > 0.0);
+//! ```
 
 pub mod config;
 pub mod env;

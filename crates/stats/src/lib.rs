@@ -9,6 +9,16 @@
 //! All of those live here so every other crate shares one implementation.
 //!
 //! Everything is deterministic given an `rng`; no global state.
+//!
+//! ```
+//! use lingxi_stats::did_estimate;
+//!
+//! // Pre-phase differences hover near zero; post-phase near +5:
+//! // the difference-in-differences estimate recovers the step.
+//! let did = did_estimate(&[0.1, -0.2, 0.0], &[5.0, 4.8, 5.2]).unwrap();
+//! assert!((did.effect - 5.0).abs() < 0.3);
+//! assert!(did.p_two_sided < 0.05);
+//! ```
 
 pub mod confusion;
 pub mod corr;

@@ -33,7 +33,7 @@ fn features(view: &SegmentView<'_>, session_stall: f64, session_events: usize) -
 /// One labelled observation of a user's reaction.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExitExample {
-    /// Input features (see [`features`]).
+    /// Input features (see the feature list in this module's docs).
     pub x: [f64; FEATURES],
     /// Whether the user exited after this segment.
     pub exited: bool,

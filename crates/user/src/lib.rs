@@ -16,6 +16,18 @@
 //! - archetypes: ramp-sensitive, threshold-sensitive, insensitive (Fig. 5b);
 //! - plus *random* (content-driven) exits unrelated to QoS, which are what
 //!   makes the ALL-dataset predictor of Fig. 9(a) unlearnable.
+//!
+//! ```
+//! use lingxi_user::{PopulationConfig, UserPopulation};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Populations generate deterministically from a seed (§2's cohorts).
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let config = PopulationConfig { n_users: 10, ..PopulationConfig::default() };
+//! let pop = UserPopulation::generate(&config, &mut rng).unwrap();
+//! assert_eq!(pop.len(), 10);
+//! assert!(pop.users().iter().all(|u| u.sessions_per_day >= 1.0));
+//! ```
 
 pub mod datadriven;
 pub mod population;

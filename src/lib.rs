@@ -24,7 +24,8 @@
 //! | [`bayes`] | GP regression, acquisition functions, online BO |
 //! | [`core`] | the LingXi controller (Algorithms 1 & 2) |
 //! | [`abtest`] | AA/AB difference-in-differences experimentation |
-//! | [`exp`] | per-figure experiment harness |
+//! | [`fleet`] | sharded multi-threaded fleet simulation (see ARCHITECTURE.md) |
+//! | [`exp`] | per-figure experiment harness + the `fleet` scale benchmark |
 //!
 //! ## Quickstart
 //!
@@ -62,6 +63,7 @@ pub use lingxi_bayes as bayes;
 pub use lingxi_core as core;
 pub use lingxi_exit as exit;
 pub use lingxi_exp as exp;
+pub use lingxi_fleet as fleet;
 pub use lingxi_media as media;
 pub use lingxi_net as net;
 pub use lingxi_nn as nn;
@@ -78,12 +80,16 @@ pub mod prelude {
     pub use lingxi_abtest::{AbSchedule, AbTest, ArmRunner};
     pub use lingxi_bayes::{ObOptimizer, ObserverConfig};
     pub use lingxi_core::{
-        evaluate_parameters, run_managed_session, LingXiConfig, LingXiController, LongTermState,
-        McConfig, ProfilePredictor, RolloutContext, RolloutPredictor, SearchStrategy, StateStore,
+        evaluate_parameters, run_managed_session, run_managed_session_in, CacheConfig,
+        LingXiConfig, LingXiController, LongTermState, McConfig, ProfilePredictor, RolloutContext,
+        RolloutPredictor, SearchStrategy, SessionBuffers, ShardedStateCache, StateStore,
     };
     pub use lingxi_exit::{
         DatasetFlavor, ExitDataset, ExitPredictor, HybridPredictor, PredictorConfig, StateMatrix,
         UserStateTracker,
+    };
+    pub use lingxi_fleet::{
+        AbSplit, AbrMix, AbrPolicy, FleetConfig, FleetEngine, FleetReport, FleetScenario,
     };
     pub use lingxi_media::{
         BitrateLadder, Catalog, CatalogConfig, QualityMap, QualityTier, SegmentSizes, VbrModel,

@@ -57,6 +57,27 @@ impl Bencher {
     }
 }
 
+/// Throughput declaration for a benchmark group: how much work one
+/// iteration represents. The report then includes a rate (elements or
+/// bytes per second) next to the per-iteration time, like upstream.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// One iteration processes this many logical elements.
+    Elements(u64),
+    /// One iteration processes this many bytes.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn rate(&self, ns_per_iter: f64) -> String {
+        let per_sec = |n: u64| n as f64 / (ns_per_iter / 1e9);
+        match self {
+            Throughput::Elements(n) => format!("{:.0} elem/s", per_sec(*n)),
+            Throughput::Bytes(n) => format!("{:.0} B/s", per_sec(*n)),
+        }
+    }
+}
+
 /// A benchmark identifier: a function name plus an optional parameter.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
@@ -130,6 +151,15 @@ impl Criterion {
     }
 
     fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        self.run_one_with(id, None, f)
+    }
+
+    fn run_one_with(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
         let mut b = Bencher {
             quick: self.quick,
             measurement_time: self.measurement_time,
@@ -137,7 +167,10 @@ impl Criterion {
         };
         f(&mut b);
         match b.result_ns {
-            Some(ns) => println!("{id:<40} time: {}", format_ns(ns)),
+            Some(ns) => match throughput {
+                Some(t) => println!("{id:<40} time: {}  thrpt: {}", format_ns(ns), t.rate(ns)),
+                None => println!("{id:<40} time: {}", format_ns(ns)),
+            },
             None => println!("{id:<40} ok (test mode)"),
         }
     }
@@ -158,6 +191,7 @@ impl Criterion {
         BenchmarkGroup {
             c: self,
             name: name.into(),
+            throughput: None,
         }
     }
 }
@@ -166,6 +200,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     c: &'a mut Criterion,
     name: String,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -180,6 +215,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declare how much work one iteration of this group's benchmarks
+    /// performs; reports gain an elements/bytes-per-second rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Benchmark one function within the group.
     pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
         &mut self,
@@ -187,7 +229,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let id = format!("{}/{}", self.name, id.into_id());
-        self.c.run_one(&id, &mut f);
+        self.c.run_one_with(&id, self.throughput, &mut f);
         self
     }
 
@@ -199,7 +241,8 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let id = format!("{}/{}", self.name, id.into_id());
-        self.c.run_one(&id, &mut |b| f(b, input));
+        self.c
+            .run_one_with(&id, self.throughput, &mut |b| f(b, input));
         self
     }
 
@@ -291,6 +334,13 @@ mod tests {
         assert!(b.result_ns.is_some());
         assert!(b.result_ns.unwrap() > 0.0);
         c.bench_function("timed", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn throughput_rates_format() {
+        // 1000 elements at 1 ms/iter = 1M elem/s.
+        assert_eq!(Throughput::Elements(1000).rate(1e6), "1000000 elem/s");
+        assert_eq!(Throughput::Bytes(500).rate(1e9), "500 B/s");
     }
 
     #[test]

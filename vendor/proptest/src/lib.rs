@@ -61,10 +61,15 @@ pub mod test_runner {
     }
 
     impl Config {
-        /// A config running `cases` cases.
+        /// A config running `cases` cases — unless `PROPTEST_CASES` is
+        /// set, which overrides every suite's own default (CI pins a
+        /// global cap; see README "Testing conventions").
         pub fn with_cases(cases: u32) -> Self {
+            let env_cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok());
             Self {
-                cases,
+                cases: env_cases.unwrap_or(cases),
                 ..Self::default()
             }
         }
