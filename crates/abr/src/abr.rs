@@ -56,7 +56,7 @@ pub fn sync_estimator<E: lingxi_net::BandwidthEstimator>(estimator: &mut E, env:
     let new = total.saturating_sub(seen);
     let hist = env.throughput_history();
     let take = new.min(hist.len());
-    for &s in &hist[hist.len() - take..] {
+    for &s in hist.iter().skip(hist.len() - take) {
         estimator.observe(s);
     }
 }

@@ -21,7 +21,7 @@ use lingxi_core::{
     run_managed_session, run_managed_session_in, LingXiConfig, LingXiController, ProfilePredictor,
     SessionBuffers,
 };
-use lingxi_fleet::{AbrMix, FleetConfig, FleetEngine, FleetScenario};
+use lingxi_fleet::{AbrMix, ContentionConfig, FleetConfig, FleetEngine, FleetScenario};
 use lingxi_media::{BitrateLadder, Catalog, CatalogConfig, VbrModel};
 use lingxi_net::BandwidthTrace;
 use lingxi_player::PlayerConfig;
@@ -30,11 +30,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// One fleet epoch over a small population; returns sessions played so the
-/// group's throughput denominator matches reality.
-fn run_fleet_once(shards: usize, seed: u64) -> usize {
+/// group's throughput denominator matches reality. `contention` switches
+/// between independent per-session traces and shared-bottleneck links.
+fn run_fleet_once(shards: usize, seed: u64, contention: Option<ContentionConfig>) -> usize {
     let dir = std::env::temp_dir().join(format!(
-        "lingxi_fleet_bench_{}_{shards}_{seed}",
-        std::process::id()
+        "lingxi_fleet_bench_{}_{shards}_{seed}_{}",
+        std::process::id(),
+        contention.is_some()
     ));
     let _ = std::fs::remove_dir_all(&dir);
     let config = FleetConfig {
@@ -42,6 +44,7 @@ fn run_fleet_once(shards: usize, seed: u64) -> usize {
         epochs: 1,
         seed,
         state_dir: dir.clone(),
+        contention,
         ..FleetConfig::default()
     };
     // Constrained-heavy mixture with everyone LingXi-managed: session
@@ -69,15 +72,43 @@ fn run_fleet_once(shards: usize, seed: u64) -> usize {
 
 fn bench_fleet_throughput(c: &mut Criterion) {
     // Calibrate the element count once so sessions/sec is honest.
-    let sessions = run_fleet_once(4, 42) as u64;
+    let sessions = run_fleet_once(4, 42, None) as u64;
     let mut group = c.benchmark_group("fleet");
     group.sample_size(10);
     group.throughput(Throughput::Elements(sessions));
     group.bench_function("sessions_1shard", |b| {
-        b.iter(|| black_box(run_fleet_once(1, 42)))
+        b.iter(|| black_box(run_fleet_once(1, 42, None)))
     });
     group.bench_function("sessions_4shards", |b| {
-        b.iter(|| black_box(run_fleet_once(4, 42)))
+        b.iter(|| black_box(run_fleet_once(4, 42, None)))
+    });
+    group.finish();
+}
+
+/// Independent-trace vs shared-bottleneck fleet runs: what event-driven
+/// contention costs (or saves — no per-session trace generation) per
+/// session. Element counts are calibrated per mode because contention
+/// changes exit behaviour and therefore session counts.
+fn bench_fleet_contention(c: &mut Criterion) {
+    let contention = ContentionConfig {
+        links: 32,
+        capacity_kbps: 25_000.0,
+        arrival_window: 20.0,
+        access_cap_factor: 1.5,
+    };
+    let mut group = c.benchmark_group("fleet_bandwidth");
+    group.sample_size(10);
+
+    let independent = run_fleet_once(4, 43, None) as u64;
+    group.throughput(Throughput::Elements(independent));
+    group.bench_function("independent_traces", |b| {
+        b.iter(|| black_box(run_fleet_once(4, 43, None)))
+    });
+
+    let contended = run_fleet_once(4, 43, Some(contention)) as u64;
+    group.throughput(Throughput::Elements(contended));
+    group.bench_function("shared_bottleneck", |b| {
+        b.iter(|| black_box(run_fleet_once(4, 43, Some(contention))))
     });
     group.finish();
 }
@@ -157,5 +188,10 @@ fn bench_session_buffers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fleet_throughput, bench_session_buffers);
+criterion_group!(
+    benches,
+    bench_fleet_throughput,
+    bench_fleet_contention,
+    bench_session_buffers
+);
 criterion_main!(benches);

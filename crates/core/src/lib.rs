@@ -47,7 +47,10 @@ pub use montecarlo::{
     evaluate_parameters, evaluate_parameters_in, McConfig, McEvaluation, McScratch,
 };
 pub use predictor::{ConstantPredictor, ProfilePredictor, RolloutContext, RolloutPredictor};
-pub use session::{run_managed_session, run_managed_session_in, ManagedOutcome, SessionBuffers};
+pub use session::{
+    run_managed_session, run_managed_session_in, ManagedHooks, ManagedOutcome, ManagedSession,
+    SessionBuffers,
+};
 pub use state::{LongTermState, StateScan, StateStore};
 
 /// Errors from the LingXi control loop.

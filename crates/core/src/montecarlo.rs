@@ -13,9 +13,12 @@
 //! completion (every remaining segment watched without exit) could not
 //! beat it.
 
+use std::cell::RefCell;
+
 use lingxi_abr::{Abr, AbrContext, QoeParams};
 use lingxi_exit::UserStateTracker;
 use lingxi_media::{BitrateLadder, SegmentSizes, VbrModel};
+use lingxi_net::{BandwidthProcess, ModelProcess};
 use lingxi_player::PlayerEnv;
 use lingxi_stats::NormalDist;
 use rand::Rng;
@@ -23,6 +26,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::predictor::{RolloutContext, RolloutPredictor};
 use crate::{CoreError, Result};
+
+/// Floor (kbps) for rollout bandwidth draws: the truncation keeps the
+/// normal model's left tail from producing zero or negative rates.
+const MIN_ROLLOUT_KBPS: f64 = 50.0;
 
 /// Monte-Carlo configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -191,6 +198,14 @@ pub fn evaluate_parameters_in<R: Rng + ?Sized>(
     let mut total_stall = 0.0;
     let mut pruned = false;
 
+    // The client-side bandwidth model as a bandwidth process: rollouts
+    // stream over the same `BandwidthProcess` trait as live sessions, so
+    // the simulator cannot drift from the player's download semantics. The
+    // process borrows this evaluation's RNG, keeping every draw (bandwidth,
+    // RTT, exit) in one deterministic stream.
+    let rng = RefCell::new(rng);
+    let process = ModelProcess::new(bandwidth, MIN_ROLLOUT_KBPS, &rng);
+
     'samples: for m in 0..config.samples {
         // Fork the live state (S_sim ← S, E_sim ← E_player).
         let mut env_sim = env.clone();
@@ -211,10 +226,16 @@ pub fn evaluate_parameters_in<R: Rng + ?Sized>(
             let size = sizes
                 .size_kbits(k.min(n_segments - 1), level)
                 .map_err(|e| CoreError::Subsystem(e.to_string()))?;
-            let c_k = bandwidth.sample_truncated_low(rng, 50.0);
+            let c_k = process.download(t_sim, size).kbps;
             let prev = env_sim.last_level();
             let outcome = env_sim
-                .step(size, level, c_k, config.segment_duration, rng)
+                .step(
+                    size,
+                    level,
+                    c_k,
+                    config.segment_duration,
+                    &mut **rng.borrow_mut(),
+                )
                 .map_err(|e| CoreError::Subsystem(e.to_string()))?;
             total_stall += outcome.stall_time;
 
@@ -250,7 +271,7 @@ pub fn evaluate_parameters_in<R: Rng + ?Sized>(
             watched += 1;
             t_sim += config.segment_duration;
             k += 1;
-            if rng.gen::<f64>() < p_exit {
+            if rng.borrow_mut().gen::<f64>() < p_exit {
                 exited += 1;
                 if stalled {
                     tracker.push_stall_exit();

@@ -9,8 +9,8 @@
 
 use lingxi_abr::{Abr, AbrContext, QoeParams};
 use lingxi_media::{BitrateLadder, Video};
-use lingxi_net::BandwidthTrace;
-use lingxi_player::{PlayerConfig, PlayerEnv, SessionEnd, SessionLog};
+use lingxi_net::{BandwidthProcess, Download};
+use lingxi_player::{PlayerConfig, PlayerEnv, SegmentRequest, SessionEnd, SessionLog};
 use lingxi_user::{ExitModel, SegmentView};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -78,6 +78,203 @@ impl SessionBuffers {
     }
 }
 
+/// The mutable collaborators a [`ManagedSession`] needs at every step.
+///
+/// The stepper itself holds only the per-session state machine; callers
+/// (the linear driver here, the fleet contention kernel) own the ABR,
+/// controller, predictor, user model, buffers and RNG, and lend them per
+/// call — which is what lets one kernel interleave many sessions without
+/// self-referential borrows.
+pub struct ManagedHooks<'h, R: Rng> {
+    /// The ABR whose parameters LingXi manages.
+    pub abr: &'h mut dyn Abr,
+    /// The per-user controller (long-term state across sessions).
+    pub controller: &'h mut LingXiController,
+    /// The rollout exit-rate predictor.
+    pub predictor: &'h mut dyn RolloutPredictor,
+    /// The user's exit model.
+    pub user: &'h mut dyn ExitModel,
+    /// Log / deployment / Monte-Carlo scratch buffers.
+    pub buffers: &'h mut SessionBuffers,
+    /// The user's RNG stream.
+    pub rng: &'h mut R,
+}
+
+/// A managed session as a resumable per-segment state machine — the
+/// managed-path twin of [`lingxi_player::SessionStream`].
+///
+/// Alternate [`ManagedSession::next_request`] with
+/// [`ManagedSession::complete`], then [`ManagedSession::finalize`] writes
+/// the log tail into the buffers. [`run_managed_session_in`] is exactly
+/// this loop against one [`BandwidthProcess`].
+///
+/// This deliberately does not wrap `SessionStream`: segments must land in
+/// the caller's reusable [`SessionBuffers`] (the fleet hot path amortizes
+/// that allocation across sessions), while the stream owns a per-session
+/// vector. The watch-time arithmetic is shared
+/// ([`lingxi_player::content_watch_time`]); the per-segment protocols are
+/// cross-checked by `buffered_variant_matches_allocating_variant` below
+/// and pinned by `tests/golden_regression.rs`.
+#[derive(Debug)]
+pub struct ManagedSession<'a> {
+    user_id: u64,
+    video: &'a Video,
+    ladder: &'a BitrateLadder,
+    env: PlayerEnv,
+    pending: Option<(usize, f64)>,
+    end: SessionEnd,
+    exit_segment: Option<usize>,
+    finished: bool,
+}
+
+impl<'a> ManagedSession<'a> {
+    /// Start a managed session: resets the user model, applies the
+    /// controller's current best parameters to the ABR (restored long-term
+    /// state warm-starts it) and clears the log buffers.
+    pub fn begin<R: Rng>(
+        user_id: u64,
+        video: &'a Video,
+        ladder: &'a BitrateLadder,
+        player_config: PlayerConfig,
+        hooks: &mut ManagedHooks<'_, R>,
+    ) -> Result<Self> {
+        let env = PlayerEnv::new(player_config).map_err(|e| CoreError::Subsystem(e.to_string()))?;
+        hooks.buffers.log.segments.clear();
+        hooks.buffers.log.segments.reserve(video.n_segments());
+        hooks.buffers.deployments.clear();
+        hooks.user.reset_session();
+        hooks.abr.set_params(hooks.controller.params());
+        Ok(Self {
+            user_id,
+            video,
+            ladder,
+            env,
+            pending: None,
+            end: SessionEnd::Completed,
+            exit_segment: None,
+            finished: false,
+        })
+    }
+
+    /// The live player state.
+    pub fn env(&self) -> &PlayerEnv {
+        &self.env
+    }
+
+    /// Run the ABR for the next segment and return its download request;
+    /// `None` once the video is fully downloaded or the user exited.
+    pub fn next_request<R: Rng>(
+        &mut self,
+        hooks: &mut ManagedHooks<'_, R>,
+    ) -> Result<Option<SegmentRequest>> {
+        if self.finished || self.env.segment_index() >= self.video.n_segments() {
+            self.finished = true;
+            return Ok(None);
+        }
+        let k = self.env.segment_index();
+        let seg_duration = self.video.sizes.segment_duration();
+        let ctx = AbrContext {
+            ladder: self.ladder,
+            sizes: &self.video.sizes,
+            next_segment: k,
+            segment_duration: seg_duration,
+        };
+        let level = hooks
+            .abr
+            .select(&self.env, &ctx)
+            .min(self.ladder.top_level());
+        let size = self
+            .video
+            .sizes
+            .size_kbits(k, level)
+            .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+        self.pending = Some((level, size));
+        Ok(Some(SegmentRequest {
+            at: self.env.wall_time(),
+            size_kbits: size,
+            level,
+        }))
+    }
+
+    /// Apply a completed download: advance the player, let LingXi observe
+    /// (and possibly re-optimize between segments), then consult the user.
+    /// Returns `false` once the session is over.
+    pub fn complete<R: Rng>(
+        &mut self,
+        download: Download,
+        hooks: &mut ManagedHooks<'_, R>,
+    ) -> Result<bool> {
+        let (level, size) = self
+            .pending
+            .take()
+            .ok_or_else(|| CoreError::Subsystem("complete() without a pending request".into()))?;
+        let seg_duration = self.video.sizes.segment_duration();
+        let k = self.env.segment_index();
+        let bandwidth = download.kbps;
+        let switched_from = self.env.last_level();
+        let outcome = self
+            .env
+            .step(size, level, bandwidth, seg_duration, hooks.rng)
+            .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+        let bitrate = self
+            .ladder
+            .bitrate(level)
+            .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+        let record = self
+            .env
+            .record(&outcome, level, bitrate, size, switched_from);
+        hooks.buffers.log.segments.push(record);
+
+        // LingXi observes the segment and may re-optimize.
+        hooks.controller.observe_segment(&record, seg_duration);
+        if let Some(out) = hooks.controller.maybe_optimize_in(
+            hooks.abr,
+            &self.env,
+            self.ladder,
+            hooks.predictor,
+            &mut hooks.buffers.mc,
+            hooks.rng,
+        )? {
+            hooks.buffers.deployments.push(out.params);
+        }
+
+        // User decision.
+        let view = SegmentView {
+            env: &self.env,
+            record: &record,
+            ladder: self.ladder,
+        };
+        if hooks.user.decide(&view, hooks.rng) {
+            hooks.controller.observe_exit(record.stall_time > 0.0);
+            self.end = SessionEnd::Exited;
+            self.exit_segment = Some(k);
+            self.finished = true;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Write the session's log tail (identity, watch time, end state) into
+    /// the buffers whose `segments` the steps filled.
+    pub fn finalize(&self, buffers: &mut SessionBuffers) {
+        let video_duration = self.video.duration();
+        let seg_duration = self.video.sizes.segment_duration();
+        let watch_time = lingxi_player::content_watch_time(
+            self.end,
+            self.exit_segment,
+            seg_duration,
+            video_duration,
+            self.env.playback_time(),
+        );
+        buffers.log.user_id = self.user_id;
+        buffers.log.video_id = self.video.id;
+        buffers.log.video_duration = video_duration;
+        buffers.log.watch_time = watch_time;
+        buffers.log.end = self.end;
+        buffers.log.exit_segment = self.exit_segment;
+    }
+}
+
 /// Run one session with LingXi managing `abr`'s parameters.
 ///
 /// Convenience wrapper over [`run_managed_session_in`] that allocates
@@ -87,7 +284,7 @@ pub fn run_managed_session<R: Rng>(
     user_id: u64,
     video: &Video,
     ladder: &BitrateLadder,
-    trace: &BandwidthTrace,
+    process: &dyn BandwidthProcess,
     player_config: PlayerConfig,
     abr: &mut dyn Abr,
     controller: &mut LingXiController,
@@ -100,7 +297,7 @@ pub fn run_managed_session<R: Rng>(
         user_id,
         video,
         ladder,
-        trace,
+        process,
         player_config,
         abr,
         controller,
@@ -125,7 +322,7 @@ pub fn run_managed_session_in<R: Rng>(
     user_id: u64,
     video: &Video,
     ladder: &BitrateLadder,
-    trace: &BandwidthTrace,
+    process: &dyn BandwidthProcess,
     player_config: PlayerConfig,
     abr: &mut dyn Abr,
     controller: &mut LingXiController,
@@ -134,85 +331,22 @@ pub fn run_managed_session_in<R: Rng>(
     buffers: &mut SessionBuffers,
     rng: &mut R,
 ) -> Result<()> {
-    let mut env = PlayerEnv::new(player_config).map_err(|e| CoreError::Subsystem(e.to_string()))?;
-    let seg_duration = video.sizes.segment_duration();
-    let n_segments = video.n_segments();
-    buffers.log.segments.clear();
-    buffers.log.segments.reserve(n_segments);
-    buffers.deployments.clear();
-    let mut end = SessionEnd::Completed;
-    let mut exit_segment = None;
-    user.reset_session();
-
-    // Apply the controller's current best parameters before playback
-    // (restored long-term state warm-starts the ABR).
-    abr.set_params(controller.params());
-
-    for k in 0..n_segments {
-        let ctx = AbrContext {
-            ladder,
-            sizes: &video.sizes,
-            next_segment: k,
-            segment_duration: seg_duration,
-        };
-        let level = abr.select(&env, &ctx).min(ladder.top_level());
-        let size = video
-            .sizes
-            .size_kbits(k, level)
-            .map_err(|e| CoreError::Subsystem(e.to_string()))?;
-        let dl = trace.download_time(env.wall_time(), size);
-        let bandwidth = if dl > 0.0 {
-            size / dl
-        } else {
-            trace.at(env.wall_time())
-        };
-        let switched_from = env.last_level();
-        let outcome = env
-            .step(size, level, bandwidth, seg_duration, rng)
-            .map_err(|e| CoreError::Subsystem(e.to_string()))?;
-        let bitrate = ladder
-            .bitrate(level)
-            .map_err(|e| CoreError::Subsystem(e.to_string()))?;
-        let record = env.record(&outcome, level, bitrate, size, switched_from);
-        buffers.log.segments.push(record);
-
-        // LingXi observes the segment and may re-optimize.
-        controller.observe_segment(&record, seg_duration);
-        if let Some(out) =
-            controller.maybe_optimize_in(abr, &env, ladder, predictor, &mut buffers.mc, rng)?
-        {
-            buffers.deployments.push(out.params);
-        }
-
-        // User decision.
-        let view = SegmentView {
-            env: &env,
-            record: &record,
-            ladder,
-        };
-        if user.decide(&view, rng) {
-            controller.observe_exit(record.stall_time > 0.0);
-            end = SessionEnd::Exited;
-            exit_segment = Some(k);
+    let mut hooks = ManagedHooks {
+        abr,
+        controller,
+        predictor,
+        user,
+        buffers,
+        rng,
+    };
+    let mut session = ManagedSession::begin(user_id, video, ladder, player_config, &mut hooks)?;
+    while let Some(req) = session.next_request(&mut hooks)? {
+        let download = process.download(req.at, req.size_kbits);
+        if !session.complete(download, &mut hooks)? {
             break;
         }
     }
-
-    let video_duration = video.duration();
-    // Content-based watch time (see `lingxi_player::run_session`): the user
-    // watched up to and including the segment at which they exited.
-    let watch_time = match (end, exit_segment) {
-        (SessionEnd::Completed, _) => video_duration,
-        (_, Some(k)) => ((k + 1) as f64 * seg_duration).min(video_duration),
-        (_, None) => env.playback_time().min(video_duration),
-    };
-
-    buffers.log.user_id = user_id;
-    buffers.log.video_id = video.id;
-    buffers.log.video_duration = video_duration;
-    buffers.log.watch_time = watch_time;
-    buffers.log.end = end;
-    buffers.log.exit_segment = exit_segment;
+    session.finalize(hooks.buffers);
     Ok(())
 }
 
@@ -223,6 +357,7 @@ mod tests {
     use crate::predictor::ProfilePredictor;
     use lingxi_abr::Hyb;
     use lingxi_media::{BitrateLadder, Catalog, CatalogConfig, VbrModel};
+    use lingxi_net::BandwidthTrace;
     use lingxi_user::{QosExitModel, SensitivityKind, StallProfile};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

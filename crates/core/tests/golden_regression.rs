@@ -1,0 +1,101 @@
+//! Golden regression pins for the `BandwidthProcess` refactor.
+//!
+//! These exact values were captured from the pre-refactor implementation
+//! (direct `BandwidthTrace` integration in `run_managed_session`, direct
+//! `NormalDist` sampling in `evaluate_parameters`). The refactor onto
+//! `&dyn BandwidthProcess` / `ModelProcess` must keep the same RNG stream
+//! and float expressions, so every assertion here is *bit-exact*.
+// The literals carry every digit of the captured doubles on purpose.
+#![allow(clippy::excessive_precision)]
+
+use lingxi_abr::{Hyb, QoeParams};
+use lingxi_core::{
+    evaluate_parameters, run_managed_session, ConstantPredictor, LingXiConfig, LingXiController,
+    McConfig, ProfilePredictor,
+};
+use lingxi_exit::UserStateTracker;
+use lingxi_media::{BitrateLadder, Catalog, CatalogConfig, VbrModel};
+use lingxi_net::BandwidthTrace;
+use lingxi_player::{PlayerConfig, PlayerEnv};
+use lingxi_stats::NormalDist;
+use lingxi_user::{QosExitModel, SensitivityKind, StallProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn managed_session_bit_identical_to_pre_refactor() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let cat = Catalog::generate(
+        BitrateLadder::default_short_video(),
+        &CatalogConfig {
+            n_videos: 4,
+            mean_duration: 60.0,
+            vbr: VbrModel::cbr(),
+            ..CatalogConfig::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    // Sub-ladder-floor bandwidth: stalls on every segment, so the session
+    // exercises the optimizer path (12 deployments) and its RNG draws.
+    let trace = BandwidthTrace::new(1.0, vec![300.0, 310.0, 290.0, 305.0]).unwrap();
+    let profile = StallProfile::new(SensitivityKind::Insensitive, 10.0, 0.05).unwrap();
+    let mut abr = Hyb::default_rule();
+    let mut controller = LingXiController::new(LingXiConfig::for_hyb()).unwrap();
+    let mut predictor = ProfilePredictor {
+        profile,
+        base: 0.002,
+    };
+    let mut user = QosExitModel::calibrated(profile);
+    user.base_exit = 0.0;
+    let mut srng = StdRng::seed_from_u64(424242);
+    let out = run_managed_session(
+        7,
+        cat.video_cyclic(1),
+        cat.ladder(),
+        &trace,
+        PlayerConfig::deterministic(10.0, 0.0),
+        &mut abr,
+        &mut controller,
+        &mut predictor,
+        &mut user,
+        &mut srng,
+    )
+    .unwrap();
+
+    assert_eq!(out.log.watch_time, 52.0);
+    assert_eq!(out.log.segments.len(), 26);
+    assert_eq!(out.log.total_stall(), 8.10632183908045967e0);
+    assert_eq!(out.deployments.len(), 12);
+    let tp_sum: f64 = out.log.segments.iter().map(|s| s.throughput_kbps).sum();
+    assert_eq!(tp_sum, 7.83265522088428861e3);
+    let dl_sum: f64 = out.log.segments.iter().map(|s| s.download_time).sum();
+    assert_eq!(dl_sum, 6.04166666666666714e1);
+}
+
+#[test]
+fn monte_carlo_rollouts_bit_identical_to_pre_refactor() {
+    let ladder = BitrateLadder::default_short_video();
+    let env = PlayerEnv::new(PlayerConfig::deterministic(10.0, 0.0)).unwrap();
+    let tracker = UserStateTracker::new();
+    let mut abr = Hyb::default_rule();
+    let mut pred = ConstantPredictor { p: 0.05 };
+    let mut rng = StdRng::seed_from_u64(11);
+    let eval = evaluate_parameters(
+        &mut abr,
+        QoeParams::default(),
+        NormalDist::new(4000.0, 1500.0).unwrap(),
+        &tracker,
+        &env,
+        &ladder,
+        &mut pred,
+        &McConfig::default(),
+        None,
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(eval.exit_rate, 7.14285714285714246e-2);
+    assert_eq!(eval.watched, 112);
+    assert_eq!(eval.exited, 8);
+    assert_eq!(eval.mean_stall, 3.80031757197938180e0);
+}

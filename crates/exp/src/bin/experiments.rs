@@ -16,9 +16,14 @@ use lingxi_exp::{run_experiment, ALL_EXPERIMENTS};
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: experiments <figNN|fleet|all> [--seed N] [--scale F] [--out DIR]");
-        eprintln!("experiments: {}, fleet", ALL_EXPERIMENTS.join(", "));
-        eprintln!("(`all` runs the paper figures; `fleet` is the scale benchmark)");
+        eprintln!(
+            "usage: experiments <figNN|fleet|flashcrowd|all> [--seed N] [--scale F] [--out DIR]"
+        );
+        eprintln!(
+            "experiments: {}, fleet, flashcrowd",
+            ALL_EXPERIMENTS.join(", ")
+        );
+        eprintln!("(`all` runs the paper figures; `fleet` is the scale benchmark, `flashcrowd` the contention scenario)");
         return ExitCode::FAILURE;
     }
     let target = args[0].clone();

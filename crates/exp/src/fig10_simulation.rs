@@ -114,7 +114,7 @@ impl<'w> Bench<'w> {
                     user_id: user.id,
                     video,
                     ladder: self.world.ladder(),
-                    trace: &trace,
+                    process: &trace,
                     config: default_player(),
                 };
                 let ladder = self.world.ladder();

@@ -87,7 +87,7 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
                     user_id: user.id,
                     video,
                     ladder,
-                    trace: &trace,
+                    process: &trace,
                     config: default_player(),
                 };
                 lingxi_player::run_session(

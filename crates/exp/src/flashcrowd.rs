@@ -1,0 +1,165 @@
+//! `flashcrowd` — the contention scenario (ROADMAP north star, not a
+//! paper figure): ramp a growing crowd of users onto shared bottleneck
+//! links and measure how QoE degrades with offered load.
+//!
+//! Each cell of the ramp puts `u` users on every link (fixed per-link
+//! capacity, users arriving across a short window — a flash crowd onto a
+//! congested cell) and reports per-session stall time, watch time and mean
+//! bitrate. Independent-trace simulation cannot produce this curve: it is
+//! exactly the co-variance the `SharedBottleneck` event kernel adds.
+//!
+//! Like the `fleet` experiment, the run *fails* unless the heaviest cell's
+//! merged metrics are bit-identical across 1, 4 and 8 shards — contention
+//! must not cost the engine its determinism contract.
+
+use lingxi_fleet::{
+    AbrMix, ContentionConfig, FleetConfig, FleetEngine, FleetReport, FleetScenario,
+};
+use lingxi_net::ProductionMixture;
+
+use crate::report::{ExperimentResult, Series};
+use crate::{ExpError, Result};
+
+/// Users-per-link ramp: offered load grows ~2x per cell.
+const RAMP: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// Per-link capacity (kbps). Sized so the low end of the ramp is
+/// comfortable and the high end is heavily oversubscribed for the
+/// default mixture (mean demand ~10 Mbps per user).
+const LINK_KBPS: f64 = 30_000.0;
+
+fn state_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lingxi_flashcrowd_{}_{tag}", std::process::id()))
+}
+
+fn run_cell(
+    users_per_link: usize,
+    links: usize,
+    shards: usize,
+    seed: u64,
+    tag: &str,
+) -> Result<FleetReport> {
+    let scenario = FleetScenario {
+        name: format!("flashcrowd_u{users_per_link}"),
+        n_users: users_per_link * links,
+        n_videos: 16,
+        mean_sessions_per_epoch: 2.0,
+        mixture: ProductionMixture::default(),
+        abr_mix: AbrMix::default(),
+    };
+    // Seed in the path: tests run `run()` with different seeds in parallel
+    // threads of one process, and (pid, tag) alone would collide.
+    let dir = state_dir(&format!("{tag}_s{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = FleetConfig {
+        shards,
+        epochs: 1,
+        seed,
+        state_dir: dir.clone(),
+        contention: Some(ContentionConfig {
+            links,
+            capacity_kbps: LINK_KBPS,
+            arrival_window: 20.0,
+            access_cap_factor: 1.5,
+        }),
+        ..FleetConfig::default()
+    };
+    let report = FleetEngine::new(config)
+        .map_err(crate::sub)?
+        .run(&scenario)
+        .map_err(crate::sub)?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(report)
+}
+
+/// Run the flash-crowd experiment.
+pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
+    let mut result = ExperimentResult::new(
+        "flashcrowd",
+        "Flash crowd on shared bottlenecks: QoE vs offered load",
+    );
+    // `scale` shrinks the number of links (cells stay oversubscribed to
+    // the same degree, just with fewer parallel samples).
+    let links = ((8.0 * scale.clamp(0.001, 10.0)).round() as usize).max(2);
+
+    let mut stalls = Vec::with_capacity(RAMP.len());
+    let mut watch = Vec::with_capacity(RAMP.len());
+    let mut bitrate = Vec::with_capacity(RAMP.len());
+    let mut completion = Vec::with_capacity(RAMP.len());
+    let mut sessions = 0usize;
+    for (i, &users_per_link) in RAMP.iter().enumerate() {
+        let report = run_cell(users_per_link, links, 4, seed, &format!("ramp{i}"))?;
+        let m = &report.epochs[0].all;
+        let load = users_per_link as f64;
+        let per_session = 1.0 / (m.sessions as f64).max(1.0);
+        stalls.push((load, m.stall_time * per_session));
+        watch.push((load, m.watch_time * per_session));
+        bitrate.push((load, m.mean_bitrate));
+        completion.push((load, m.completion_rate()));
+        sessions += report.sessions;
+    }
+    result.push_series(Series::from_xy("flashcrowd/stall_per_session", &stalls));
+    result.push_series(Series::from_xy("flashcrowd/watch_per_session", &watch));
+    result.push_series(Series::from_xy("flashcrowd/mean_bitrate", &bitrate));
+    result.push_series(Series::from_xy("flashcrowd/completion_rate", &completion));
+    result.headline_value("sessions simulated", sessions as f64);
+    result.headline_value("link capacity (kbps)", LINK_KBPS);
+    result.headline_value(
+        "stall/session at max load (s)",
+        stalls.last().map(|s| s.1).unwrap_or(0.0),
+    );
+    result.headline_value(
+        "bitrate at max load / min load",
+        bitrate.last().map(|s| s.1).unwrap_or(0.0) / bitrate[0].1.max(1e-9),
+    );
+
+    // ---- determinism assertion: the heaviest cell across shard counts ----
+    let peak = *RAMP.last().expect("ramp non-empty");
+    let one = run_cell(peak, links, 1, seed + 1, "det1")?;
+    let four = run_cell(peak, links, 4, seed + 1, "det4")?;
+    let eight = run_cell(peak, links, 8, seed + 1, "det8")?;
+    if one.merged_metrics() != four.merged_metrics()
+        || one.merged_metrics() != eight.merged_metrics()
+        || one.sessions != eight.sessions
+    {
+        return Err(ExpError::Subsystem(format!(
+            "contended shard invariance violated: 1/4/8 shards gave {}/{}/{} sessions",
+            one.sessions, four.sessions, eight.sessions
+        )));
+    }
+    result.headline_value("shard invariance (1 = identical)", 1.0);
+    result.headline_value("peak-load sessions/sec", four.sessions_per_sec());
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flashcrowd_runs_at_test_scale() {
+        let r = run(5, 0.01).unwrap();
+        assert!(r.series_named("flashcrowd/stall_per_session").is_some());
+        let headline = |name: &str| {
+            r.headline
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(headline("shard invariance (1 = identical)"), 1.0);
+        assert!(headline("sessions simulated") > 0.0);
+    }
+
+    #[test]
+    fn stall_grows_with_offered_load() {
+        let r = run(11, 0.02).unwrap();
+        let stalls = r.series_named("flashcrowd/stall_per_session").unwrap().ys();
+        // The ramp spans 16x oversubscription: the heaviest cell must
+        // stall strictly more than the lightest.
+        assert!(
+            stalls.last().unwrap() > stalls.first().unwrap(),
+            "stalls {stalls:?}"
+        );
+    }
+}

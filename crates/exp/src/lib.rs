@@ -35,6 +35,7 @@ pub mod fig12_abtest;
 pub mod fig13_longtail;
 pub mod fig14_correlation;
 pub mod fig15_trajectories;
+pub mod flashcrowd;
 pub mod fleet;
 pub mod report;
 pub mod world;
@@ -77,8 +78,9 @@ pub fn sub<E: std::fmt::Display>(e: E) -> ExpError {
 }
 
 /// All paper-figure experiment ids in paper order. The `fleet` scale
-/// experiment (see [`fleet`]) is run explicitly by id — it is a systems
-/// benchmark, not a figure, so `all` does not include it.
+/// experiment (see [`fleet`]) and the `flashcrowd` contention scenario
+/// (see [`flashcrowd`]) are run explicitly by id — they are systems
+/// benchmarks, not figures, so `all` does not include them.
 pub const ALL_EXPERIMENTS: [&str; 13] = [
     "fig01", "fig02", "fig03", "fig04", "fig05", "fig08", "fig09", "fig10", "fig11", "fig12",
     "fig13", "fig14", "fig15",
@@ -100,6 +102,7 @@ pub fn run_experiment(id: &str, seed: u64, scale: f64) -> Result<ExperimentResul
         "fig13" => fig13_longtail::run(seed, scale),
         "fig14" => fig14_correlation::run(seed, scale),
         "fig15" => fig15_trajectories::run(seed, scale),
+        "flashcrowd" => flashcrowd::run(seed, scale),
         "fleet" => fleet::run(seed, scale),
         other => Err(ExpError::Subsystem(format!("unknown experiment {other}"))),
     }

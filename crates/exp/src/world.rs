@@ -148,7 +148,7 @@ impl World {
             user_id: user.id,
             video,
             ladder: self.ladder(),
-            trace: &trace,
+            process: &trace,
             config: player,
         };
         exit_model.reset_session();

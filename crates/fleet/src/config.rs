@@ -111,6 +111,77 @@ impl AbrMix {
     }
 }
 
+/// Shared-bottleneck contention mode: instead of a private trace per
+/// session, users hash onto a fixed set of shared links
+/// ([`lingxi_net::SharedBottleneck`]) and their concurrent downloads split
+/// each link's capacity max-min fair.
+///
+/// Determinism: the user→link assignment depends only on (seed, user id),
+/// and in contention mode shards own *links* rather than users, so every
+/// link's event-driven co-simulation runs single-threaded with an event
+/// order derived from (seed, link members, epoch) alone — merged metrics
+/// stay bit-identical for any shard count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentionConfig {
+    /// Number of shared bottleneck links users hash onto.
+    pub links: usize,
+    /// Capacity of each link (kbps).
+    pub capacity_kbps: f64,
+    /// Users' first sessions of an epoch arrive uniformly in
+    /// `[0, arrival_window)` seconds (the flash-crowd ramp).
+    pub arrival_window: f64,
+    /// Per-flow access-link cap as a multiple of the user's mean
+    /// bandwidth; `0.0` disables the cap (flows limited only by the
+    /// shared link).
+    pub access_cap_factor: f64,
+}
+
+impl Default for ContentionConfig {
+    fn default() -> Self {
+        Self {
+            links: 64,
+            capacity_kbps: 25_000.0,
+            arrival_window: 30.0,
+            access_cap_factor: 1.5,
+        }
+    }
+}
+
+impl ContentionConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.links == 0 {
+            return Err(FleetError::InvalidConfig("need at least one link".into()));
+        }
+        if !(self.capacity_kbps > 0.0) || !self.capacity_kbps.is_finite() {
+            return Err(FleetError::InvalidConfig(
+                "link capacity must be positive and finite".into(),
+            ));
+        }
+        if !(self.arrival_window >= 0.0) || !self.arrival_window.is_finite() {
+            return Err(FleetError::InvalidConfig(
+                "arrival window must be non-negative and finite".into(),
+            ));
+        }
+        if !(self.access_cap_factor >= 0.0) {
+            return Err(FleetError::InvalidConfig(
+                "access cap factor must be non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The access-link rate cap for one user's flows (kbps);
+    /// `f64::INFINITY` when uncapped.
+    pub fn flow_cap_kbps(&self, user_mean_kbps: f64) -> f64 {
+        if self.access_cap_factor > 0.0 {
+            user_mean_kbps * self.access_cap_factor
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
 /// Engine sizing and policy (scenario-independent).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
@@ -131,6 +202,9 @@ pub struct FleetConfig {
     pub player: PlayerConfig,
     /// A/B cohort mode; `None` runs the whole population as one cohort.
     pub ab: Option<AbSplit>,
+    /// Shared-bottleneck contention mode; `None` streams every session
+    /// over its own private trace (independent users).
+    pub contention: Option<ContentionConfig>,
 }
 
 impl Default for FleetConfig {
@@ -143,6 +217,7 @@ impl Default for FleetConfig {
             cache: CacheConfig::default(),
             player: PlayerConfig::default(),
             ab: None,
+            contention: None,
         }
     }
 }
@@ -157,6 +232,9 @@ impl FleetConfig {
             return Err(FleetError::InvalidConfig("need at least one epoch".into()));
         }
         self.cache.validate().map_err(crate::sub)?;
+        if let Some(contention) = &self.contention {
+            contention.validate()?;
+        }
         if let Some(ab) = &self.ab {
             if ab.intervention_epoch < 2 || self.epochs.saturating_sub(ab.intervention_epoch) < 2 {
                 return Err(FleetError::InvalidConfig(

@@ -1,0 +1,532 @@
+//! The shared-bottleneck contention kernel: event-driven co-simulation of
+//! every session sharing a link.
+//!
+//! In contention mode each shard owns whole *links* (see
+//! [`FleetEngine::link_of`]); this module runs one link's users as a
+//! deterministic discrete-event simulation. Each user is a [`LinkAgent`]
+//! wrapping the resumable session steppers ([`SessionStream`] /
+//! [`ManagedSession`]): the kernel pops the earliest event — a flow
+//! completion on the [`SharedBottleneck`], or a pending download request —
+//! hands completions to their agent (which advances its player, consults
+//! LingXi and the exit model, and issues its next request), and admits
+//! requests as new flows. Ties resolve completions-first, then ascending
+//! user id, so the event order is a pure function of (seed, link members,
+//! epoch) and merged metrics stay bit-identical across shard counts.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use lingxi_abr::{Abr, AbrContext};
+use lingxi_core::{
+    LingXiController, LongTermState, ManagedHooks, ManagedSession, ProfilePredictor,
+    SessionBuffers, ShardedStateCache,
+};
+use lingxi_media::{BitrateLadder, Catalog, Video};
+use lingxi_net::{Download, FlowEnd, SharedBottleneck};
+use lingxi_player::{ExitDecision, PlayerConfig, SessionStream};
+use lingxi_user::{ExitModel, QosExitModel, SegmentView, ToleranceDrift, UserRecord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{ContentionConfig, FleetScenario};
+use crate::engine::{FleetEngine, UserEpochRow};
+use crate::{sub, FleetError, Result};
+
+/// A pending download request: user `uid` wants `size_kbits` at absolute
+/// time `at`. Ordered by (time, user id) for the kernel's min-heap.
+struct Arrival {
+    at: f64,
+    uid: u64,
+    size_kbits: f64,
+    cap_kbps: f64,
+}
+
+impl PartialEq for Arrival {
+    fn eq(&self, other: &Self) -> bool {
+        self.at.total_cmp(&other.at).is_eq() && self.uid == other.uid
+    }
+}
+impl Eq for Arrival {}
+impl PartialOrd for Arrival {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Arrival {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.total_cmp(&other.at).then(self.uid.cmp(&other.uid))
+    }
+}
+
+/// LingXi state carried by a managed agent across its epoch sessions.
+struct ManagedParts {
+    controller: LingXiController,
+    predictor: ProfilePredictor,
+    state: LongTermState,
+}
+
+/// The current session's stepper.
+enum Stepper<'a> {
+    /// Between sessions.
+    Idle,
+    /// A plain (un-managed) session in flight.
+    Plain(SessionStream<'a>),
+    /// A LingXi-managed session in flight.
+    Managed(ManagedSession<'a>),
+}
+
+/// What the agent should do next (computed without holding `&mut self`).
+enum Next {
+    Request { at: f64, size_kbits: f64 },
+    EndSession,
+    BeginSession,
+    Done,
+}
+
+/// One user's epoch on a shared link, as a resumable event-driven agent.
+struct LinkAgent<'a> {
+    user: &'a UserRecord,
+    ladder: &'a BitrateLadder,
+    player: PlayerConfig,
+    cap_kbps: f64,
+    rng: StdRng,
+    abr: Box<dyn Abr>,
+    exit_model: QosExitModel,
+    managed: Option<ManagedParts>,
+    buffers: SessionBuffers,
+    sessions_left: usize,
+    /// Absolute start time of the current session.
+    t0: f64,
+    video: Option<&'a Video>,
+    stepper: Stepper<'a>,
+    summaries: Vec<lingxi_player::SessionSummary>,
+}
+
+impl<'a> LinkAgent<'a> {
+    /// Ask the agent for its next download request (absolute time + size),
+    /// rolling over finished sessions until one produces a request or the
+    /// epoch's session budget is exhausted (`None`).
+    fn request(&mut self, catalog: &'a Catalog) -> Result<Option<(f64, f64)>> {
+        loop {
+            let next = match &mut self.stepper {
+                Stepper::Idle => {
+                    if self.sessions_left == 0 {
+                        Next::Done
+                    } else {
+                        Next::BeginSession
+                    }
+                }
+                Stepper::Plain(stream) => {
+                    let abr = &mut self.abr;
+                    let ladder = self.ladder;
+                    let video = self.video.expect("active session has a video");
+                    match stream.next_request(|env| {
+                        let ctx = AbrContext {
+                            ladder,
+                            sizes: &video.sizes,
+                            next_segment: env.segment_index(),
+                            segment_duration: video.sizes.segment_duration(),
+                        };
+                        abr.select(env, &ctx)
+                    }) {
+                        Some(req) => Next::Request {
+                            at: self.t0 + req.at,
+                            size_kbits: req.size_kbits,
+                        },
+                        None => Next::EndSession,
+                    }
+                }
+                Stepper::Managed(session) => {
+                    let parts = self.managed.as_mut().expect("managed stepper has parts");
+                    let mut hooks = ManagedHooks {
+                        abr: self.abr.as_mut(),
+                        controller: &mut parts.controller,
+                        predictor: &mut parts.predictor,
+                        user: &mut self.exit_model,
+                        buffers: &mut self.buffers,
+                        rng: &mut self.rng,
+                    };
+                    match session.next_request(&mut hooks).map_err(sub)? {
+                        Some(req) => Next::Request {
+                            at: self.t0 + req.at,
+                            size_kbits: req.size_kbits,
+                        },
+                        None => Next::EndSession,
+                    }
+                }
+            };
+            match next {
+                Next::Request { at, size_kbits } => return Ok(Some((at, size_kbits))),
+                Next::Done => return Ok(None),
+                Next::EndSession => self.end_session()?,
+                Next::BeginSession => self.begin_session(catalog)?,
+            }
+        }
+    }
+
+    /// Start the next session: sample a video and build the stepper.
+    fn begin_session(&mut self, catalog: &'a Catalog) -> Result<()> {
+        self.sessions_left -= 1;
+        let video = catalog.sample(&mut self.rng);
+        self.video = Some(video);
+        self.abr.reset();
+        self.stepper = match &mut self.managed {
+            Some(parts) => {
+                let mut hooks = ManagedHooks {
+                    abr: self.abr.as_mut(),
+                    controller: &mut parts.controller,
+                    predictor: &mut parts.predictor,
+                    user: &mut self.exit_model,
+                    buffers: &mut self.buffers,
+                    rng: &mut self.rng,
+                };
+                Stepper::Managed(
+                    ManagedSession::begin(
+                        self.user.id,
+                        video,
+                        self.ladder,
+                        self.player,
+                        &mut hooks,
+                    )
+                    .map_err(sub)?,
+                )
+            }
+            None => {
+                self.exit_model.reset_session();
+                Stepper::Plain(
+                    SessionStream::new(self.user.id, video, self.ladder, self.player)
+                        .map_err(sub)?,
+                )
+            }
+        };
+        Ok(())
+    }
+
+    /// Close the current session: summarize it and advance the absolute
+    /// clock to where the next session can start (completed sessions play
+    /// out the buffered tail first).
+    fn end_session(&mut self) -> Result<()> {
+        match std::mem::replace(&mut self.stepper, Stepper::Idle) {
+            Stepper::Plain(stream) => {
+                let wall = stream.env().wall_time();
+                let tail = stream.env().buffer();
+                let log = stream.finish();
+                self.t0 += wall + if log.completed() { tail } else { 0.0 };
+                self.summaries.push(log.summary());
+            }
+            Stepper::Managed(session) => {
+                session.finalize(&mut self.buffers);
+                let wall = session.env().wall_time();
+                let tail = session.env().buffer();
+                let log = self.buffers.log();
+                self.t0 += wall + if log.completed() { tail } else { 0.0 };
+                self.summaries.push(log.summary());
+            }
+            Stepper::Idle => {
+                return Err(FleetError::Subsystem("end_session on an idle agent".into()))
+            }
+        }
+        Ok(())
+    }
+
+    /// Hand a completed flow to the in-flight session.
+    fn complete(&mut self, end: FlowEnd) -> Result<()> {
+        let download = Download {
+            duration: end.duration,
+            kbps: end.kbps,
+        };
+        match &mut self.stepper {
+            Stepper::Plain(stream) => {
+                let exit_model = &mut self.exit_model;
+                let ladder = self.ladder;
+                stream
+                    .complete(
+                        download,
+                        |env, record, r| {
+                            let view = SegmentView {
+                                env,
+                                record,
+                                ladder,
+                            };
+                            if exit_model.decide(&view, r) {
+                                ExitDecision::Exit
+                            } else {
+                                ExitDecision::Continue
+                            }
+                        },
+                        &mut self.rng,
+                    )
+                    .map_err(sub)?;
+            }
+            Stepper::Managed(session) => {
+                let parts = self.managed.as_mut().expect("managed stepper has parts");
+                let mut hooks = ManagedHooks {
+                    abr: self.abr.as_mut(),
+                    controller: &mut parts.controller,
+                    predictor: &mut parts.predictor,
+                    user: &mut self.exit_model,
+                    buffers: &mut self.buffers,
+                    rng: &mut self.rng,
+                };
+                session.complete(download, &mut hooks).map_err(sub)?;
+            }
+            Stepper::Idle => {
+                return Err(FleetError::Subsystem(
+                    "flow completion for an idle agent".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// The user's epoch is over: persist managed state and emit the row.
+    fn finish(self, cache: &ShardedStateCache) -> Result<UserEpochRow> {
+        if let Some(mut parts) = self.managed {
+            parts.state.tracker = parts.controller.tracker().clone();
+            parts.state.params = parts.controller.params();
+            parts.state.optimizations += parts.controller.optimizations();
+            cache.save(&parts.state).map_err(sub)?;
+        }
+        Ok(UserEpochRow {
+            user_id: self.user.id,
+            summaries: self.summaries,
+        })
+    }
+}
+
+/// One shard's epoch in contention mode: group the shard's users by link
+/// and co-simulate each link's group on its own event kernel.
+pub(crate) fn run_shard_epoch_contended(
+    engine: &FleetEngine,
+    users: &[UserRecord],
+    epoch: usize,
+    scenario: &FleetScenario,
+    catalog: &Catalog,
+    cache: &ShardedStateCache,
+) -> Result<Vec<UserEpochRow>> {
+    let contention = engine
+        .config()
+        .contention
+        .as_ref()
+        .expect("contended epoch requires a contention config");
+    let mut links: BTreeMap<u64, Vec<&UserRecord>> = BTreeMap::new();
+    for user in users {
+        links.entry(engine.link_of(user.id)).or_default().push(user);
+    }
+    let mut rows = Vec::with_capacity(users.len());
+    for members in links.values() {
+        rows.extend(run_link_epoch(
+            engine, contention, members, epoch, scenario, catalog, cache,
+        )?);
+    }
+    Ok(rows)
+}
+
+/// Event-driven co-simulation of one link's users for one epoch.
+fn run_link_epoch(
+    engine: &FleetEngine,
+    contention: &ContentionConfig,
+    members: &[&UserRecord],
+    epoch: usize,
+    scenario: &FleetScenario,
+    catalog: &Catalog,
+    cache: &ShardedStateCache,
+) -> Result<Vec<UserEpochRow>> {
+    let link = SharedBottleneck::new(contention.capacity_kbps).map_err(sub)?;
+    let drift = ToleranceDrift::default();
+    let ladder = catalog.ladder();
+    let player = engine.config().player;
+
+    // Build agents in ascending user-id order; their first sessions arrive
+    // across the ramp window, each drawn from the user's own stream.
+    let mut agents: Vec<Option<LinkAgent<'_>>> = Vec::with_capacity(members.len());
+    let mut index_of: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut pending: BinaryHeap<Reverse<Arrival>> = BinaryHeap::new();
+    let mut rows = Vec::with_capacity(members.len());
+    for user in members {
+        let mut rng = StdRng::seed_from_u64(engine.stream_seed(user.id, epoch));
+        let arrival = rng.gen::<f64>() * contention.arrival_window;
+        let sessions_left = engine.sessions_this_epoch(user, &mut rng);
+        let exit_model = user.exit_model_for_day(&drift, &mut rng);
+        let policy = scenario.abr_mix.policy_for(user.id);
+        let managed = if policy.managed() && engine.lingxi_active(user.id, epoch) {
+            let state = cache.load_or_new(user.id).map_err(sub)?;
+            let controller = LingXiController::with_state(
+                policy.lingxi_config(),
+                state.tracker.clone(),
+                state.params,
+            )
+            .map_err(sub)?;
+            Some(ManagedParts {
+                controller,
+                predictor: ProfilePredictor {
+                    profile: user.stall,
+                    base: 0.015,
+                },
+                state,
+            })
+        } else {
+            None
+        };
+        let mut agent = LinkAgent {
+            user,
+            ladder,
+            player,
+            cap_kbps: contention.flow_cap_kbps(user.net.mean_kbps),
+            rng,
+            abr: policy.build(),
+            exit_model,
+            managed,
+            buffers: SessionBuffers::new(),
+            sessions_left,
+            t0: arrival,
+            video: None,
+            stepper: Stepper::Idle,
+            summaries: Vec::with_capacity(sessions_left),
+        };
+        match agent.request(catalog)? {
+            Some((at, size_kbits)) => {
+                let cap_kbps = agent.cap_kbps;
+                index_of.insert(user.id, agents.len());
+                pending.push(Reverse(Arrival {
+                    at,
+                    uid: user.id,
+                    size_kbits,
+                    cap_kbps,
+                }));
+                agents.push(Some(agent));
+            }
+            None => rows.push(agent.finish(cache)?),
+        }
+    }
+
+    // The kernel: completions first on time ties, then arrivals in
+    // (time, user id) order.
+    loop {
+        let arrival_at = pending.peek().map(|Reverse(a)| a.at);
+        let completion_at = link.next_event_time();
+        let take_completion = match (arrival_at, completion_at) {
+            (None, None) => break,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(a), Some(c)) => c <= a,
+        };
+        if take_completion {
+            let end = link.pop_completion().expect("completion event exists");
+            let idx = *index_of
+                .get(&end.id)
+                .ok_or_else(|| FleetError::Subsystem(format!("unknown flow {}", end.id)))?;
+            let agent = agents[idx]
+                .as_mut()
+                .ok_or_else(|| FleetError::Subsystem("completion for finished agent".into()))?;
+            agent.complete(end)?;
+            match agent.request(catalog)? {
+                Some((at, size_kbits)) => {
+                    let cap_kbps = agent.cap_kbps;
+                    pending.push(Reverse(Arrival {
+                        at,
+                        uid: end.id,
+                        size_kbits,
+                        cap_kbps,
+                    }));
+                }
+                None => {
+                    let agent = agents[idx].take().expect("agent checked above");
+                    rows.push(agent.finish(cache)?);
+                }
+            }
+        } else {
+            let Reverse(arrival) = pending.pop().expect("peeked arrival exists");
+            link.begin_flow(
+                arrival.uid,
+                arrival.at,
+                arrival.size_kbits,
+                arrival.cap_kbps,
+            )
+            .map_err(sub)?;
+        }
+    }
+
+    debug_assert!(agents.iter().all(Option::is_none), "all agents drained");
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ContentionConfig, FleetConfig, FleetEngine, FleetScenario};
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lingxi_contention_test_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn scenario() -> FleetScenario {
+        FleetScenario {
+            name: "contended".into(),
+            n_users: 24,
+            n_videos: 8,
+            mean_sessions_per_epoch: 2.0,
+            ..FleetScenario::default()
+        }
+    }
+
+    fn run(shards: usize, capacity_kbps: f64, links: usize, tag: &str) -> crate::FleetReport {
+        let dir = temp_dir(tag);
+        let config = FleetConfig {
+            shards,
+            epochs: 2,
+            seed: 7,
+            state_dir: dir.clone(),
+            contention: Some(ContentionConfig {
+                links,
+                capacity_kbps,
+                arrival_window: 10.0,
+                access_cap_factor: 1.5,
+            }),
+            ..FleetConfig::default()
+        };
+        let report = FleetEngine::new(config).unwrap().run(&scenario()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        report
+    }
+
+    #[test]
+    fn contended_metrics_identical_across_shard_counts() {
+        let one = run(1, 20_000.0, 6, "inv1");
+        let four = run(4, 20_000.0, 6, "inv4");
+        let eight = run(8, 20_000.0, 6, "inv8");
+        assert_eq!(one.merged_metrics(), four.merged_metrics());
+        assert_eq!(one.merged_metrics(), eight.merged_metrics());
+        assert_eq!(one.sessions, eight.sessions);
+        assert_eq!(one.segments, eight.segments);
+        assert!(one.sessions >= 24, "every user plays >= 1 session");
+    }
+
+    #[test]
+    fn tighter_links_degrade_qoe() {
+        // One congested cell vs ample per-link capacity: the same
+        // population must stall more and watch less when contended.
+        let tight = run(2, 2_500.0, 1, "tight");
+        let ample = run(2, 80_000.0, 6, "ample");
+        let stall = |r: &crate::FleetReport| r.epochs.iter().map(|e| e.all.stall_time).sum::<f64>();
+        assert!(
+            stall(&tight) > stall(&ample),
+            "tight {} vs ample {}",
+            stall(&tight),
+            stall(&ample)
+        );
+    }
+
+    #[test]
+    fn contended_runs_are_reproducible() {
+        let a = run(3, 10_000.0, 4, "repA");
+        let b = run(3, 10_000.0, 4, "repB");
+        assert_eq!(a.merged_metrics(), b.merged_metrics());
+        assert_eq!(a.sessions, b.sessions);
+    }
+}

@@ -30,9 +30,9 @@ use crate::report::{EpochMetrics, FleetReport};
 use crate::{mix64, sub, FleetError, Result};
 
 /// One user's sessions for one epoch, as produced by a shard worker.
-struct UserEpochRow {
-    user_id: u64,
-    summaries: Vec<SessionSummary>,
+pub(crate) struct UserEpochRow {
+    pub(crate) user_id: u64,
+    pub(crate) summaries: Vec<SessionSummary>,
 }
 
 /// The fleet-simulation engine.
@@ -53,19 +53,36 @@ impl FleetEngine {
         &self.config
     }
 
-    /// Which shard owns a user.
+    /// Which shard owns a user. In contention mode ownership follows the
+    /// user's *link*, so every link's co-simulation stays whole on one
+    /// shard and the shard-count invariance survives contention.
     fn shard_of(&self, user_id: u64) -> usize {
-        (mix64(user_id) % self.config.shards as u64) as usize
+        match &self.config.contention {
+            Some(_) => (mix64(self.link_of(user_id)) % self.config.shards as u64) as usize,
+            None => (mix64(user_id) % self.config.shards as u64) as usize,
+        }
+    }
+
+    /// The shared link a user's sessions contend on (contention mode).
+    /// Derived from (seed, user id) only — never from the shard count.
+    pub(crate) fn link_of(&self, user_id: u64) -> u64 {
+        let links = self
+            .config
+            .contention
+            .as_ref()
+            .map(|c| c.links as u64)
+            .unwrap_or(1);
+        mix64(self.config.seed ^ mix64(user_id ^ 0x11AC_C355_71E0_2BB7)) % links
     }
 
     /// Per-(user, epoch) RNG stream, independent of shard count.
-    fn stream_seed(&self, user_id: u64, epoch: usize) -> u64 {
+    pub(crate) fn stream_seed(&self, user_id: u64, epoch: usize) -> u64 {
         mix64(self.config.seed ^ mix64(user_id) ^ mix64((epoch as u64) << 17 | 0x5EED))
     }
 
     /// Whether this user's sessions run under LingXi management in `epoch`
     /// (A/B mode gates the odd-id treatment cohort on the intervention).
-    fn lingxi_active(&self, user_id: u64, epoch: usize) -> bool {
+    pub(crate) fn lingxi_active(&self, user_id: u64, epoch: usize) -> bool {
         match &self.config.ab {
             None => true,
             Some(ab) => user_id % 2 == 1 && epoch >= ab.intervention_epoch,
@@ -214,6 +231,11 @@ impl FleetEngine {
         catalog: &Catalog,
         cache: &ShardedStateCache,
     ) -> Result<Vec<UserEpochRow>> {
+        if self.config.contention.is_some() {
+            return crate::contention::run_shard_epoch_contended(
+                self, users, epoch, scenario, catalog, cache,
+            );
+        }
         let drift = ToleranceDrift::default();
         let mut buffers = SessionBuffers::new();
         let mut rows = Vec::with_capacity(users.len());
@@ -241,7 +263,7 @@ impl FleetEngine {
 
     /// Sessions a user plays this epoch (Poisson-ish jitter around the
     /// user's engagement level, drawn from the user's own stream).
-    fn sessions_this_epoch<R: Rng>(&self, user: &UserRecord, rng: &mut R) -> usize {
+    pub(crate) fn sessions_this_epoch<R: Rng>(&self, user: &UserRecord, rng: &mut R) -> usize {
         let jitter = 0.5 + rng.gen::<f64>();
         ((user.sessions_per_day * jitter).round() as usize).clamp(1, 60)
     }
@@ -316,7 +338,7 @@ impl FleetEngine {
                     user_id: user.id,
                     video,
                     ladder,
-                    trace: &trace,
+                    process: &trace,
                     config: self.config.player,
                 };
                 let sizes = &video.sizes;

@@ -26,10 +26,11 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub(crate) mod contention;
 pub mod engine;
 pub mod report;
 
-pub use config::{AbSplit, AbrMix, AbrPolicy, FleetConfig, FleetScenario};
+pub use config::{AbSplit, AbrMix, AbrPolicy, ContentionConfig, FleetConfig, FleetScenario};
 pub use engine::FleetEngine;
 pub use report::{EpochMetrics, FleetReport};
 

@@ -22,12 +22,14 @@
 pub mod estimator;
 pub mod gen;
 pub mod mixture;
+pub mod process;
 pub mod rtt;
 pub mod trace;
 
 pub use estimator::{BandwidthEstimator, EwmaEstimator, HarmonicMeanEstimator, WindowEstimator};
 pub use gen::{LogNormalFadeGen, MarkovGen, RandomWalkGen, StationaryGaussGen, TraceGenerator};
 pub use mixture::{NetClass, ProductionMixture, UserNetProfile};
+pub use process::{BandwidthProcess, Download, FlowEnd, ModelProcess, SharedBottleneck};
 pub use rtt::RttModel;
 pub use trace::BandwidthTrace;
 

@@ -54,13 +54,16 @@ impl BandwidthTrace {
         }
         let mut remaining = kbits;
         let mut t = t_start.max(0.0);
+        // Track the tick as an integer: recomputing boundaries from `t`
+        // can stall at zero-width spans when `tick_seconds` has no exact
+        // float representation (floor(t/tick)·tick + tick == t).
+        let first_tick = (t / self.tick_seconds) as usize;
         let mut elapsed = 0.0;
         // Hard cap to keep pathological inputs bounded.
-        for _ in 0..1_000_000 {
-            let idx = (t / self.tick_seconds) as usize % self.samples_kbps.len();
-            let rate = self.samples_kbps[idx];
-            let tick_end = (t / self.tick_seconds).floor() * self.tick_seconds + self.tick_seconds;
-            let span = tick_end - t;
+        for tick_idx in first_tick..first_tick + 1_000_000 {
+            let rate = self.samples_kbps[tick_idx % self.samples_kbps.len()];
+            let tick_end = (tick_idx + 1) as f64 * self.tick_seconds;
+            let span = (tick_end - t).max(0.0);
             let capacity = rate * span;
             if capacity >= remaining {
                 return elapsed + remaining / rate;

@@ -1,5 +1,7 @@
 //! The per-segment player environment implementing Eq. 3.
 
+use std::collections::VecDeque;
+
 use lingxi_stats::NormalDist;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -53,10 +55,11 @@ pub struct PlayerEnv {
     /// Level chosen for the previous segment.
     last_level: Option<usize>,
     /// Recent observed throughputs (kbps), most recent last, bounded by
-    /// `config.history_window`.
-    throughput_history: Vec<f64>,
+    /// `config.history_window`. A ring buffer: the steady-state
+    /// push-newest/drop-oldest cycle is allocation-free.
+    throughput_history: VecDeque<f64>,
     /// Recent levels, parallel to `throughput_history`.
-    level_history: Vec<usize>,
+    level_history: VecDeque<usize>,
     /// All stall events so far.
     stalls: Vec<StallEvent>,
     /// Cumulative stall seconds.
@@ -84,8 +87,10 @@ impl PlayerEnv {
             playback_time: 0.0,
             segment_index: 0,
             last_level: None,
-            throughput_history: Vec::new(),
-            level_history: Vec::new(),
+            // One slot of headroom: `step` pushes before trimming, and a
+            // ring at capacity never reallocates.
+            throughput_history: VecDeque::with_capacity(config.history_window + 1),
+            level_history: VecDeque::with_capacity(config.history_window + 1),
             stalls: Vec::new(),
             total_stall: 0.0,
             bmax,
@@ -118,13 +123,14 @@ impl PlayerEnv {
         self.last_level
     }
 
-    /// Recent throughputs (kbps), oldest first.
-    pub fn throughput_history(&self) -> &[f64] {
+    /// Recent throughputs (kbps), oldest first (ring buffer; index and
+    /// iterate like a slice).
+    pub fn throughput_history(&self) -> &VecDeque<f64> {
         &self.throughput_history
     }
 
     /// Recent levels, oldest first (parallel to throughputs).
-    pub fn level_history(&self) -> &[usize] {
+    pub fn level_history(&self) -> &VecDeque<usize> {
         &self.level_history
     }
 
@@ -164,7 +170,7 @@ impl PlayerEnv {
         if self.throughput_history.is_empty() {
             return None;
         }
-        NormalDist::fit(&self.throughput_history).ok()
+        NormalDist::fit_iter(self.throughput_history.iter().copied()).ok()
     }
 
     /// Refresh `B_max` from the current bandwidth model (`B_max = f(N)`).
@@ -246,11 +252,11 @@ impl PlayerEnv {
         self.last_level = Some(level);
 
         let throughput = bandwidth_kbps;
-        self.throughput_history.push(throughput);
-        self.level_history.push(level);
+        self.throughput_history.push_back(throughput);
+        self.level_history.push_back(level);
         if self.throughput_history.len() > self.config.history_window {
-            self.throughput_history.remove(0);
-            self.level_history.remove(0);
+            self.throughput_history.pop_front();
+            self.level_history.pop_front();
         }
         self.update_bmax();
 

@@ -39,7 +39,9 @@ pub mod session;
 pub use config::{BmaxPolicy, PlayerConfig};
 pub use env::{PlayerEnv, SegmentOutcome, StallEvent};
 pub use log::{SegmentRecord, SessionEnd, SessionLog, SessionSummary};
-pub use session::{run_session, ExitDecision, SessionSetup};
+pub use session::{
+    content_watch_time, run_session, ExitDecision, SegmentRequest, SessionSetup, SessionStream,
+};
 
 /// Errors from player construction or stepping.
 #[derive(Debug, Clone, PartialEq)]

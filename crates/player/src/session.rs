@@ -1,19 +1,26 @@
-//! Generic session driver coupling a video, a bandwidth trace, an ABR
+//! Generic session driver coupling a video, a bandwidth process, an ABR
 //! decision function and a user exit model.
 //!
 //! The ABR and the user model are injected as closures so this crate stays
 //! below both `lingxi-abr` and `lingxi-user` in the dependency graph; those
 //! crates provide adapters that wrap their richer trait objects into these
 //! closures.
+//!
+//! Two layers: [`SessionStream`] is a resumable per-segment stepper —
+//! *request* the next download, *complete* it with whatever duration the
+//! bandwidth process produced — and [`run_session`] is the linear driver
+//! that plays a stream against one [`BandwidthProcess`] start to finish.
+//! The fleet engine's contention kernel drives many streams concurrently
+//! over a shared link, interleaving their requests in virtual time.
 
 use lingxi_media::{BitrateLadder, Video};
-use lingxi_net::BandwidthTrace;
+use lingxi_net::{BandwidthProcess, Download};
 use rand::Rng;
 
 use crate::config::PlayerConfig;
 use crate::env::PlayerEnv;
 use crate::log::{SegmentRecord, SessionEnd, SessionLog};
-use crate::Result;
+use crate::{PlayerError, Result};
 
 /// Everything needed to play one session.
 #[derive(Debug, Clone, Copy)]
@@ -24,8 +31,9 @@ pub struct SessionSetup<'a> {
     pub video: &'a Video,
     /// The bitrate ladder of the catalog.
     pub ladder: &'a BitrateLadder,
-    /// Bandwidth timeline.
-    pub trace: &'a BandwidthTrace,
+    /// Bandwidth source the downloads stream over (a trace, a sampled
+    /// model, or a shared link).
+    pub process: &'a dyn BandwidthProcess,
     /// Player configuration.
     pub config: PlayerConfig,
 }
@@ -39,7 +47,167 @@ pub enum ExitDecision {
     Exit,
 }
 
-/// Play one full session.
+/// One segment download a session wants to issue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentRequest {
+    /// Session-local wall-clock time the request is issued (seconds).
+    pub at: f64,
+    /// Size requested, in kbits.
+    pub size_kbits: f64,
+    /// Ladder level selected for the segment.
+    pub level: usize,
+}
+
+/// Content-based watch time of a session.
+///
+/// The exit decision fires after the user has experienced segment `k`, so
+/// they watched `(k+1)·L` seconds of content. (Wall-clock playback
+/// position would under-credit sessions holding deeper buffers, biasing
+/// comparisons between ABR policies.) Shared by [`SessionStream::finish`]
+/// and `lingxi_core`'s managed-session finalizer so the two paths cannot
+/// drift.
+pub fn content_watch_time(
+    end: SessionEnd,
+    exit_segment: Option<usize>,
+    segment_duration: f64,
+    video_duration: f64,
+    playback_time: f64,
+) -> f64 {
+    match (end, exit_segment) {
+        (SessionEnd::Completed, _) => video_duration,
+        (_, Some(k)) => ((k + 1) as f64 * segment_duration).min(video_duration),
+        (_, None) => playback_time.min(video_duration),
+    }
+}
+
+/// A session as a resumable per-segment state machine.
+///
+/// Alternate [`SessionStream::next_request`] (which runs the ABR and
+/// announces the next download) with [`SessionStream::complete`] (which
+/// applies the download's outcome to the player and consults the exit
+/// model), then call [`SessionStream::finish`] for the log. The linear
+/// driver [`run_session`] is exactly this loop against one bandwidth
+/// process; the fleet contention kernel interleaves many streams on a
+/// shared link.
+#[derive(Debug)]
+pub struct SessionStream<'a> {
+    user_id: u64,
+    video: &'a Video,
+    ladder: &'a BitrateLadder,
+    env: PlayerEnv,
+    pending: Option<(usize, f64)>,
+    segments: Vec<SegmentRecord>,
+    end: SessionEnd,
+    exit_segment: Option<usize>,
+    finished: bool,
+}
+
+impl<'a> SessionStream<'a> {
+    /// Start a session.
+    pub fn new(
+        user_id: u64,
+        video: &'a Video,
+        ladder: &'a BitrateLadder,
+        config: PlayerConfig,
+    ) -> Result<Self> {
+        Ok(Self {
+            user_id,
+            video,
+            ladder,
+            env: PlayerEnv::new(config)?,
+            pending: None,
+            segments: Vec::with_capacity(video.n_segments()),
+            end: SessionEnd::Completed,
+            exit_segment: None,
+            finished: false,
+        })
+    }
+
+    /// The live player state (what ABRs and exit models observe).
+    pub fn env(&self) -> &PlayerEnv {
+        &self.env
+    }
+
+    /// Select the next segment via `select` and return its download
+    /// request; `None` once the video is fully downloaded or the user
+    /// exited.
+    pub fn next_request<F>(&mut self, mut select: F) -> Option<SegmentRequest>
+    where
+        F: FnMut(&PlayerEnv) -> usize,
+    {
+        if self.finished || self.env.segment_index() >= self.video.n_segments() {
+            self.finished = true;
+            return None;
+        }
+        let wanted = select(&self.env);
+        let level = wanted.min(self.ladder.top_level());
+        let size = self
+            .video
+            .sizes
+            .size_kbits(self.env.segment_index(), level)
+            .expect("segment and level verified in range");
+        self.pending = Some((level, size));
+        Some(SegmentRequest {
+            at: self.env.wall_time(),
+            size_kbits: size,
+            level,
+        })
+    }
+
+    /// Apply a completed download to the player, record the segment and
+    /// consult `exit`. Returns `false` once the session is over (user
+    /// exited); calling without a pending request is an error.
+    pub fn complete<G, R>(&mut self, download: Download, mut exit: G, rng: &mut R) -> Result<bool>
+    where
+        G: FnMut(&PlayerEnv, &SegmentRecord, &mut R) -> ExitDecision,
+        R: Rng + ?Sized,
+    {
+        let (level, size) = self.pending.take().ok_or_else(|| {
+            PlayerError::InvalidStep("complete() without a pending request".into())
+        })?;
+        // Effective throughput over this download, as the process saw it.
+        let bandwidth = download.kbps;
+        let seg_duration = self.video.sizes.segment_duration();
+        let switched_from = self.env.last_level();
+        let outcome = self.env.step(size, level, bandwidth, seg_duration, rng)?;
+        let bitrate = self.ladder.bitrate(level).expect("level clamped");
+        let record = self
+            .env
+            .record(&outcome, level, bitrate, size, switched_from);
+        self.segments.push(record);
+        if exit(&self.env, &record, rng) == ExitDecision::Exit {
+            self.end = SessionEnd::Exited;
+            self.exit_segment = Some(self.env.segment_index() - 1);
+            self.finished = true;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Close the session and build its log.
+    pub fn finish(self) -> SessionLog {
+        let video_duration = self.video.duration();
+        let seg_duration = self.video.sizes.segment_duration();
+        let watch_time = content_watch_time(
+            self.end,
+            self.exit_segment,
+            seg_duration,
+            video_duration,
+            self.env.playback_time(),
+        );
+        SessionLog {
+            user_id: self.user_id,
+            video_id: self.video.id,
+            video_duration,
+            segments: self.segments,
+            watch_time,
+            end: self.end,
+            exit_segment: self.exit_segment,
+        }
+    }
+}
+
+/// Play one full session over `setup.process`.
 ///
 /// - `select(env)` returns the level for the next segment (clamped into the
 ///   ladder);
@@ -60,66 +228,21 @@ where
     G: FnMut(&PlayerEnv, &SegmentRecord, &mut R) -> ExitDecision,
     R: Rng + ?Sized,
 {
-    let mut env = PlayerEnv::new(setup.config)?;
-    let n_segments = setup.video.n_segments();
-    let seg_duration = setup.video.sizes.segment_duration();
-    let mut segments = Vec::with_capacity(n_segments);
-    let mut end = SessionEnd::Completed;
-    let mut exit_segment = None;
-
-    for k in 0..n_segments {
-        let wanted = select(&env);
-        let level = wanted.min(setup.ladder.top_level());
-        let size = setup
-            .video
-            .sizes
-            .size_kbits(k, level)
-            .expect("segment and level verified in range");
-        // Effective throughput over this download, integrated on the trace.
-        let dl = setup.trace.download_time(env.wall_time(), size);
-        let bandwidth = if dl > 0.0 {
-            size / dl
-        } else {
-            setup.trace.at(env.wall_time())
-        };
-        let switched_from = env.last_level();
-        let outcome = env.step(size, level, bandwidth, seg_duration, rng)?;
-        let bitrate = setup.ladder.bitrate(level).expect("level clamped");
-        let record = env.record(&outcome, level, bitrate, size, switched_from);
-        segments.push(record);
-        if exit(&env, &record, rng) == ExitDecision::Exit {
-            end = SessionEnd::Exited;
-            exit_segment = Some(k);
+    let mut stream = SessionStream::new(setup.user_id, setup.video, setup.ladder, setup.config)?;
+    while let Some(req) = stream.next_request(&mut select) {
+        let download = setup.process.download(req.at, req.size_kbits);
+        if !stream.complete(download, &mut exit, rng)? {
             break;
         }
     }
-
-    let video_duration = setup.video.duration();
-    // Watch time is content-based: the exit decision fires after the user
-    // has experienced segment k, so they watched (k+1)·L seconds of
-    // content. (Wall-clock playback position would under-credit sessions
-    // holding deeper buffers, biasing comparisons between ABR policies.)
-    let watch_time = match (end, exit_segment) {
-        (SessionEnd::Completed, _) => video_duration,
-        (_, Some(k)) => ((k + 1) as f64 * seg_duration).min(video_duration),
-        (_, None) => env.playback_time().min(video_duration),
-    };
-
-    Ok(SessionLog {
-        user_id: setup.user_id,
-        video_id: setup.video.id,
-        video_duration,
-        segments,
-        watch_time,
-        end,
-        exit_segment,
-    })
+    Ok(stream.finish())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use lingxi_media::{Catalog, CatalogConfig, VbrModel};
+    use lingxi_net::BandwidthTrace;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -145,7 +268,7 @@ mod tests {
             user_id: 1,
             video: cat.video_cyclic(0),
             ladder: cat.ladder(),
-            trace: &trace,
+            process: &trace,
             config: PlayerConfig::deterministic(10.0, 0.0),
         };
         let mut rng = StdRng::seed_from_u64(2);
@@ -166,7 +289,7 @@ mod tests {
             user_id: 1,
             video: cat.video_cyclic(0),
             ladder: cat.ladder(),
-            trace: &trace,
+            process: &trace,
             config: PlayerConfig::deterministic(10.0, 0.0),
         };
         let mut rng = StdRng::seed_from_u64(3);
@@ -198,7 +321,7 @@ mod tests {
             user_id: 1,
             video: cat.video_cyclic(1),
             ladder: cat.ladder(),
-            trace: &trace,
+            process: &trace,
             config: PlayerConfig::deterministic(10.0, 0.0),
         };
         let mut rng = StdRng::seed_from_u64(4);
@@ -215,7 +338,7 @@ mod tests {
             user_id: 1,
             video: cat.video_cyclic(2),
             ladder: cat.ladder(),
-            trace: &trace,
+            process: &trace,
             config: PlayerConfig::deterministic(10.0, 0.0),
         };
         let mut rng = StdRng::seed_from_u64(5);
@@ -231,7 +354,7 @@ mod tests {
             user_id: 1,
             video: cat.video_cyclic(0),
             ladder: cat.ladder(),
-            trace: &trace,
+            process: &trace,
             config: PlayerConfig::deterministic(10.0, 0.0),
         };
         let mut rng = StdRng::seed_from_u64(6);

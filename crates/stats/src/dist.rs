@@ -119,11 +119,22 @@ impl NormalDist {
 
     /// Maximum-likelihood fit from samples (population sigma).
     pub fn fit(samples: &[f64]) -> Result<Self> {
-        if samples.is_empty() {
+        Self::fit_iter(samples.iter().copied())
+    }
+
+    /// [`NormalDist::fit`] over any re-iterable sample source (e.g. a ring
+    /// buffer's iterator). Summation order follows iteration order, so for
+    /// the same sequence of samples this is bit-identical to `fit`.
+    pub fn fit_iter<I>(samples: I) -> Result<Self>
+    where
+        I: Iterator<Item = f64> + Clone,
+    {
+        let n = samples.clone().count();
+        if n == 0 {
             return Err(StatsError::Empty);
         }
-        let mu = crate::describe::mean(samples)?;
-        let var = samples.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / samples.len() as f64;
+        let mu = samples.clone().sum::<f64>() / n as f64;
+        let var = samples.map(|x| (x - mu) * (x - mu)).sum::<f64>() / n as f64;
         Self::new(mu, var.sqrt())
     }
 

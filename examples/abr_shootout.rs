@@ -68,7 +68,7 @@ fn main() {
                     user_id: 0,
                     video,
                     ladder: catalog.ladder(),
-                    trace: &trace,
+                    process: &trace,
                     config: PlayerConfig::default(),
                 };
                 abr.reset();

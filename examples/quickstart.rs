@@ -89,7 +89,7 @@ fn main() {
             user_id: 1,
             video,
             ladder: catalog.ladder(),
-            trace: &trace,
+            process: &trace,
             config: PlayerConfig::default(),
         };
         let ladder = catalog.ladder();

@@ -96,10 +96,12 @@ pub mod prelude {
         Video,
     };
     pub use lingxi_net::{
-        BandwidthEstimator, BandwidthTrace, NetClass, ProductionMixture, RttModel, UserNetProfile,
+        BandwidthEstimator, BandwidthProcess, BandwidthTrace, Download, NetClass,
+        ProductionMixture, RttModel, SharedBottleneck, UserNetProfile,
     };
     pub use lingxi_player::{
         run_session, BmaxPolicy, ExitDecision, PlayerConfig, PlayerEnv, SessionLog, SessionSetup,
+        SessionStream,
     };
     pub use lingxi_user::{
         ExitModel, PopulationConfig, QosExitModel, RuleBasedExit, SegmentView, SensitivityKind,

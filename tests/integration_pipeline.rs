@@ -67,7 +67,7 @@ fn full_managed_pipeline_reduces_stalls_for_sensitive_user() {
                     user_id: 1,
                     video,
                     ladder: catalog.ladder(),
-                    trace: &trace,
+                    process: &trace,
                     config: PlayerConfig::default(),
                 };
                 let ladder = catalog.ladder();

@@ -168,7 +168,7 @@ proptest! {
             user_id: 1,
             video,
             ladder: catalog.ladder(),
-            trace: &trace,
+            process: &trace,
             config: PlayerConfig::default(),
         };
         let mut abr = Hyb::default_rule();

@@ -302,6 +302,21 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => type_error("sequence", other),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
