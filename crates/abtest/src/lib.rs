@@ -27,7 +27,7 @@ pub mod experiment;
 pub mod metrics;
 
 pub use experiment::{did_report, AbReport, AbSchedule, AbTest, ArmRunner, MetricSeries};
-pub use metrics::{aggregate_day, relative_diff_pct, DayMetrics};
+pub use metrics::{aggregate_day, relative_diff_pct, DayAccum, DayMetrics};
 
 /// Errors from experiment orchestration.
 #[derive(Debug, Clone, PartialEq)]

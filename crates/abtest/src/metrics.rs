@@ -34,31 +34,101 @@ impl DayMetrics {
     }
 }
 
-/// Aggregate one day's session summaries.
+/// Aggregate one day's session summaries. A batch fold over [`DayAccum`],
+/// so the batch and streaming paths cannot drift apart.
 pub fn aggregate_day(summaries: &[SessionSummary]) -> DayMetrics {
-    let mut m = DayMetrics::default();
-    if summaries.is_empty() {
-        return m;
-    }
-    let mut bitrate_weight = 0.0;
-    let mut bitrate_sum = 0.0;
+    let mut acc = DayAccum::new();
     for s in summaries {
-        m.watch_time += s.watch_time;
-        m.stall_time += s.total_stall;
-        m.sessions += 1;
-        m.completions += usize::from(s.completed);
-        m.stall_count += s.stall_count;
-        m.switches += s.switch_count;
-        let w = s.segments.max(1) as f64;
-        bitrate_sum += s.mean_bitrate * w;
-        bitrate_weight += w;
+        acc.push(s);
     }
-    m.mean_bitrate = if bitrate_weight > 0.0 {
-        bitrate_sum / bitrate_weight
-    } else {
-        0.0
-    };
-    m
+    acc.metrics()
+}
+
+/// Streaming accumulator for [`DayMetrics`]: fold session summaries one at
+/// a time in O(1) memory instead of materialising the whole day's
+/// summaries before calling [`aggregate_day`].
+///
+/// The fleet engine keeps one `DayAccum` per user (sessions folded in play
+/// order) and merges the per-user partials in ascending user-id order at
+/// the epoch barrier — an order that is a pure function of the population,
+/// never of the shard layout, so the merged [`DayMetrics`] are
+/// bit-identical for any shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DayAccum {
+    watch_time: f64,
+    stall_time: f64,
+    sessions: usize,
+    completions: usize,
+    stall_count: usize,
+    switches: usize,
+    segments: usize,
+    bitrate_sum: f64,
+    bitrate_weight: f64,
+}
+
+impl DayAccum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one session summary.
+    pub fn push(&mut self, s: &SessionSummary) {
+        self.watch_time += s.watch_time;
+        self.stall_time += s.total_stall;
+        self.sessions += 1;
+        self.completions += usize::from(s.completed);
+        self.stall_count += s.stall_count;
+        self.switches += s.switch_count;
+        self.segments += s.segments;
+        let w = s.segments.max(1) as f64;
+        self.bitrate_sum += s.mean_bitrate * w;
+        self.bitrate_weight += w;
+    }
+
+    /// Fold another accumulator into this one. Float sums make the result
+    /// order-sensitive in the last bits; merge partials in a canonical
+    /// order when bit-identical cross-partition results are required.
+    pub fn merge(&mut self, other: &Self) {
+        self.watch_time += other.watch_time;
+        self.stall_time += other.stall_time;
+        self.sessions += other.sessions;
+        self.completions += other.completions;
+        self.stall_count += other.stall_count;
+        self.switches += other.switches;
+        self.segments += other.segments;
+        self.bitrate_sum += other.bitrate_sum;
+        self.bitrate_weight += other.bitrate_weight;
+    }
+
+    /// Sessions folded so far.
+    pub fn sessions(&self) -> usize {
+        self.sessions
+    }
+
+    /// Segments folded so far (not part of [`DayMetrics`]; kept for
+    /// engine throughput accounting).
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Finish into [`DayMetrics`] (identical to [`aggregate_day`] over the
+    /// same summaries in the same order).
+    pub fn metrics(&self) -> DayMetrics {
+        DayMetrics {
+            watch_time: self.watch_time,
+            stall_time: self.stall_time,
+            mean_bitrate: if self.bitrate_weight > 0.0 {
+                self.bitrate_sum / self.bitrate_weight
+            } else {
+                0.0
+            },
+            sessions: self.sessions,
+            completions: self.completions,
+            stall_count: self.stall_count,
+            switches: self.switches,
+        }
+    }
 }
 
 /// Relative difference in percent: `100 · (treatment − control) / control`.
@@ -109,6 +179,32 @@ mod tests {
         // Weighted by segments: (1000*10 + 3000*30)/40 = 2500.
         assert!((day.mean_bitrate - 2500.0).abs() < 1e-9);
         assert_eq!(day.completion_rate(), 0.5);
+    }
+
+    #[test]
+    fn accum_matches_aggregate_day() {
+        let sessions = [
+            summary(30.0, 1.0, 1000.0, true, 10),
+            summary(10.0, 0.0, 3000.0, false, 30),
+            summary(5.0, 2.5, 800.0, false, 4),
+        ];
+        let batch = aggregate_day(&sessions);
+        let mut acc = DayAccum::new();
+        for s in &sessions {
+            acc.push(s);
+        }
+        assert_eq!(acc.metrics(), batch);
+        assert_eq!(acc.sessions(), 3);
+        // Split + ordered merge reproduces the single-stream result.
+        let mut a = DayAccum::new();
+        a.push(&sessions[0]);
+        let mut b = DayAccum::new();
+        b.push(&sessions[1]);
+        b.push(&sessions[2]);
+        a.merge(&b);
+        assert_eq!(a.metrics().sessions, batch.sessions);
+        assert!((a.metrics().watch_time - batch.watch_time).abs() < 1e-12);
+        assert_eq!(DayAccum::new().metrics(), aggregate_day(&[]));
     }
 
     #[test]

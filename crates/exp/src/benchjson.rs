@@ -1,0 +1,387 @@
+//! `benchjson` — the machine-readable perf gate behind the `bench-report`
+//! CI job.
+//!
+//! Runs a fixed small-scale scenario matrix — a managed-session loop, an
+//! independent-trace fleet epoch, a shared-bottleneck fleet epoch, and a
+//! population-dynamics run — and writes `BENCH_CI.json`: sessions/sec and
+//! peak RSS per scenario (schema in `bench/README.md`). CI uploads the
+//! file as an artifact (the perf trajectory accumulates run over run) and
+//! gates it against the committed `bench/baseline.json` with a generous
+//! wall-clock tolerance, so only catastrophic regressions fail the build
+//! while every run still leaves a comparable record.
+
+use std::path::Path;
+use std::time::Instant;
+
+use lingxi_abr::Hyb;
+use lingxi_core::{
+    run_managed_session_in, LingXiConfig, LingXiController, ProfilePredictor, SessionBuffers,
+};
+use lingxi_fleet::{
+    AbrMix, ContentionConfig, FleetConfig, FleetEngine, FleetScenario, PopulationDynamics,
+};
+use lingxi_media::{BitrateLadder, Catalog, CatalogConfig, VbrModel};
+use lingxi_net::{BandwidthTrace, ProductionMixture};
+use lingxi_player::PlayerConfig;
+use lingxi_user::{QosExitModel, SensitivityKind, StallProfile};
+use lingxi_workload::{ArrivalKind, ClassRegistry, Diurnal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{ExpError, Result};
+
+/// Version of the `BENCH_CI.json` schema (bump on field changes).
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Wall-clock tolerance of the gate: a scenario fails only when it runs
+/// more than this factor slower than the committed baseline (plus the
+/// absolute slack below).
+pub const BENCH_TOLERANCE: f64 = 3.0;
+
+/// Absolute wall-clock slack (seconds) added on top of the relative
+/// tolerance, so sub-second scenarios cannot trip the gate on scheduler
+/// noise. Only catastrophic regressions should fail CI.
+pub const BENCH_SLACK_S: f64 = 2.0;
+
+/// One benchmark scenario's record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchScenario {
+    /// Scenario id (`managed_session`, `fleet_independent`,
+    /// `fleet_contention`, `population`).
+    pub name: String,
+    /// Sessions simulated.
+    pub sessions: usize,
+    /// Wall-clock seconds for the scenario.
+    pub wall_s: f64,
+    /// Throughput (sessions / wall_s).
+    pub sessions_per_sec: f64,
+    /// Process peak RSS (`VmHWM`, kB) sampled after the scenario. The
+    /// high-water mark is process-cumulative, so later scenarios can only
+    /// report equal-or-larger values; 0 when `/proc` is unavailable.
+    pub peak_rss_kb: u64,
+}
+
+/// The full benchmark report (`BENCH_CI.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Seed the matrix ran with.
+    pub seed: u64,
+    /// Scale the matrix ran with (population sizes shrink linearly).
+    pub scale: f64,
+    /// Per-scenario records, in matrix order.
+    pub scenarios: Vec<BenchScenario>,
+}
+
+/// Process peak RSS in kB from `/proc/self/status` (`VmHWM`); 0 when the
+/// proc filesystem is unavailable (non-Linux).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:").and_then(|rest| {
+                    rest.trim()
+                        .strip_suffix("kB")
+                        .unwrap_or(rest.trim())
+                        .trim()
+                        .parse::<u64>()
+                        .ok()
+                })
+            })
+        })
+        .unwrap_or(0)
+}
+
+fn state_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lingxi_benchjson_{}_{tag}", std::process::id()))
+}
+
+/// Time one scenario and record it.
+fn record(name: &str, f: impl FnOnce() -> Result<usize>) -> Result<BenchScenario> {
+    let start = Instant::now();
+    let sessions = f()?;
+    let wall_s = start.elapsed().as_secs_f64();
+    Ok(BenchScenario {
+        name: name.to_string(),
+        sessions,
+        wall_s,
+        sessions_per_sec: if wall_s > 0.0 {
+            sessions as f64 / wall_s
+        } else {
+            0.0
+        },
+        peak_rss_kb: peak_rss_kb(),
+    })
+}
+
+/// The managed-session hot loop: LingXi-managed HYB sessions over a
+/// constant trace, reusing session buffers (the per-session cost floor).
+fn managed_session_scenario(seed: u64, scale: f64) -> Result<usize> {
+    let n = ((300.0 * scale) as usize).max(24);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = Catalog::generate(
+        BitrateLadder::default_short_video(),
+        &CatalogConfig {
+            n_videos: 4,
+            mean_duration: 60.0,
+            vbr: VbrModel::default_vbr(),
+            ..CatalogConfig::default()
+        },
+        &mut rng,
+    )
+    .map_err(crate::sub)?;
+    let trace = BandwidthTrace::constant(2500.0, 600, 1.0).map_err(crate::sub)?;
+    let profile = StallProfile::new(SensitivityKind::Sensitive, 2.0, 0.3).map_err(crate::sub)?;
+    let mut abr = Hyb::default_rule();
+    let mut controller = LingXiController::new(LingXiConfig::for_hyb()).map_err(crate::sub)?;
+    let mut predictor = ProfilePredictor {
+        profile,
+        base: 0.01,
+    };
+    let mut user = QosExitModel::calibrated(profile);
+    let mut buffers = SessionBuffers::new();
+    for k in 0..n {
+        run_managed_session_in(
+            1,
+            catalog.video_cyclic(k),
+            catalog.ladder(),
+            &trace,
+            PlayerConfig::deterministic(10.0, 0.0),
+            &mut abr,
+            &mut controller,
+            &mut predictor,
+            &mut user,
+            &mut buffers,
+            &mut rng,
+        )
+        .map_err(crate::sub)?;
+    }
+    Ok(n)
+}
+
+/// A fleet epoch; `contention`/`dynamics` select the matrix cell.
+fn fleet_scenario(
+    seed: u64,
+    scale: f64,
+    tag: &str,
+    contention: Option<ContentionConfig>,
+    dynamics: Option<PopulationDynamics>,
+) -> Result<usize> {
+    let dir = state_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let epochs = if dynamics.is_some() { 2 } else { 1 };
+    let config = FleetConfig {
+        shards: 2,
+        epochs,
+        seed,
+        state_dir: dir.clone(),
+        contention,
+        dynamics,
+        ..FleetConfig::default()
+    };
+    let scenario = FleetScenario {
+        name: format!("bench_{tag}"),
+        n_users: ((1500.0 * scale) as usize).max(48),
+        n_videos: 12,
+        mean_sessions_per_epoch: 2.0,
+        mixture: ProductionMixture::default(),
+        abr_mix: AbrMix::default(),
+    };
+    let report = FleetEngine::new(config)
+        .map_err(crate::sub)?
+        .run(&scenario)
+        .map_err(crate::sub)?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(report.sessions)
+}
+
+/// Run the full benchmark matrix.
+pub fn run(seed: u64, scale: f64) -> Result<BenchReport> {
+    let contention = ContentionConfig {
+        links: ((32.0 * scale) as usize).max(4),
+        capacity_kbps: 25_000.0,
+        arrival_window: 20.0,
+        access_cap_factor: 1.5,
+    };
+    let dynamics = PopulationDynamics {
+        arrivals: ArrivalKind::Diurnal(Diurnal {
+            base_rate: (4000.0 * scale).max(60.0) / 86_400.0,
+            amplitude: 0.7,
+            peak_s: 21.0 * 3600.0,
+            period_s: 86_400.0,
+        }),
+        registry: ClassRegistry::default_heterogeneous(),
+        day_seconds: 86_400.0,
+    };
+    let scenarios = vec![
+        record("managed_session", || managed_session_scenario(seed, scale))?,
+        record("fleet_independent", || {
+            fleet_scenario(seed, scale, "independent", None, None)
+        })?,
+        record("fleet_contention", || {
+            fleet_scenario(seed, scale, "contention", Some(contention), None)
+        })?,
+        record("population", || {
+            fleet_scenario(seed, scale, "population", Some(contention), Some(dynamics))
+        })?,
+    ];
+    Ok(BenchReport {
+        schema: BENCH_SCHEMA_VERSION,
+        seed,
+        scale,
+        scenarios,
+    })
+}
+
+/// Serialize a report to `path` as JSON.
+pub fn write_json(report: &BenchReport, path: &Path) -> Result<()> {
+    let json = serde_json::to_string(report).map_err(crate::sub)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Load a report from `path`.
+pub fn read_json(path: &Path) -> Result<BenchReport> {
+    let raw = std::fs::read_to_string(path)?;
+    serde_json::from_str(&raw).map_err(crate::sub)
+}
+
+/// Gate `current` against `baseline`: every baseline scenario must exist
+/// and run within `tolerance × baseline + BENCH_SLACK_S` wall-clock.
+/// Returns the comparison lines on success; errors describe the
+/// regression.
+pub fn gate(current: &BenchReport, baseline: &BenchReport, tolerance: f64) -> Result<Vec<String>> {
+    if baseline.schema != current.schema {
+        return Err(ExpError::Subsystem(format!(
+            "bench schema mismatch: current {} vs baseline {} (refresh bench/baseline.json)",
+            current.schema, baseline.schema
+        )));
+    }
+    let mut lines = Vec::new();
+    for base in &baseline.scenarios {
+        let cur = current
+            .scenarios
+            .iter()
+            .find(|s| s.name == base.name)
+            .ok_or_else(|| {
+                ExpError::Subsystem(format!("scenario {:?} missing from current run", base.name))
+            })?;
+        let ratio = if base.wall_s > 0.0 {
+            cur.wall_s / base.wall_s
+        } else {
+            1.0
+        };
+        lines.push(format!(
+            "{:<18} {:>8} sessions  {:>9.3}s wall ({}x baseline)  {:>10.1} sessions/s  rss {} kB",
+            cur.name,
+            cur.sessions,
+            cur.wall_s,
+            format_args!("{ratio:.2}"),
+            cur.sessions_per_sec,
+            cur.peak_rss_kb,
+        ));
+        if cur.wall_s > tolerance * base.wall_s + BENCH_SLACK_S {
+            return Err(ExpError::Subsystem(format!(
+                "perf gate: {:?} took {:.3}s vs baseline {:.3}s (allowed {tolerance}x + {BENCH_SLACK_S}s slack)",
+                cur.name, cur.wall_s, base.wall_s
+            )));
+        }
+    }
+    Ok(lines)
+}
+
+/// The full `benchjson` subcommand: run the matrix, write `out`, and (when
+/// a baseline is given) gate against it. Returns a printable summary.
+pub fn run_gate(seed: u64, scale: f64, out: &Path, baseline: Option<&Path>) -> Result<String> {
+    let report = run(seed, scale)?;
+    write_json(&report, out)?;
+    let mut summary = format!(
+        "benchjson: schema v{}, seed {}, scale {} -> {}\n",
+        report.schema,
+        report.seed,
+        report.scale,
+        out.display()
+    );
+    match baseline {
+        Some(path) => {
+            let base = read_json(path)?;
+            for line in gate(&report, &base, BENCH_TOLERANCE)? {
+                summary.push_str(&line);
+                summary.push('\n');
+            }
+            summary.push_str(&format!(
+                "perf gate passed against {} ({}x tolerance)\n",
+                path.display(),
+                BENCH_TOLERANCE
+            ));
+        }
+        None => {
+            for s in &report.scenarios {
+                summary.push_str(&format!(
+                    "{:<18} {:>8} sessions  {:>9.3}s wall  {:>10.1} sessions/s  rss {} kB\n",
+                    s.name, s.sessions, s.wall_s, s.sessions_per_sec, s.peak_rss_kb
+                ));
+            }
+            summary.push_str("no baseline given; gate skipped\n");
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_runs_and_round_trips() {
+        let report = run(9, 0.02).unwrap();
+        assert_eq!(report.schema, BENCH_SCHEMA_VERSION);
+        assert_eq!(report.scenarios.len(), 4);
+        for s in &report.scenarios {
+            assert!(s.sessions > 0, "{}: no sessions", s.name);
+            assert!(s.wall_s > 0.0 && s.sessions_per_sec > 0.0, "{}", s.name);
+        }
+        let path = std::env::temp_dir().join(format!("bench_test_{}.json", std::process::id()));
+        write_json(&report, &path).unwrap();
+        let back = read_json(&path).unwrap();
+        assert_eq!(back, report);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn gate_passes_self_and_fails_on_regression() {
+        let mk = |wall: f64| BenchReport {
+            schema: BENCH_SCHEMA_VERSION,
+            seed: 1,
+            scale: 0.05,
+            scenarios: vec![BenchScenario {
+                name: "managed_session".into(),
+                sessions: 100,
+                wall_s: wall,
+                sessions_per_sec: 100.0 / wall,
+                peak_rss_kb: 1000,
+            }],
+        };
+        let base = mk(1.0);
+        assert!(gate(&mk(1.2), &base, BENCH_TOLERANCE).is_ok());
+        assert!(gate(&mk(2.9), &base, BENCH_TOLERANCE).is_ok());
+        // Within 3x + 2s slack passes; beyond it fails.
+        assert!(gate(&mk(4.9), &base, BENCH_TOLERANCE).is_ok());
+        assert!(gate(&mk(5.5), &base, BENCH_TOLERANCE).is_err());
+        // Missing scenario fails.
+        let empty = BenchReport {
+            scenarios: vec![],
+            ..mk(1.0)
+        };
+        assert!(gate(&empty, &base, BENCH_TOLERANCE).is_err());
+        // Schema drift fails.
+        let drifted = BenchReport {
+            schema: BENCH_SCHEMA_VERSION + 1,
+            ..mk(1.0)
+        };
+        assert!(gate(&drifted, &base, BENCH_TOLERANCE).is_err());
+    }
+}

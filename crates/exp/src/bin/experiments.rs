@@ -1,35 +1,48 @@
-//! `experiments` — regenerate the paper's figures/tables.
+//! `experiments` — regenerate the paper's figures/tables and run the
+//! systems scenarios.
 //!
 //! Usage:
 //! ```text
-//! experiments <fig01|fig02|...|fig15|all> [--seed N] [--scale F] [--out DIR]
+//! experiments <fig01|...|fig15|fleet|flashcrowd|population|all> \
+//!     [--seed N] [--scale F] [--out DIR] [--days D]
+//! experiments benchjson [--seed N] [--scale F] \
+//!     [--bench-out FILE] [--baseline FILE]
 //! ```
 //!
 //! Prints each experiment's series and writes CSVs under `--out`
-//! (default `results/`).
+//! (default `results/`). `--days` selects the simulated-day count of the
+//! `population` scenario. `benchjson` runs the perf-gate scenario matrix,
+//! writes a `BENCH_CI.json` (default `--bench-out`), and — when
+//! `--baseline` is given — fails unless every scenario runs within the
+//! gate's wall-clock tolerance of the baseline (see bench/README.md).
 
 use std::env;
+use std::path::Path;
 use std::process::ExitCode;
 
-use lingxi_exp::{run_experiment, ALL_EXPERIMENTS};
+use lingxi_exp::{benchjson, population, run_experiment, ALL_EXPERIMENTS};
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: experiments <figNN|fleet|flashcrowd|all> [--seed N] [--scale F] [--out DIR]"
+            "usage: experiments <figNN|fleet|flashcrowd|population|all> [--seed N] [--scale F] [--out DIR] [--days D]"
         );
+        eprintln!("       experiments benchjson [--seed N] [--scale F] [--bench-out FILE] [--baseline FILE]");
         eprintln!(
-            "experiments: {}, fleet, flashcrowd",
+            "experiments: {}, fleet, flashcrowd, population",
             ALL_EXPERIMENTS.join(", ")
         );
-        eprintln!("(`all` runs the paper figures; `fleet` is the scale benchmark, `flashcrowd` the contention scenario)");
+        eprintln!("(`all` runs the paper figures; `fleet`/`flashcrowd`/`population` are the systems scenarios; `benchjson` emits the CI perf report)");
         return ExitCode::FAILURE;
     }
     let target = args[0].clone();
     let mut seed = 42u64;
     let mut scale = 1.0f64;
     let mut out_dir = String::from("results");
+    let mut days = 2usize;
+    let mut bench_out = String::from("BENCH_CI.json");
+    let mut baseline: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -45,11 +58,42 @@ fn main() -> ExitCode {
                 out_dir = args[i + 1].clone();
                 i += 2;
             }
+            "--days" if i + 1 < args.len() => {
+                days = args[i + 1].parse().unwrap_or(2);
+                i += 2;
+            }
+            "--bench-out" if i + 1 < args.len() => {
+                bench_out = args[i + 1].clone();
+                i += 2;
+            }
+            "--baseline" if i + 1 < args.len() => {
+                baseline = Some(args[i + 1].clone());
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if target == "benchjson" {
+        eprintln!(">>> running benchjson (seed {seed}, scale {scale})");
+        return match benchjson::run_gate(
+            seed,
+            scale,
+            Path::new(&bench_out),
+            baseline.as_deref().map(Path::new),
+        ) {
+            Ok(summary) => {
+                print!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("benchjson failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let ids: Vec<&str> = if target == "all" {
@@ -60,7 +104,14 @@ fn main() -> ExitCode {
 
     for id in ids {
         eprintln!(">>> running {id} (seed {seed}, scale {scale})");
-        match run_experiment(id, seed, scale) {
+        // `population` takes the extra --days knob; everything else runs
+        // through the uniform (seed, scale) registry.
+        let run = if id == "population" {
+            population::run(seed, scale, days)
+        } else {
+            run_experiment(id, seed, scale)
+        };
+        match run {
             Ok(result) => {
                 print!("{}", result.render());
                 if let Err(e) = result.write_csv(&out_dir) {

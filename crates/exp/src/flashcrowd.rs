@@ -2,11 +2,15 @@
 //! paper figure): ramp a growing crowd of users onto shared bottleneck
 //! links and measure how QoE degrades with offered load.
 //!
-//! Each cell of the ramp puts `u` users on every link (fixed per-link
-//! capacity, users arriving across a short window — a flash crowd onto a
-//! congested cell) and reports per-session stall time, watch time and mean
-//! bitrate. Independent-trace simulation cannot produce this curve: it is
-//! exactly the co-variance the `SharedBottleneck` event kernel adds.
+//! Each cell of the ramp drops a [`FlashRamp`] crowd of `u` users per link
+//! onto fixed-capacity links (a flash crowd onto a congested cell) and
+//! reports per-session stall time, watch time and mean bitrate. The cell
+//! is now a thin wrapper over the workload layer: the arrival schedule
+//! comes from the `FlashRamp` arrival process and a single-class registry
+//! through [`PopulationDynamics`] — the ramp logic itself lives in
+//! `lingxi-workload`, not here. Independent-trace simulation cannot
+//! produce this curve: it is exactly the co-variance the
+//! `SharedBottleneck` event kernel adds.
 //!
 //! Like the `fleet` experiment, the run *fails* unless the heaviest cell's
 //! merged metrics are bit-identical across 1, 4 and 8 shards — contention
@@ -14,8 +18,10 @@
 
 use lingxi_fleet::{
     AbrMix, ContentionConfig, FleetConfig, FleetEngine, FleetReport, FleetScenario,
+    PopulationDynamics,
 };
 use lingxi_net::ProductionMixture;
+use lingxi_workload::{ArrivalKind, ClassRegistry, FlashRamp};
 
 use crate::report::{ExperimentResult, Series};
 use crate::{ExpError, Result};
@@ -28,6 +34,13 @@ const RAMP: [usize; 5] = [2, 4, 8, 16, 32];
 /// default mixture (mean demand ~10 Mbps per user).
 const LINK_KBPS: f64 = 30_000.0;
 
+/// Arrival window of the crowd (seconds): everyone shows up within this
+/// span of the epoch start.
+const RAMP_WINDOW_S: f64 = 20.0;
+
+/// Mean sessions each crowd member plays.
+const SESSIONS_PER_USER: f64 = 2.0;
+
 fn state_dir(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("lingxi_flashcrowd_{}_{tag}", std::process::id()))
 }
@@ -39,11 +52,12 @@ fn run_cell(
     seed: u64,
     tag: &str,
 ) -> Result<FleetReport> {
+    let n_users = users_per_link * links;
     let scenario = FleetScenario {
         name: format!("flashcrowd_u{users_per_link}"),
-        n_users: users_per_link * links,
+        n_users,
         n_videos: 16,
-        mean_sessions_per_epoch: 2.0,
+        mean_sessions_per_epoch: SESSIONS_PER_USER,
         mixture: ProductionMixture::default(),
         abr_mix: AbrMix::default(),
     };
@@ -59,8 +73,21 @@ fn run_cell(
         contention: Some(ContentionConfig {
             links,
             capacity_kbps: LINK_KBPS,
-            arrival_window: 20.0,
+            arrival_window: RAMP_WINDOW_S,
             access_cap_factor: 1.5,
+        }),
+        // The crowd is an arrival schedule, not a pre-built cohort: the
+        // FlashRamp process spreads exactly `n_users` arrivals across the
+        // ramp window, and the single-class registry reproduces the
+        // uniform population the cell used to hard-code.
+        dynamics: Some(PopulationDynamics {
+            arrivals: ArrivalKind::FlashRamp(FlashRamp::uniform(n_users, RAMP_WINDOW_S)),
+            registry: ClassRegistry::single(
+                ProductionMixture::default(),
+                SESSIONS_PER_USER,
+                LINK_KBPS,
+            ),
+            day_seconds: 3600.0,
         }),
         ..FleetConfig::default()
     };
@@ -120,6 +147,9 @@ pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
     let eight = run_cell(peak, links, 8, seed + 1, "det8")?;
     if one.merged_metrics() != four.merged_metrics()
         || one.merged_metrics() != eight.merged_metrics()
+        || one.merged_sketches() != four.merged_sketches()
+        || one.merged_sketches() != eight.merged_sketches()
+        || one.sessions != four.sessions
         || one.sessions != eight.sessions
     {
         return Err(ExpError::Subsystem(format!(

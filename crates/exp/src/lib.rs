@@ -21,6 +21,7 @@
 //! assert_eq!(r.series_named("curve").unwrap().ys(), vec![1.0, 0.5]);
 //! ```
 
+pub mod benchjson;
 pub mod datasets;
 pub mod fig01_qos_saturation;
 pub mod fig02_opportunities;
@@ -37,6 +38,7 @@ pub mod fig14_correlation;
 pub mod fig15_trajectories;
 pub mod flashcrowd;
 pub mod fleet;
+pub mod population;
 pub mod report;
 pub mod world;
 
@@ -78,15 +80,22 @@ pub fn sub<E: std::fmt::Display>(e: E) -> ExpError {
 }
 
 /// All paper-figure experiment ids in paper order. The `fleet` scale
-/// experiment (see [`fleet`]) and the `flashcrowd` contention scenario
-/// (see [`flashcrowd`]) are run explicitly by id — they are systems
-/// benchmarks, not figures, so `all` does not include them.
+/// experiment (see [`fleet`]), the `flashcrowd` contention scenario
+/// (see [`flashcrowd`]) and the `population` dynamics scenario (see
+/// [`population`]) are run explicitly by id — they are systems
+/// benchmarks, not figures, so `all` does not include them. The
+/// `benchjson` perf-gate matrix (see [`benchjson`]) has its own CLI
+/// subcommand because it emits JSON rather than an experiment result.
 pub const ALL_EXPERIMENTS: [&str; 13] = [
     "fig01", "fig02", "fig03", "fig04", "fig05", "fig08", "fig09", "fig10", "fig11", "fig12",
     "fig13", "fig14", "fig15",
 ];
 
 /// Run one experiment by id.
+///
+/// `population` runs with its default horizon of 2 simulated days here;
+/// call [`population::run`] directly to choose the day count (the
+/// `experiments` CLI threads its `--days` flag through that path).
 pub fn run_experiment(id: &str, seed: u64, scale: f64) -> Result<ExperimentResult> {
     match id {
         "fig01" => fig01_qos_saturation::run(seed, scale),
@@ -104,6 +113,7 @@ pub fn run_experiment(id: &str, seed: u64, scale: f64) -> Result<ExperimentResul
         "fig15" => fig15_trajectories::run(seed, scale),
         "flashcrowd" => flashcrowd::run(seed, scale),
         "fleet" => fleet::run(seed, scale),
+        "population" => population::run(seed, scale, 2),
         other => Err(ExpError::Subsystem(format!("unknown experiment {other}"))),
     }
 }

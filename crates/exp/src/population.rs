@@ -1,0 +1,252 @@
+//! `population` — the population-dynamics scenario (ROADMAP north star,
+//! not a paper figure): a heterogeneous user population arriving on a
+//! diurnal schedule over multiple simulated days, contending on a mixed
+//! cell/fiber topology, with bounded-memory streaming metrics.
+//!
+//! The experiment sweeps the offered arrival rate over a ×8 range and
+//! reports, *per user class* (mobile / desktop / tv), how QoE moves with
+//! load — the arrival-rate-vs-QoE curves the workload layer exists to
+//! produce. Tail QoE comes from the epoch quantile sketches (p50/p90/p99
+//! stall), which hold O(bins) memory however many sessions run.
+//!
+//! Like `fleet` and `flashcrowd`, the run *fails* unless the heaviest
+//! cell's merged metrics — scalars **and** distribution sketches — are
+//! bit-identical across 1, 4 and 8 shards.
+
+use lingxi_fleet::{
+    AbrMix, ContentionConfig, FleetConfig, FleetEngine, FleetReport, FleetScenario,
+    PopulationDynamics,
+};
+use lingxi_net::ProductionMixture;
+use lingxi_workload::{ArrivalKind, ClassRegistry, Diurnal};
+
+use crate::report::{ExperimentResult, Series};
+use crate::{ExpError, Result};
+
+/// Arrival-rate multipliers swept by the experiment.
+const RATE_RAMP: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
+
+/// Baseline arrivals per simulated day at `scale = 1`.
+const BASE_ARRIVALS_PER_DAY: f64 = 12_000.0;
+
+/// One simulated day (seconds).
+const DAY_SECONDS: f64 = 86_400.0;
+
+/// Per-class ramp curves being accumulated: (class name, stall-per-session
+/// points, watch-per-session points).
+type ClassCurves = Vec<(String, Vec<(f64, f64)>, Vec<(f64, f64)>)>;
+
+fn state_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lingxi_population_{}_{tag}", std::process::id()))
+}
+
+fn run_cell(
+    rate_multiplier: f64,
+    arrivals_per_day: f64,
+    links: usize,
+    days: usize,
+    shards: usize,
+    seed: u64,
+    tag: &str,
+) -> Result<FleetReport> {
+    let daily = arrivals_per_day * rate_multiplier;
+    let scenario = FleetScenario {
+        name: format!("population_x{rate_multiplier}"),
+        // Cohort size is driven by the arrival schedule; this field only
+        // labels the run (validation needs >= 1).
+        n_users: (daily as usize).max(1),
+        n_videos: 16,
+        mean_sessions_per_epoch: 2.0,
+        mixture: ProductionMixture::default(),
+        abr_mix: AbrMix::default(),
+    };
+    let dir = state_dir(&format!("{tag}_s{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = FleetConfig {
+        shards,
+        epochs: days,
+        seed,
+        state_dir: dir.clone(),
+        contention: Some(ContentionConfig {
+            links,
+            capacity_kbps: 25_000.0,
+            arrival_window: 30.0,
+            access_cap_factor: 1.5,
+        }),
+        dynamics: Some(PopulationDynamics {
+            arrivals: ArrivalKind::Diurnal(Diurnal {
+                base_rate: daily / DAY_SECONDS,
+                amplitude: 0.7,
+                peak_s: 21.0 * 3600.0,
+                period_s: DAY_SECONDS,
+            }),
+            registry: ClassRegistry::default_heterogeneous(),
+            day_seconds: DAY_SECONDS,
+        }),
+        ..FleetConfig::default()
+    };
+    let report = FleetEngine::new(config)
+        .map_err(crate::sub)?
+        .run(&scenario)
+        .map_err(crate::sub)?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(report)
+}
+
+/// Run the population-dynamics experiment over `days` simulated days.
+pub fn run(seed: u64, scale: f64, days: usize) -> Result<ExperimentResult> {
+    if days == 0 {
+        return Err(ExpError::Subsystem("population needs days >= 1".into()));
+    }
+    let mut result = ExperimentResult::new(
+        "population",
+        "Diurnal heterogeneous population: arrival rate vs per-class QoE",
+    );
+    let arrivals_per_day = (BASE_ARRIVALS_PER_DAY * scale.clamp(0.001, 10.0)).max(40.0);
+    let links = ((64.0 * scale.clamp(0.001, 10.0)).round() as usize).max(3);
+
+    // ---- the rate ramp: per-class QoE vs offered arrival rate ----
+    let mut arrivals_total = 0usize;
+    let mut sessions_total = 0usize;
+    let mut per_class: ClassCurves = Vec::new();
+    let mut peak: Option<FleetReport> = None;
+    for (i, &mult) in RATE_RAMP.iter().enumerate() {
+        let report = run_cell(
+            mult,
+            arrivals_per_day,
+            links,
+            days,
+            4,
+            seed,
+            &format!("ramp{i}"),
+        )?;
+        arrivals_total += report.users;
+        sessions_total += report.sessions;
+        if per_class.is_empty() {
+            per_class = report
+                .class_names
+                .iter()
+                .map(|n| (n.clone(), Vec::new(), Vec::new()))
+                .collect();
+        }
+        for (class, entry) in per_class.iter_mut().enumerate() {
+            let mut stall = 0.0;
+            let mut watch = 0.0;
+            let mut sessions = 0usize;
+            for m in report.class_metrics(class) {
+                stall += m.stall_time;
+                watch += m.watch_time;
+                sessions += m.sessions;
+            }
+            let per_session = 1.0 / (sessions as f64).max(1.0);
+            entry.1.push((mult, stall * per_session));
+            entry.2.push((mult, watch * per_session));
+        }
+        peak = Some(report);
+    }
+    for (name, stall, watch) in &per_class {
+        result.push_series(Series::from_xy(
+            &format!("population/{name}/stall_per_session"),
+            stall,
+        ));
+        result.push_series(Series::from_xy(
+            &format!("population/{name}/watch_per_session"),
+            watch,
+        ));
+    }
+    let peak = peak.expect("rate ramp is non-empty");
+    result.headline_value("arrivals simulated", arrivals_total as f64);
+    result.headline_value("sessions simulated", sessions_total as f64);
+    result.headline_value("days per cell", days as f64);
+    result.headline_value("peak-cell sessions/sec", peak.sessions_per_sec());
+
+    // Tail QoE at the heaviest load, straight from the O(bins) sketches
+    // of the last simulated day.
+    let sketches = &peak.epochs.last().expect("days >= 1").sketches;
+    for (q, label) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")] {
+        result.headline_value(
+            &format!("peak-load stall {label} (s)"),
+            sketches.stall.quantile(q).map_err(crate::sub)?,
+        );
+    }
+    result.headline_value(
+        "peak-load watch p50 (s)",
+        sketches.watch.quantile(0.5).map_err(crate::sub)?,
+    );
+
+    // ---- determinism assertion: heaviest cell across shard counts ----
+    let peak_mult = *RATE_RAMP.last().expect("ramp non-empty");
+    let one = run_cell(
+        peak_mult,
+        arrivals_per_day,
+        links,
+        days,
+        1,
+        seed + 1,
+        "det1",
+    )?;
+    let four = run_cell(
+        peak_mult,
+        arrivals_per_day,
+        links,
+        days,
+        4,
+        seed + 1,
+        "det4",
+    )?;
+    let eight = run_cell(
+        peak_mult,
+        arrivals_per_day,
+        links,
+        days,
+        8,
+        seed + 1,
+        "det8",
+    )?;
+    if one.merged_metrics() != four.merged_metrics()
+        || one.merged_metrics() != eight.merged_metrics()
+        || one.merged_sketches() != four.merged_sketches()
+        || one.merged_sketches() != eight.merged_sketches()
+        || one.sessions != eight.sessions
+    {
+        return Err(ExpError::Subsystem(format!(
+            "population shard invariance violated: 1/4/8 shards gave {}/{}/{} sessions",
+            one.sessions, four.sessions, eight.sessions
+        )));
+    }
+    result.headline_value("shard invariance (1 = identical)", 1.0);
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_runs_at_test_scale() {
+        let r = run(5, 0.005, 2).unwrap();
+        let headline = |name: &str| {
+            r.headline
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(headline("shard invariance (1 = identical)"), 1.0);
+        assert!(headline("arrivals simulated") > 0.0);
+        assert!(headline("sessions simulated") > 0.0);
+        assert!(headline("peak-load stall p99 (s)") >= headline("peak-load stall p50 (s)"));
+        // Per-class curves exist for all three default classes.
+        for class in ["mobile", "desktop", "tv"] {
+            let s = r
+                .series_named(&format!("population/{class}/stall_per_session"))
+                .unwrap();
+            assert_eq!(s.points.len(), RATE_RAMP.len());
+        }
+    }
+
+    #[test]
+    fn rejects_zero_days() {
+        assert!(run(1, 0.01, 0).is_err());
+    }
+}

@@ -7,6 +7,7 @@ use lingxi_abr::{Abr, Bola, Hyb, ThroughputRule};
 use lingxi_core::{CacheConfig, LingXiConfig};
 use lingxi_net::ProductionMixture;
 use lingxi_player::PlayerConfig;
+use lingxi_workload::{ArrivalKind, ArrivalProcess, ClassRegistry};
 
 use crate::{mix64, FleetError, Result};
 
@@ -182,6 +183,54 @@ impl ContentionConfig {
     }
 }
 
+/// Population-dynamics mode: instead of a fixed cohort that all plays
+/// every epoch, users *arrive* according to an [`ArrivalKind`] schedule,
+/// belong to heterogeneous [`ClassRegistry`] classes (device/access caps,
+/// patience, per-class bandwidth mixture), join their shared link live
+/// mid-simulation, and depart when their session budget drains — freeing
+/// link capacity behind them.
+///
+/// Requires contention mode: arrivals and departures only have meaning on
+/// shared links. Each epoch is one simulated "day" of `day_seconds`; the
+/// arrival schedule, every dynamic user's record, and the per-link
+/// capacities are pure functions of `(seed, epoch, id)`, so merged
+/// metrics keep the engine's shard-count-invariance contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationDynamics {
+    /// The arrival schedule generator.
+    pub arrivals: ArrivalKind,
+    /// User/link heterogeneity classes.
+    pub registry: ClassRegistry,
+    /// Length of one epoch's arrival horizon (a simulated day, seconds).
+    pub day_seconds: f64,
+}
+
+impl PopulationDynamics {
+    /// Validate the dynamics configuration.
+    pub fn validate(&self) -> Result<()> {
+        self.arrivals.validate().map_err(crate::sub)?;
+        self.registry.validate().map_err(crate::sub)?;
+        // A replayed schedule must reference classes this registry
+        // actually has — catching it here beats silently folding the
+        // index into the wrong class at event time.
+        if let ArrivalKind::Replay(replay) = &self.arrivals {
+            let n_classes = self.registry.users.len() as u16;
+            if let Some(bad) = replay.schedule.iter().find(|e| e.class >= n_classes) {
+                return Err(FleetError::InvalidConfig(format!(
+                    "Replay schedule references class {} but the registry has only {} user classes",
+                    bad.class, n_classes
+                )));
+            }
+        }
+        if !(self.day_seconds > 0.0) || !self.day_seconds.is_finite() {
+            return Err(FleetError::InvalidConfig(
+                "day_seconds must be positive and finite".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Engine sizing and policy (scenario-independent).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
@@ -205,6 +254,9 @@ pub struct FleetConfig {
     /// Shared-bottleneck contention mode; `None` streams every session
     /// over its own private trace (independent users).
     pub contention: Option<ContentionConfig>,
+    /// Population-dynamics mode (arrivals/churn/heterogeneity); requires
+    /// `contention`. `None` replays the fixed scenario cohort each epoch.
+    pub dynamics: Option<PopulationDynamics>,
 }
 
 impl Default for FleetConfig {
@@ -218,6 +270,7 @@ impl Default for FleetConfig {
             player: PlayerConfig::default(),
             ab: None,
             contention: None,
+            dynamics: None,
         }
     }
 }
@@ -234,6 +287,15 @@ impl FleetConfig {
         self.cache.validate().map_err(crate::sub)?;
         if let Some(contention) = &self.contention {
             contention.validate()?;
+        }
+        if let Some(dynamics) = &self.dynamics {
+            if self.contention.is_none() {
+                return Err(FleetError::InvalidConfig(
+                    "population dynamics requires contention mode (arrivals join shared links)"
+                        .into(),
+                ));
+            }
+            dynamics.validate()?;
         }
         if let Some(ab) = &self.ab {
             if ab.intervention_epoch < 2 || self.epochs.saturating_sub(ab.intervention_epoch) < 2 {
@@ -321,6 +383,20 @@ mod tests {
         assert!((frac(counts[2]) - 0.2).abs() < 0.02, "{counts:?}");
         // Stable: same id, same policy.
         assert_eq!(mix.policy_for(123), mix.policy_for(123));
+    }
+
+    #[test]
+    fn replay_dynamics_rejects_unknown_classes() {
+        use lingxi_workload::{ArrivalEvent, ArrivalKind, ClassRegistry, Replay};
+        let dynamics = |class: u16| PopulationDynamics {
+            arrivals: ArrivalKind::Replay(Replay {
+                schedule: vec![ArrivalEvent { at: 1.0, class }],
+            }),
+            registry: ClassRegistry::default_heterogeneous(), // 3 classes
+            day_seconds: 600.0,
+        };
+        assert!(dynamics(2).validate().is_ok());
+        assert!(dynamics(3).validate().is_err());
     }
 
     #[test]

@@ -12,11 +12,19 @@
 //! requests as new flows. Ties resolve completions-first, then ascending
 //! user id, so the event order is a pure function of (seed, link members,
 //! epoch) and merged metrics stay bit-identical across shard counts.
+//!
+//! Population-dynamics mode threads through here naturally: a dynamic
+//! user's first arrival time comes from the workload schedule instead of
+//! the legacy uniform ramp window, its per-flow cap folds in the class
+//! access cap, each link's capacity comes from the link-class registry,
+//! and a departing agent simply stops issuing requests — the bottleneck
+//! re-shares its capacity over the survivors on the next event.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
 use lingxi_abr::{Abr, AbrContext};
+use lingxi_abtest::DayAccum;
 use lingxi_core::{
     LingXiController, LongTermState, ManagedHooks, ManagedSession, ProfilePredictor,
     SessionBuffers, ShardedStateCache,
@@ -29,7 +37,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{ContentionConfig, FleetScenario};
-use crate::engine::{FleetEngine, UserEpochRow};
+use crate::engine::{EpochUser, FleetEngine, ShardEpochOutput, UserEpochRow};
+use crate::report::EpochSketches;
 use crate::{sub, FleetError, Result};
 
 /// A pending download request: user `uid` wants `size_kbits` at absolute
@@ -86,6 +95,7 @@ enum Next {
 /// One user's epoch on a shared link, as a resumable event-driven agent.
 struct LinkAgent<'a> {
     user: &'a UserRecord,
+    class: Option<u16>,
     ladder: &'a BitrateLadder,
     player: PlayerConfig,
     cap_kbps: f64,
@@ -99,14 +109,19 @@ struct LinkAgent<'a> {
     t0: f64,
     video: Option<&'a Video>,
     stepper: Stepper<'a>,
-    summaries: Vec<lingxi_player::SessionSummary>,
+    day: DayAccum,
 }
 
 impl<'a> LinkAgent<'a> {
     /// Ask the agent for its next download request (absolute time + size),
     /// rolling over finished sessions until one produces a request or the
-    /// epoch's session budget is exhausted (`None`).
-    fn request(&mut self, catalog: &'a Catalog) -> Result<Option<(f64, f64)>> {
+    /// epoch's session budget is exhausted (`None`). Completed sessions
+    /// fold into the agent's day accumulator and the shard `sketches`.
+    fn request(
+        &mut self,
+        catalog: &'a Catalog,
+        sketches: &mut EpochSketches,
+    ) -> Result<Option<(f64, f64)>> {
         loop {
             let next = match &mut self.stepper {
                 Stepper::Idle => {
@@ -158,7 +173,7 @@ impl<'a> LinkAgent<'a> {
             match next {
                 Next::Request { at, size_kbits } => return Ok(Some((at, size_kbits))),
                 Next::Done => return Ok(None),
-                Next::EndSession => self.end_session()?,
+                Next::EndSession => self.end_session(sketches)?,
                 Next::BeginSession => self.begin_session(catalog)?,
             }
         }
@@ -202,17 +217,20 @@ impl<'a> LinkAgent<'a> {
         Ok(())
     }
 
-    /// Close the current session: summarize it and advance the absolute
-    /// clock to where the next session can start (completed sessions play
-    /// out the buffered tail first).
-    fn end_session(&mut self) -> Result<()> {
+    /// Close the current session: fold its summary into the streaming
+    /// accumulators and advance the absolute clock to where the next
+    /// session can start (completed sessions play out the buffered tail
+    /// first).
+    fn end_session(&mut self, sketches: &mut EpochSketches) -> Result<()> {
         match std::mem::replace(&mut self.stepper, Stepper::Idle) {
             Stepper::Plain(stream) => {
                 let wall = stream.env().wall_time();
                 let tail = stream.env().buffer();
                 let log = stream.finish();
                 self.t0 += wall + if log.completed() { tail } else { 0.0 };
-                self.summaries.push(log.summary());
+                let summary = log.summary();
+                self.day.push(&summary);
+                sketches.push(&summary);
             }
             Stepper::Managed(session) => {
                 session.finalize(&mut self.buffers);
@@ -220,7 +238,9 @@ impl<'a> LinkAgent<'a> {
                 let tail = session.env().buffer();
                 let log = self.buffers.log();
                 self.t0 += wall + if log.completed() { tail } else { 0.0 };
-                self.summaries.push(log.summary());
+                let summary = log.summary();
+                self.day.push(&summary);
+                sketches.push(&summary);
             }
             Stepper::Idle => {
                 return Err(FleetError::Subsystem("end_session on an idle agent".into()))
@@ -289,7 +309,8 @@ impl<'a> LinkAgent<'a> {
         }
         Ok(UserEpochRow {
             user_id: self.user.id,
-            summaries: self.summaries,
+            class: self.class,
+            day: self.day,
         })
     }
 }
@@ -298,54 +319,85 @@ impl<'a> LinkAgent<'a> {
 /// and co-simulate each link's group on its own event kernel.
 pub(crate) fn run_shard_epoch_contended(
     engine: &FleetEngine,
-    users: &[UserRecord],
+    users: &[EpochUser],
     epoch: usize,
     scenario: &FleetScenario,
     catalog: &Catalog,
     cache: &ShardedStateCache,
-) -> Result<Vec<UserEpochRow>> {
+) -> Result<ShardEpochOutput> {
     let contention = engine
         .config()
         .contention
         .as_ref()
         .expect("contended epoch requires a contention config");
-    let mut links: BTreeMap<u64, Vec<&UserRecord>> = BTreeMap::new();
+    let mut links: BTreeMap<u64, Vec<&EpochUser>> = BTreeMap::new();
     for user in users {
-        links.entry(engine.link_of(user.id)).or_default().push(user);
+        links
+            .entry(engine.link_of(user.record.id))
+            .or_default()
+            .push(user);
     }
     let mut rows = Vec::with_capacity(users.len());
-    for members in links.values() {
+    let mut sketches = EpochSketches::new();
+    for (&link_id, members) in &links {
+        // Heterogeneous topologies: the link-class registry overrides the
+        // uniform contention capacity in population-dynamics mode.
+        let capacity_kbps = match &engine.config().dynamics {
+            Some(d) => {
+                d.registry
+                    .link_class_of(engine.config().seed, link_id)
+                    .capacity_kbps
+            }
+            None => contention.capacity_kbps,
+        };
         rows.extend(run_link_epoch(
-            engine, contention, members, epoch, scenario, catalog, cache,
+            engine,
+            contention,
+            capacity_kbps,
+            members,
+            epoch,
+            scenario,
+            catalog,
+            cache,
+            &mut sketches,
         )?);
     }
-    Ok(rows)
+    Ok(ShardEpochOutput { rows, sketches })
 }
 
 /// Event-driven co-simulation of one link's users for one epoch.
+#[allow(clippy::too_many_arguments)]
 fn run_link_epoch(
     engine: &FleetEngine,
     contention: &ContentionConfig,
-    members: &[&UserRecord],
+    capacity_kbps: f64,
+    members: &[&EpochUser],
     epoch: usize,
     scenario: &FleetScenario,
     catalog: &Catalog,
     cache: &ShardedStateCache,
+    sketches: &mut EpochSketches,
 ) -> Result<Vec<UserEpochRow>> {
-    let link = SharedBottleneck::new(contention.capacity_kbps).map_err(sub)?;
+    let link = SharedBottleneck::new(capacity_kbps).map_err(sub)?;
     let drift = ToleranceDrift::default();
     let ladder = catalog.ladder();
     let player = engine.config().player;
+    let registry = engine.config().dynamics.as_ref().map(|d| &d.registry);
 
-    // Build agents in ascending user-id order; their first sessions arrive
-    // across the ramp window, each drawn from the user's own stream.
+    // Build agents in ascending user-id order. First sessions arrive at
+    // the workload schedule's times (dynamics mode) or across the legacy
+    // uniform ramp window, each drawn from the user's own stream.
     let mut agents: Vec<Option<LinkAgent<'_>>> = Vec::with_capacity(members.len());
     let mut index_of: BTreeMap<u64, usize> = BTreeMap::new();
     let mut pending: BinaryHeap<Reverse<Arrival>> = BinaryHeap::new();
     let mut rows = Vec::with_capacity(members.len());
-    for user in members {
+    for member in members {
+        let user = &member.record;
         let mut rng = StdRng::seed_from_u64(engine.stream_seed(user.id, epoch));
-        let arrival = rng.gen::<f64>() * contention.arrival_window;
+        let arrival = match member.arrival {
+            Some(at) => at,
+            None => rng.gen::<f64>() * contention.arrival_window,
+        };
         let sessions_left = engine.sessions_this_epoch(user, &mut rng);
         let exit_model = user.exit_model_for_day(&drift, &mut rng);
         let policy = scenario.abr_mix.policy_for(user.id);
@@ -368,11 +420,18 @@ fn run_link_epoch(
         } else {
             None
         };
+        // Per-flow rate cap: the contention access cap, tightened by the
+        // user class's access-link cap when one applies.
+        let mut cap_kbps = contention.flow_cap_kbps(user.net.mean_kbps);
+        if let (Some(reg), Some(class)) = (registry, member.class) {
+            cap_kbps = cap_kbps.min(reg.users[class as usize].access_cap_kbps);
+        }
         let mut agent = LinkAgent {
             user,
+            class: member.class,
             ladder,
             player,
-            cap_kbps: contention.flow_cap_kbps(user.net.mean_kbps),
+            cap_kbps,
             rng,
             abr: policy.build(),
             exit_model,
@@ -382,9 +441,9 @@ fn run_link_epoch(
             t0: arrival,
             video: None,
             stepper: Stepper::Idle,
-            summaries: Vec::with_capacity(sessions_left),
+            day: DayAccum::new(),
         };
-        match agent.request(catalog)? {
+        match agent.request(catalog, sketches)? {
             Some((at, size_kbits)) => {
                 let cap_kbps = agent.cap_kbps;
                 index_of.insert(user.id, agents.len());
@@ -420,7 +479,7 @@ fn run_link_epoch(
                 .as_mut()
                 .ok_or_else(|| FleetError::Subsystem("completion for finished agent".into()))?;
             agent.complete(end)?;
-            match agent.request(catalog)? {
+            match agent.request(catalog, sketches)? {
                 Some((at, size_kbits)) => {
                     let cap_kbps = agent.cap_kbps;
                     pending.push(Reverse(Arrival {
@@ -453,7 +512,8 @@ fn run_link_epoch(
 
 #[cfg(test)]
 mod tests {
-    use crate::{ContentionConfig, FleetConfig, FleetEngine, FleetScenario};
+    use crate::{ContentionConfig, FleetConfig, FleetEngine, FleetScenario, PopulationDynamics};
+    use lingxi_workload::{ArrivalKind, ClassRegistry, FlashRamp};
     use std::path::PathBuf;
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -502,6 +562,7 @@ mod tests {
         let eight = run(8, 20_000.0, 6, "inv8");
         assert_eq!(one.merged_metrics(), four.merged_metrics());
         assert_eq!(one.merged_metrics(), eight.merged_metrics());
+        assert_eq!(one.merged_sketches(), eight.merged_sketches());
         assert_eq!(one.sessions, eight.sessions);
         assert_eq!(one.segments, eight.segments);
         assert!(one.sessions >= 24, "every user plays >= 1 session");
@@ -527,6 +588,42 @@ mod tests {
         let a = run(3, 10_000.0, 4, "repA");
         let b = run(3, 10_000.0, 4, "repB");
         assert_eq!(a.merged_metrics(), b.merged_metrics());
+        assert_eq!(a.merged_sketches(), b.merged_sketches());
         assert_eq!(a.sessions, b.sessions);
+    }
+
+    #[test]
+    fn flash_ramp_dynamics_match_crowd_size() {
+        // A FlashRamp schedule through the dynamics path delivers exactly
+        // the crowd onto the links and every arrival plays.
+        let dir = temp_dir("ramp");
+        let config = FleetConfig {
+            shards: 2,
+            epochs: 1,
+            seed: 21,
+            state_dir: dir.clone(),
+            contention: Some(ContentionConfig {
+                links: 3,
+                capacity_kbps: 20_000.0,
+                arrival_window: 10.0,
+                access_cap_factor: 1.5,
+            }),
+            dynamics: Some(PopulationDynamics {
+                arrivals: ArrivalKind::FlashRamp(FlashRamp::uniform(30, 15.0)),
+                registry: ClassRegistry::single(
+                    lingxi_net::ProductionMixture::default(),
+                    2.0,
+                    20_000.0,
+                ),
+                day_seconds: 600.0,
+            }),
+            ..FleetConfig::default()
+        };
+        let report = FleetEngine::new(config).unwrap().run(&scenario()).unwrap();
+        assert_eq!(report.users, 30);
+        assert!(report.sessions >= 30, "every arrival plays >= 1 session");
+        assert_eq!(report.epochs[0].classes.len(), 1);
+        assert_eq!(report.epochs[0].classes[0].sessions, report.sessions);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

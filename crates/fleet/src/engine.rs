@@ -1,38 +1,68 @@
 //! The sharded fleet engine: shard workers, epoch barriers, deterministic
-//! metric merge.
+//! streaming metric merge.
 //!
 //! Determinism model: every (user, epoch) derives its own RNG stream from
 //! the base seed alone — never from the shard id or thread schedule — and
 //! a user's long-term state is only ever touched by the worker that owns
 //! the user in that epoch. Any partition of users over shards therefore
-//! computes identical per-user results, and the epoch-barrier merge folds
-//! them in ascending user-id order, so merged metrics are bit-identical
-//! for any shard count.
+//! computes identical per-user results. Metrics are held as bounded-memory
+//! streaming accumulators: one [`lingxi_abtest::DayAccum`] per user
+//! (sessions folded in play order) merged at the epoch barrier in
+//! ascending user-id order, plus integer-binned
+//! [`crate::report::EpochSketches`] whose merge is exactly
+//! order-independent — so merged metrics are bit-identical for any shard
+//! count without ever materialising per-session records.
+//!
+//! In population-dynamics mode (see
+//! [`crate::config::PopulationDynamics`]) the per-epoch cohort is not a
+//! fixed population: an arrival process emits `(time, class)` events, each
+//! materialised into a transient classed user who joins a shared link at
+//! its arrival time and departs when its session budget drains.
 
 use std::time::Instant;
 
 use lingxi_abr::AbrContext;
-use lingxi_abtest::{aggregate_day, did_report, AbSchedule};
+use lingxi_abtest::{did_report, AbSchedule, DayAccum};
 use lingxi_core::{
     run_managed_session_in, LingXiController, ProfilePredictor, SessionBuffers, ShardedStateCache,
     StateStore,
 };
 use lingxi_media::{BitrateLadder, Catalog, CatalogConfig, VbrModel};
-use lingxi_player::{run_session, ExitDecision, SessionSetup, SessionSummary};
+use lingxi_player::{run_session, ExitDecision, SessionSetup};
 use lingxi_user::{
     ExitModel, PopulationConfig, SegmentView, ToleranceDrift, UserPopulation, UserRecord,
 };
+use lingxi_workload::ArrivalProcess;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::{AbrPolicy, FleetConfig, FleetScenario};
-use crate::report::{EpochMetrics, FleetReport};
+use crate::config::{AbrPolicy, FleetConfig, FleetScenario, PopulationDynamics};
+use crate::report::{EpochMetrics, EpochSketches, FleetReport};
 use crate::{mix64, sub, FleetError, Result};
 
-/// One user's sessions for one epoch, as produced by a shard worker.
+/// One user's slot in an epoch: the record plus the population-dynamics
+/// tags (first-arrival time and class index) when active.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EpochUser {
+    pub(crate) record: UserRecord,
+    /// Absolute arrival time within the epoch (dynamics mode).
+    pub(crate) arrival: Option<f64>,
+    /// Index into the dynamics registry's user classes.
+    pub(crate) class: Option<u16>,
+}
+
+/// One user's epoch, reduced to bounded-memory accumulators by the shard
+/// worker that owned the user.
 pub(crate) struct UserEpochRow {
     pub(crate) user_id: u64,
-    pub(crate) summaries: Vec<SessionSummary>,
+    pub(crate) class: Option<u16>,
+    pub(crate) day: DayAccum,
+}
+
+/// Everything one shard worker hands to the epoch barrier.
+pub(crate) struct ShardEpochOutput {
+    pub(crate) rows: Vec<UserEpochRow>,
+    pub(crate) sketches: EpochSketches,
 }
 
 /// The fleet-simulation engine.
@@ -80,6 +110,11 @@ impl FleetEngine {
         mix64(self.config.seed ^ mix64(user_id) ^ mix64((epoch as u64) << 17 | 0x5EED))
     }
 
+    /// Seed of one epoch's arrival schedule (dynamics mode).
+    fn arrival_seed(&self, epoch: usize) -> u64 {
+        mix64(self.config.seed ^ mix64((epoch as u64) ^ 0xA771_0A15_EED5_0000))
+    }
+
     /// Whether this user's sessions run under LingXi management in `epoch`
     /// (A/B mode gates the odd-id treatment cohort on the intervention).
     pub(crate) fn lingxi_active(&self, user_id: u64, epoch: usize) -> bool {
@@ -87,6 +122,41 @@ impl FleetEngine {
             None => true,
             Some(ab) => user_id % 2 == 1 && epoch >= ab.intervention_epoch,
         }
+    }
+
+    /// The epoch's dynamic cohort: arrival events materialised into
+    /// transient classed users. Pure in `(config, epoch)`.
+    fn dynamic_epoch_users(&self, dynamics: &PopulationDynamics, epoch: usize) -> Vec<EpochUser> {
+        let events = dynamics.arrivals.events(
+            dynamics.day_seconds,
+            self.arrival_seed(epoch),
+            &dynamics.registry,
+        );
+        events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                // Ids are unique across epochs so managed state never
+                // aliases between transient users.
+                let id = ((epoch as u64) << 32) | i as u64;
+                let record =
+                    dynamics.registry.users[e.class as usize].sample_user(self.config.seed, id);
+                EpochUser {
+                    record,
+                    arrival: Some(e.at),
+                    class: Some(e.class),
+                }
+            })
+            .collect()
+    }
+
+    /// Partition an epoch's users over shards (ascending id per shard).
+    fn shard_partition(&self, users: Vec<EpochUser>) -> Vec<Vec<EpochUser>> {
+        let mut shard_users: Vec<Vec<EpochUser>> = vec![Vec::new(); self.config.shards];
+        for user in users {
+            shard_users[self.shard_of(user.record.id)].push(user);
+        }
+        shard_users
     }
 
     /// Run one scenario to completion.
@@ -105,15 +175,36 @@ impl FleetEngine {
             &mut world_rng,
         )
         .map_err(sub)?;
-        let population = UserPopulation::generate(
-            &PopulationConfig {
-                n_users: scenario.n_users,
-                mixture: scenario.mixture,
-                mean_sessions_per_day: scenario.mean_sessions_per_epoch,
-            },
-            &mut world_rng,
-        )
-        .map_err(sub)?;
+
+        // Static cohort (replayed every epoch) unless dynamics drive the
+        // population; sharded once up front in the static case.
+        let static_shards: Option<Vec<Vec<EpochUser>>> = match &self.config.dynamics {
+            Some(_) => None,
+            None => {
+                let population = UserPopulation::generate(
+                    &PopulationConfig {
+                        n_users: scenario.n_users,
+                        mixture: scenario.mixture,
+                        mean_sessions_per_day: scenario.mean_sessions_per_epoch,
+                    },
+                    &mut world_rng,
+                )
+                .map_err(sub)?;
+                Some(
+                    self.shard_partition(
+                        population
+                            .users()
+                            .iter()
+                            .map(|u| EpochUser {
+                                record: *u,
+                                arrival: None,
+                                class: None,
+                            })
+                            .collect(),
+                    ),
+                )
+            }
+        };
 
         // Durable layer + cache; surface the startup scan instead of
         // silently dropping users behind corrupt filenames.
@@ -121,19 +212,37 @@ impl FleetEngine {
         let state_warnings = store.scan().map_err(sub)?.warnings;
         let cache = ShardedStateCache::new(store, self.config.cache).map_err(sub)?;
 
-        // Hash users onto shards (ascending id within each shard).
-        let mut shard_users: Vec<Vec<UserRecord>> = vec![Vec::new(); self.config.shards];
-        for user in population.users() {
-            shard_users[self.shard_of(user.id)].push(*user);
-        }
+        let n_classes = self
+            .config
+            .dynamics
+            .as_ref()
+            .map(|d| d.registry.users.len())
+            .unwrap_or(0);
 
         let start = Instant::now();
         let mut epochs = Vec::with_capacity(self.config.epochs);
         let mut sessions = 0usize;
         let mut segments = 0usize;
+        let mut users_total = static_shards
+            .as_ref()
+            .map(|s| s.iter().map(Vec::len).sum())
+            .unwrap_or(0usize);
         for epoch in 0..self.config.epochs {
+            let dynamic_shards = self
+                .config
+                .dynamics
+                .as_ref()
+                .map(|d| self.shard_partition(self.dynamic_epoch_users(d, epoch)));
+            if let Some(shards) = &dynamic_shards {
+                users_total += shards.iter().map(Vec::len).sum::<usize>();
+            }
+            let shard_users = dynamic_shards
+                .as_ref()
+                .or(static_shards.as_ref())
+                .expect("static or dynamic cohort exists");
+
             // ---- parallel phase: one worker per shard ----
-            let shard_results: Vec<std::result::Result<Result<Vec<UserEpochRow>>, String>> =
+            let shard_results: Vec<std::result::Result<Result<ShardEpochOutput>, String>> =
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = shard_users
                         .iter()
@@ -158,35 +267,48 @@ impl FleetEngine {
                         .collect()
                 });
 
-            // ---- epoch barrier: merge in user-id order, then flush ----
-            let mut rows: Vec<UserEpochRow> = Vec::with_capacity(population.len());
+            // ---- epoch barrier: fold per-user accumulators in user-id
+            // order (sketch merges are exactly order-independent), then
+            // flush the write-behind cache ----
+            let mut rows: Vec<UserEpochRow> = Vec::new();
+            let mut sketches = EpochSketches::new();
             for result in shard_results {
-                rows.extend(result.map_err(FleetError::WorkerPanic)??);
+                let output = result.map_err(FleetError::WorkerPanic)??;
+                sketches.merge(&output.sketches);
+                rows.extend(output.rows);
             }
             rows.sort_by_key(|r| r.user_id);
 
             let ab_mode = self.config.ab.is_some();
-            let mut all = Vec::new();
-            let mut control = Vec::new();
-            let mut treatment = Vec::new();
+            let mut all = DayAccum::new();
+            let mut control = DayAccum::new();
+            let mut treatment = DayAccum::new();
+            let mut classes = vec![DayAccum::new(); n_classes];
             for row in &rows {
-                sessions += row.summaries.len();
-                segments += row.summaries.iter().map(|s| s.segments).sum::<usize>();
-                all.extend(row.summaries.iter().copied());
+                sessions += row.day.sessions();
+                segments += row.day.segments();
+                all.merge(&row.day);
                 if ab_mode {
                     if row.user_id % 2 == 0 {
-                        control.extend(row.summaries.iter().copied());
+                        control.merge(&row.day);
                     } else {
-                        treatment.extend(row.summaries.iter().copied());
+                        treatment.merge(&row.day);
+                    }
+                }
+                if let Some(class) = row.class {
+                    if let Some(acc) = classes.get_mut(class as usize) {
+                        acc.merge(&row.day);
                     }
                 }
             }
             let flushed = cache.flush().map_err(sub)?;
             epochs.push(EpochMetrics {
                 epoch,
-                all: aggregate_day(&all),
-                control: ab_mode.then(|| aggregate_day(&control)),
-                treatment: ab_mode.then(|| aggregate_day(&treatment)),
+                all: all.metrics(),
+                control: ab_mode.then(|| control.metrics()),
+                treatment: ab_mode.then(|| treatment.metrics()),
+                classes: classes.iter().map(DayAccum::metrics).collect(),
+                sketches,
                 flushed,
             });
         }
@@ -211,7 +333,13 @@ impl FleetEngine {
         Ok(FleetReport {
             scenario: scenario.name.clone(),
             shards: self.config.shards,
-            users: population.len(),
+            users: users_total,
+            class_names: self
+                .config
+                .dynamics
+                .as_ref()
+                .map(|d| d.registry.users.iter().map(|c| c.name.clone()).collect())
+                .unwrap_or_default(),
             epochs,
             sessions,
             segments,
@@ -225,12 +353,12 @@ impl FleetEngine {
     /// One shard worker's epoch: run every owned user's sessions.
     fn run_shard_epoch(
         &self,
-        users: &[UserRecord],
+        users: &[EpochUser],
         epoch: usize,
         scenario: &FleetScenario,
         catalog: &Catalog,
         cache: &ShardedStateCache,
-    ) -> Result<Vec<UserEpochRow>> {
+    ) -> Result<ShardEpochOutput> {
         if self.config.contention.is_some() {
             return crate::contention::run_shard_epoch_contended(
                 self, users, epoch, scenario, catalog, cache,
@@ -239,26 +367,29 @@ impl FleetEngine {
         let drift = ToleranceDrift::default();
         let mut buffers = SessionBuffers::new();
         let mut rows = Vec::with_capacity(users.len());
+        let mut sketches = EpochSketches::new();
         for user in users {
-            let mut rng = StdRng::seed_from_u64(self.stream_seed(user.id, epoch));
-            let policy = scenario.abr_mix.policy_for(user.id);
-            let managed = policy.managed() && self.lingxi_active(user.id, epoch);
-            let summaries = self.run_user_epoch(
-                user,
+            let mut rng = StdRng::seed_from_u64(self.stream_seed(user.record.id, epoch));
+            let policy = scenario.abr_mix.policy_for(user.record.id);
+            let managed = policy.managed() && self.lingxi_active(user.record.id, epoch);
+            let day = self.run_user_epoch(
+                &user.record,
                 catalog,
                 cache,
                 policy,
                 managed,
                 &drift,
                 &mut buffers,
+                &mut sketches,
                 &mut rng,
             )?;
             rows.push(UserEpochRow {
-                user_id: user.id,
-                summaries,
+                user_id: user.record.id,
+                class: user.class,
+                day,
             });
         }
-        Ok(rows)
+        Ok(ShardEpochOutput { rows, sketches })
     }
 
     /// Sessions a user plays this epoch (Poisson-ish jitter around the
@@ -268,7 +399,8 @@ impl FleetEngine {
         ((user.sessions_per_day * jitter).round() as usize).clamp(1, 60)
     }
 
-    /// Run one user's epoch worth of sessions.
+    /// Run one user's epoch worth of sessions, folded straight into a
+    /// bounded-memory day accumulator (play order) and the shard sketches.
     #[allow(clippy::too_many_arguments)]
     fn run_user_epoch(
         &self,
@@ -279,13 +411,14 @@ impl FleetEngine {
         managed: bool,
         drift: &ToleranceDrift,
         buffers: &mut SessionBuffers,
+        sketches: &mut EpochSketches,
         rng: &mut StdRng,
-    ) -> Result<Vec<SessionSummary>> {
+    ) -> Result<DayAccum> {
         let n_sessions = self.sessions_this_epoch(user, rng);
         let mut exit_model = user.exit_model_for_day(drift, rng);
         let mut abr = policy.build();
         let ladder = catalog.ladder();
-        let mut summaries = Vec::with_capacity(n_sessions);
+        let mut day = DayAccum::new();
 
         if managed {
             // Warm-start the controller from the user's persisted state.
@@ -319,7 +452,9 @@ impl FleetEngine {
                     rng,
                 )
                 .map_err(sub)?;
-                summaries.push(buffers.log().summary());
+                let summary = buffers.log().summary();
+                day.push(&summary);
+                sketches.push(&summary);
             }
             // Write-behind: dirty the cache entry; the epoch barrier (or an
             // LRU eviction) batches it into the durable store.
@@ -368,17 +503,20 @@ impl FleetEngine {
                     rng,
                 )
                 .map_err(sub)?;
-                summaries.push(log.summary());
+                let summary = log.summary();
+                day.push(&summary);
+                sketches.push(&summary);
             }
         }
-        Ok(summaries)
+        Ok(day)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{AbSplit, AbrMix};
+    use crate::config::{AbSplit, AbrMix, ContentionConfig, PopulationDynamics};
+    use lingxi_workload::{ArrivalKind, ClassRegistry, Poisson};
     use std::path::PathBuf;
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -417,9 +555,18 @@ mod tests {
         let one = run(1, "inv1");
         let four = run(4, "inv4");
         assert_eq!(one.merged_metrics(), four.merged_metrics());
+        assert_eq!(one.merged_sketches(), four.merged_sketches());
         assert_eq!(one.sessions, four.sessions);
         assert_eq!(one.segments, four.segments);
         assert!(one.sessions >= 24, "every user plays >= 1 session");
+        // Sketches saw every session.
+        assert_eq!(
+            one.epochs
+                .iter()
+                .map(|e| e.sketches.stall.count())
+                .sum::<u64>(),
+            one.sessions as u64
+        );
     }
 
     #[test]
@@ -509,5 +656,62 @@ mod tests {
         assert!(report.sessions > 0);
         assert_eq!(StateStore::open(&dir).unwrap().list().unwrap().len(), 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dynamics_requires_contention() {
+        let config = FleetConfig {
+            dynamics: Some(PopulationDynamics {
+                arrivals: ArrivalKind::Poisson(Poisson { rate_per_sec: 0.1 }),
+                registry: ClassRegistry::default_heterogeneous(),
+                day_seconds: 600.0,
+            }),
+            ..FleetConfig::default()
+        };
+        assert!(FleetEngine::new(config).is_err());
+    }
+
+    #[test]
+    fn dynamic_population_reports_per_class_metrics() {
+        let run = |shards: usize, tag: &str| {
+            let dir = temp_dir(tag);
+            let config = FleetConfig {
+                shards,
+                epochs: 2,
+                seed: 13,
+                state_dir: dir.clone(),
+                contention: Some(ContentionConfig {
+                    links: 4,
+                    capacity_kbps: 25_000.0,
+                    arrival_window: 10.0,
+                    access_cap_factor: 1.5,
+                }),
+                dynamics: Some(PopulationDynamics {
+                    arrivals: ArrivalKind::Poisson(Poisson { rate_per_sec: 0.05 }),
+                    registry: ClassRegistry::default_heterogeneous(),
+                    day_seconds: 600.0,
+                }),
+                ..FleetConfig::default()
+            };
+            let report = FleetEngine::new(config)
+                .unwrap()
+                .run(&small_scenario())
+                .unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            report
+        };
+        let one = run(1, "dyn1");
+        let four = run(4, "dyn4");
+        // The dynamic cohort and its merged metrics are shard-invariant.
+        assert_eq!(one.merged_metrics(), four.merged_metrics());
+        assert_eq!(one.merged_sketches(), four.merged_sketches());
+        assert_eq!(one.users, four.users);
+        assert!(one.users > 0, "Poisson(0.05/s × 600s × 2 epochs) arrivals");
+        assert_eq!(one.class_names, vec!["mobile", "desktop", "tv"]);
+        for e in &one.epochs {
+            assert_eq!(e.classes.len(), 3);
+            let class_sessions: usize = e.classes.iter().map(|c| c.sessions).sum();
+            assert_eq!(class_sessions, e.all.sessions, "classes partition the day");
+        }
     }
 }

@@ -30,9 +30,11 @@ pub(crate) mod contention;
 pub mod engine;
 pub mod report;
 
-pub use config::{AbSplit, AbrMix, AbrPolicy, ContentionConfig, FleetConfig, FleetScenario};
+pub use config::{
+    AbSplit, AbrMix, AbrPolicy, ContentionConfig, FleetConfig, FleetScenario, PopulationDynamics,
+};
 pub use engine::FleetEngine;
-pub use report::{EpochMetrics, FleetReport};
+pub use report::{EpochMetrics, EpochSketches, FleetReport};
 
 /// Errors from fleet orchestration.
 #[derive(Debug, Clone, PartialEq)]

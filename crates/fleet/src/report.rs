@@ -1,16 +1,69 @@
-//! Fleet run reports: per-epoch merged metrics, throughput, cache
-//! behaviour and the optional population-scale DiD verdict.
+//! Fleet run reports: per-epoch merged metrics, QoE distribution
+//! sketches, throughput, cache behaviour and the optional
+//! population-scale DiD verdict.
 
 use std::time::Duration;
 
 use lingxi_abtest::{AbReport, DayMetrics};
 use lingxi_core::CacheStats;
+use lingxi_stats::QuantileSketch;
+
+/// Bounded-memory QoE distribution sketches for one epoch: per-session
+/// stall time, watch time and mean bitrate.
+///
+/// The sketches hold integer bin counts, so accumulating them per shard
+/// and merging is *exactly* order-independent — bit-identical for any
+/// shard count — while a million-session epoch costs O(bins) memory
+/// instead of O(sessions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSketches {
+    /// Per-session total stall time (seconds).
+    pub stall: QuantileSketch,
+    /// Per-session watch time (seconds).
+    pub watch: QuantileSketch,
+    /// Per-session mean bitrate (kbps).
+    pub bitrate: QuantileSketch,
+}
+
+impl EpochSketches {
+    /// Fresh sketches over the fleet's standard QoE ranges.
+    pub fn new() -> Self {
+        Self {
+            stall: QuantileSketch::new(0.0, 120.0, 240).expect("static sketch config"),
+            watch: QuantileSketch::new(0.0, 900.0, 180).expect("static sketch config"),
+            bitrate: QuantileSketch::new(0.0, 6000.0, 120).expect("static sketch config"),
+        }
+    }
+
+    /// Observe one session summary.
+    pub fn push(&mut self, s: &lingxi_player::SessionSummary) {
+        self.stall.push(s.total_stall);
+        self.watch.push(s.watch_time);
+        self.bitrate.push(s.mean_bitrate);
+    }
+
+    /// Fold another epoch's sketches into this one (exact, any order).
+    pub fn merge(&mut self, other: &Self) {
+        self.stall.merge(&other.stall).expect("same static config");
+        self.watch.merge(&other.watch).expect("same static config");
+        self.bitrate
+            .merge(&other.bitrate)
+            .expect("same static config");
+    }
+}
+
+impl Default for EpochSketches {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Metrics of one epoch, merged across shards at the epoch barrier.
 ///
-/// The merge walks users in ascending user-id order regardless of which
-/// shard ran them, so every field is bit-identical for any shard count
-/// under the same seed.
+/// The scalar aggregates are folded from per-user streaming accumulators
+/// in ascending user-id order regardless of which shard ran them, and the
+/// sketches are integer-binned, so every field is bit-identical for any
+/// shard count under the same seed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpochMetrics {
     /// Epoch index (a simulated day).
@@ -21,6 +74,11 @@ pub struct EpochMetrics {
     pub control: Option<DayMetrics>,
     /// Treatment-cohort aggregate (A/B mode only).
     pub treatment: Option<DayMetrics>,
+    /// Per-user-class aggregates, indexed like the registry's user classes
+    /// (population-dynamics mode only; empty otherwise).
+    pub classes: Vec<DayMetrics>,
+    /// Per-session QoE distribution sketches.
+    pub sketches: EpochSketches,
     /// Write-behind entries persisted at this epoch's barrier flush.
     /// Diagnostic: unlike the metric aggregates this *may* vary with shard
     /// count, because LRU evictions already persisted some entries early.
@@ -34,8 +92,10 @@ pub struct FleetReport {
     pub scenario: String,
     /// Shard (worker thread) count used.
     pub shards: usize,
-    /// Population size.
+    /// Population size (static cohort) or total arrivals (dynamics mode).
     pub users: usize,
+    /// User-class names from the dynamics registry (empty when static).
+    pub class_names: Vec<String>,
     /// Per-epoch merged metrics.
     pub epochs: Vec<EpochMetrics>,
     /// Total sessions played.
@@ -80,5 +140,19 @@ impl FleetReport {
     /// whatever their shard counts.
     pub fn merged_metrics(&self) -> Vec<DayMetrics> {
         self.epochs.iter().map(|e| e.all).collect()
+    }
+
+    /// The per-epoch distribution sketches, for cross-run comparison under
+    /// the same invariance contract as [`FleetReport::merged_metrics`].
+    pub fn merged_sketches(&self) -> Vec<&EpochSketches> {
+        self.epochs.iter().map(|e| &e.sketches).collect()
+    }
+
+    /// Per-class metrics of one class across epochs (dynamics mode).
+    pub fn class_metrics(&self, class: usize) -> Vec<DayMetrics> {
+        self.epochs
+            .iter()
+            .filter_map(|e| e.classes.get(class).copied())
+            .collect()
     }
 }

@@ -28,6 +28,7 @@ pub mod ecdf;
 pub mod hypothesis;
 pub mod regress;
 pub mod sampling;
+pub mod streaming;
 
 pub use confusion::{BinaryConfusion, ClassMetrics};
 pub use corr::{pearson, spearman};
@@ -37,6 +38,7 @@ pub use ecdf::{Ecdf, Histogram};
 pub use hypothesis::{did_estimate, paired_t_test, welch_t_test, DidResult, TTestResult};
 pub use regress::{linear_fit, LinearFit};
 pub use sampling::{balanced_undersample, stratified_split, train_test_split};
+pub use streaming::{QuantileSketch, StreamingMoments};
 
 /// Errors produced by statistical routines.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,137 @@
+//! Property-based invariants for the bounded-memory streaming metrics.
+//!
+//! The fleet's shard-count-invariance contract rests on two claims: the
+//! quantile sketch's merge is *exactly* associative and commutative
+//! (integer bin counts), and its quantiles stay within one bin width of
+//! the exact order statistic for in-range data. Both are pinned here,
+//! together with the streaming-moments/batch-formula agreement.
+
+use lingxi_stats::{mean, variance, QuantileSketch, StreamingMoments};
+use proptest::prelude::*;
+
+/// Exact ceil-rank order statistic matching `QuantileSketch::quantile`'s
+/// rank convention.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+fn sketch_of(xs: &[f64], lo: f64, hi: f64, bins: usize) -> QuantileSketch {
+    let mut s = QuantileSketch::new(lo, hi, bins).expect("valid sketch config");
+    for &x in xs {
+        s.push(x);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merge is commutative and associative bit-for-bit: any grouping and
+    /// order of shard-local sketches yields the same merged state.
+    #[test]
+    fn sketch_merge_associative_commutative(
+        a in proptest::collection::vec(0.0f64..100.0, 0..40),
+        b in proptest::collection::vec(0.0f64..100.0, 0..40),
+        c in proptest::collection::vec(0.0f64..100.0, 0..40),
+    ) {
+        let (sa, sb, sc) = (
+            sketch_of(&a, 0.0, 100.0, 32),
+            sketch_of(&b, 0.0, 100.0, 32),
+            sketch_of(&c, 0.0, 100.0, 32),
+        );
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb).unwrap();
+        left.merge(&sc).unwrap();
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc).unwrap();
+        let mut right = sa.clone();
+        right.merge(&right_inner).unwrap();
+        prop_assert_eq!(&left, &right, "associativity");
+        // c ⊕ b ⊕ a
+        let mut rev = sc.clone();
+        rev.merge(&sb).unwrap();
+        rev.merge(&sa).unwrap();
+        prop_assert_eq!(&left, &rev, "commutativity");
+        // And all equal the single-stream sketch.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &sketch_of(&all, 0.0, 100.0, 32), "partition independence");
+    }
+
+    /// For in-range data the sketch's quantile is within one bin width of
+    /// the exact order statistic, at every probed rank.
+    #[test]
+    fn sketch_rank_error_bounded(
+        xs in proptest::collection::vec(0.0f64..50.0, 1..120),
+        bins in 8usize..128,
+    ) {
+        let s = sketch_of(&xs, 0.0, 50.0, bins);
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.05, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let approx = s.quantile(q).unwrap();
+            prop_assert!(
+                (approx - exact).abs() <= s.bin_width() + 1e-9,
+                "q={} approx={} exact={} width={}", q, approx, exact, s.bin_width()
+            );
+        }
+    }
+
+    /// Quantiles are monotone in `q` and bracketed by the exact extremes.
+    #[test]
+    fn sketch_quantiles_monotone(
+        xs in proptest::collection::vec(-20.0f64..120.0, 1..80),
+    ) {
+        // Range narrower than the data: clamped tails must stay ordered.
+        let s = sketch_of(&xs, 0.0, 100.0, 16);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = s.quantile(q).unwrap();
+            prop_assert!(v >= prev - 1e-12, "q={} gave {} after {}", q, v, prev);
+            prev = v;
+        }
+        let lo = s.quantile(0.0).unwrap();
+        let hi = s.quantile(1.0).unwrap();
+        let exact_min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let exact_max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo >= exact_min - 1e-12 && hi <= exact_max + 1e-12);
+    }
+
+    /// Streaming moments agree with the batch formulas and are partition
+    /// independent up to float round-off.
+    #[test]
+    fn moments_match_batch(
+        xs in proptest::collection::vec(-1000.0f64..1000.0, 2..100),
+        split in 0usize..100,
+    ) {
+        let mut whole = StreamingMoments::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        prop_assert!((whole.mean() - mean(&xs).unwrap()).abs() < 1e-6);
+        prop_assert!((whole.variance() - variance(&xs).unwrap()).abs() < 1e-3);
+        let k = split.min(xs.len());
+        let (first, second) = xs.split_at(k);
+        let mut a = StreamingMoments::new();
+        let mut b = StreamingMoments::new();
+        for &x in first {
+            a.push(x);
+        }
+        for &x in second {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count, whole.count);
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-3);
+        prop_assert_eq!(a.min, whole.min);
+        prop_assert_eq!(a.max, whole.max);
+    }
+}

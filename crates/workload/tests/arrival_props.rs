@@ -1,0 +1,107 @@
+//! Property-based invariants for arrival processes.
+//!
+//! The fleet's determinism contract needs schedules that are pure in
+//! `(parameters, horizon, seed)`; the statistical contracts (Poisson mean
+//! count, Replay fidelity) make the processes usable as models, not just
+//! as RNG wrappers.
+
+use lingxi_workload::{
+    ArrivalEvent, ArrivalKind, ArrivalProcess, ClassRegistry, Diurnal, FlashRamp, Poisson, Replay,
+};
+use proptest::prelude::*;
+
+fn registry() -> ClassRegistry {
+    ClassRegistry::default_heterogeneous()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every process kind is seed-stable (same inputs → identical events)
+    /// and emits time-sorted, in-horizon events with valid class indices.
+    #[test]
+    fn processes_are_seed_stable_and_well_formed(
+        seed in 0u64..1_000_000,
+        horizon in 10.0f64..500.0,
+        rate in 0.0f64..2.0,
+        users in 0usize..200,
+        window in 0.5f64..60.0,
+    ) {
+        let reg = registry();
+        let kinds = [
+            ArrivalKind::Poisson(Poisson { rate_per_sec: rate }),
+            ArrivalKind::Diurnal(Diurnal {
+                base_rate: rate,
+                amplitude: 0.8,
+                peak_s: horizon / 3.0,
+                period_s: horizon,
+            }),
+            ArrivalKind::FlashRamp(FlashRamp::uniform(users, window)),
+        ];
+        for kind in &kinds {
+            kind.validate().unwrap();
+            let a = kind.events(horizon, seed, &reg);
+            let b = kind.events(horizon, seed, &reg);
+            prop_assert_eq!(&a, &b, "not seed-stable: {:?}", kind);
+            prop_assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "unsorted");
+            prop_assert!(a.iter().all(|e| e.at >= 0.0 && e.at < horizon), "out of horizon");
+            prop_assert!(a.iter().all(|e| (e.class as usize) < reg.users.len()), "bad class");
+        }
+    }
+
+    /// Poisson counts concentrate around `rate × horizon`: the mean over
+    /// independent seeds lands within 5σ of the expectation.
+    #[test]
+    fn poisson_mean_count_within_tolerance(
+        rate in 0.2f64..3.0,
+        horizon in 50.0f64..300.0,
+        seed0 in 0u64..1_000_000,
+    ) {
+        let p = Poisson { rate_per_sec: rate };
+        let runs = 24u64;
+        let total: usize = (0..runs).map(|k| p.events(horizon, seed0 ^ (k << 20), &registry()).len()).sum();
+        let mean = total as f64 / runs as f64;
+        let expect = rate * horizon;
+        // SE of the mean of `runs` Poisson counts is sqrt(expect / runs).
+        let tol = 5.0 * (expect / runs as f64).sqrt() + 1.0;
+        prop_assert!((mean - expect).abs() < tol, "mean {} vs {} (tol {})", mean, expect, tol);
+    }
+
+    /// Replay round-trips any sorted in-horizon schedule verbatim, and
+    /// truncating the horizon only drops the tail.
+    #[test]
+    fn replay_round_trips(
+        times in proptest::collection::vec(0.0f64..100.0, 0..50),
+        classes in proptest::collection::vec(0u16..3, 50..51),
+        cut in 0.0f64..100.0,
+    ) {
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp);
+        let schedule: Vec<ArrivalEvent> = sorted
+            .iter()
+            .zip(&classes)
+            .map(|(&at, &class)| ArrivalEvent { at, class })
+            .collect();
+        let r = Replay { schedule: schedule.clone() };
+        r.validate().unwrap();
+        prop_assert_eq!(r.events(100.0, 0, &registry()), schedule.clone());
+        let truncated = r.events(cut, 1, &registry());
+        let expect: Vec<ArrivalEvent> = schedule.iter().filter(|e| e.at < cut).cloned().collect();
+        prop_assert_eq!(truncated, expect);
+    }
+
+    /// FlashRamp emits exactly `users` arrivals inside the window whenever
+    /// the horizon covers it — the old flashcrowd contract.
+    #[test]
+    fn flash_ramp_count_exact(
+        users in 1usize..300,
+        window in 1.0f64..40.0,
+        shape in 0.25f64..4.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let f = FlashRamp { users, start_s: 0.0, window_s: window, shape };
+        let events = f.events(window + 1.0, seed, &registry());
+        prop_assert_eq!(events.len(), users);
+        prop_assert!(events.iter().all(|e| e.at < window));
+    }
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Vendored-registry drift check (CI): the crates under vendor/ are path
+# dependencies standing in for crates.io (no network in the build
+# environment — see DESIGN.md), so Cargo.lock must agree with each
+# vendored crate's manifest. A mismatch means someone bumped a vendored
+# crate without rebuilding the lockfile (or hand-edited the lockfile),
+# which `cargo build --locked` would later fail on in confusing ways.
+#
+# Usage: scripts/check_vendor_drift.sh [repo-root]
+set -euo pipefail
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+lock="$root/Cargo.lock"
+fail=0
+
+if [ ! -f "$lock" ]; then
+    echo "error: $lock not found" >&2
+    exit 1
+fi
+
+for manifest in "$root"/vendor/*/Cargo.toml; do
+    name=$(sed -n 's/^name *= *"\(.*\)"/\1/p' "$manifest" | head -n1)
+    version=$(sed -n 's/^version *= *"\(.*\)"/\1/p' "$manifest" | head -n1)
+    if [ -z "$name" ] || [ -z "$version" ]; then
+        echo "DRIFT: cannot parse name/version from $manifest" >&2
+        fail=1
+        continue
+    fi
+    # The lockfile records each package as a `[[package]]` block whose
+    # `version` line directly follows `name`.
+    locked=$(awk -v pkg="$name" '
+        $0 == "name = \"" pkg "\"" { grab = 1; next }
+        grab && /^version = / { gsub(/version = |"/, ""); print; exit }
+    ' "$lock")
+    if [ -z "$locked" ]; then
+        echo "DRIFT: vendored crate $name is missing from Cargo.lock" >&2
+        fail=1
+    elif [ "$locked" != "$version" ]; then
+        echo "DRIFT: $name vendor/ has $version but Cargo.lock has $locked" >&2
+        fail=1
+    else
+        echo "ok: $name $version"
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "vendored-registry drift detected: re-run 'cargo build' to refresh Cargo.lock (and commit it)" >&2
+    exit 1
+fi
+echo "vendor/ and Cargo.lock agree"

@@ -24,8 +24,9 @@
 //! | [`bayes`] | GP regression, acquisition functions, online BO |
 //! | [`core`] | the LingXi controller (Algorithms 1 & 2) |
 //! | [`abtest`] | AA/AB difference-in-differences experimentation |
+//! | [`workload`] | arrival processes and user/link heterogeneity classes |
 //! | [`fleet`] | sharded multi-threaded fleet simulation (see ARCHITECTURE.md) |
-//! | [`exp`] | per-figure experiment harness + the `fleet` scale benchmark |
+//! | [`exp`] | per-figure experiment harness + the systems scenarios |
 //!
 //! ## Quickstart
 //!
@@ -70,6 +71,7 @@ pub use lingxi_nn as nn;
 pub use lingxi_player as player;
 pub use lingxi_stats as stats;
 pub use lingxi_user as user;
+pub use lingxi_workload as workload;
 
 /// The commonly used types, one import away.
 pub mod prelude {
@@ -89,7 +91,8 @@ pub mod prelude {
         UserStateTracker,
     };
     pub use lingxi_fleet::{
-        AbSplit, AbrMix, AbrPolicy, FleetConfig, FleetEngine, FleetReport, FleetScenario,
+        AbSplit, AbrMix, AbrPolicy, ContentionConfig, FleetConfig, FleetEngine, FleetReport,
+        FleetScenario, PopulationDynamics,
     };
     pub use lingxi_media::{
         BitrateLadder, Catalog, CatalogConfig, QualityMap, QualityTier, SegmentSizes, VbrModel,
@@ -103,8 +106,13 @@ pub mod prelude {
         run_session, BmaxPolicy, ExitDecision, PlayerConfig, PlayerEnv, SessionLog, SessionSetup,
         SessionStream,
     };
+    pub use lingxi_stats::{QuantileSketch, StreamingMoments};
     pub use lingxi_user::{
         ExitModel, PopulationConfig, QosExitModel, RuleBasedExit, SegmentView, SensitivityKind,
         StallProfile, UserPopulation, UserRecord,
+    };
+    pub use lingxi_workload::{
+        ArrivalKind, ArrivalProcess, ClassRegistry, Diurnal, FlashRamp, LinkClass, Poisson, Replay,
+        UserClass,
     };
 }
