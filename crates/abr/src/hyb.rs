@@ -58,13 +58,14 @@ impl Abr for Hyb {
             .next_segment
             .min(ctx.sizes.n_segments().saturating_sub(1));
         // Highest level whose expected download time fits within β·B.
+        let limit = self.params.beta * buffer;
         let mut choice = 0;
         for level in 0..=ctx.ladder.top_level() {
             let size = match ctx.sizes.size_kbits(k, level) {
                 Ok(s) => s,
                 Err(_) => break,
             };
-            if size / est < self.params.beta * buffer {
+            if size / est < limit {
                 choice = level;
             }
         }

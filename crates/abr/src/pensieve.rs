@@ -148,6 +148,43 @@ impl Pensieve {
         softmax(&logits).row(0).to_vec()
     }
 
+    /// Action probabilities for a whole batch of states: one network
+    /// forward (a single matrix multiply per layer) instead of one per
+    /// session. Every layer computes output rows independently and
+    /// softmax is row-wise, so the result is bit-identical to calling
+    /// [`Pensieve::action_probs`] on each pair in order.
+    pub fn action_probs_batch(&mut self, items: &[(&PlayerEnv, &AbrContext<'_>)]) -> Vec<Vec<f64>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let rows: Vec<Vec<f64>> = items
+            .iter()
+            .map(|(env, ctx)| state_vector(env, ctx, &self.params, &self.config))
+            .collect();
+        let x = Matrix::from_rows(&rows).expect("uniform state dims");
+        let logits = self.net.forward(&x).expect("net shapes fixed at build");
+        let probs = softmax(&logits);
+        (0..items.len()).map(|r| probs.row(r).to_vec()).collect()
+    }
+
+    /// Greedy level per batch item, clamped to each context's ladder.
+    /// Bit-identical to calling [`Abr::select`] on each pair in order.
+    pub fn select_batch(&mut self, items: &[(&PlayerEnv, &AbrContext<'_>)]) -> Vec<usize> {
+        self.action_probs_batch(items)
+            .iter()
+            .zip(items)
+            .map(|(probs, (_, ctx))| {
+                probs
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+                    .min(ctx.ladder.top_level())
+            })
+            .collect()
+    }
+
     /// Configuration.
     pub fn config(&self) -> &PensieveConfig {
         &self.config
@@ -270,11 +307,8 @@ impl PensieveTrainer {
                 self.accumulate_episode_gradient(policy, ladder, &ep, rng)?;
             }
             policy.net.step(&mut opt);
-            let eval_total: f64 = eval_suite
-                .iter()
-                .map(|ep| self.greedy_reward(policy, ladder, ep))
-                .sum::<Result<f64>>()?;
-            epoch_rewards.push(eval_total / eval_suite.len() as f64);
+            let rewards = self.greedy_rewards(policy, ladder, &eval_suite)?;
+            epoch_rewards.push(rewards.iter().sum::<f64>() / rewards.len() as f64);
         }
         Ok(TrainStats { epoch_rewards })
     }
@@ -423,8 +457,87 @@ impl PensieveTrainer {
         Ok(())
     }
 
+    /// Greedy rewards for a suite of episodes, advanced in **lockstep**:
+    /// at each decision tick the per-episode state vectors are stacked
+    /// and the policy network runs once for the whole suite via
+    /// [`Sequential::forward_rows`]. Episodes keep independent player
+    /// environments, objective parameters, and per-step RNG streams, and
+    /// every network layer computes rows independently, so each returned
+    /// reward is bit-identical to evaluating that episode alone with the
+    /// sequential reference (`greedy_reward`).
+    fn greedy_rewards(
+        &self,
+        policy: &mut Pensieve,
+        ladder: &BitrateLadder,
+        eps: &[Episode],
+    ) -> Result<Vec<f64>> {
+        let cfg = policy.config;
+        let mut envs = Vec::with_capacity(eps.len());
+        for _ in eps {
+            envs.push(
+                PlayerEnv::new(self.player).map_err(|e| AbrError::InvalidConfig(e.to_string()))?,
+            );
+        }
+        let mut step_rngs: Vec<StdRng> = eps
+            .iter()
+            .map(|ep| StdRng::seed_from_u64(ep.step_seed))
+            .collect();
+        let qoes: Vec<QoeLin> = eps
+            .iter()
+            .map(|ep| QoeLin::from_params(&ep.params, self.quality))
+            .collect();
+        let mut totals = vec![0.0; eps.len()];
+        let mut states: Vec<Vec<f64>> = Vec::with_capacity(eps.len());
+        for k in 0..self.episode_segments {
+            states.clear();
+            for (ep, env) in eps.iter().zip(&envs) {
+                let ctx = AbrContext {
+                    ladder,
+                    sizes: &ep.sizes,
+                    next_segment: k,
+                    segment_duration: 2.0,
+                };
+                states.push(state_vector(env, &ctx, &ep.params, &cfg));
+            }
+            let logit_rows = policy
+                .net
+                .forward_rows(&states)
+                .map_err(|e| AbrError::InvalidConfig(e.to_string()))?;
+            for (i, ep) in eps.iter().enumerate() {
+                // Same softmax-on-one-row + argmax as `Abr::select`.
+                let probs = softmax(&Matrix::row_vector(&logit_rows[i]));
+                let level = probs
+                    .row(0)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(c, _)| c)
+                    .unwrap_or(0)
+                    .min(ladder.top_level());
+                totals[i] += Self::step_env(
+                    &mut envs[i],
+                    ep,
+                    ladder,
+                    &qoes[i],
+                    k,
+                    level,
+                    &mut step_rngs[i],
+                )?;
+            }
+        }
+        // The sequential path sets the policy params per episode; leave
+        // the same final state behind.
+        if let Some(ep) = eps.last() {
+            policy.set_params(ep.params);
+        }
+        Ok(totals)
+    }
+
     /// Total reward of the argmax policy on `ep`. Deterministic for a
     /// given policy: the per-step draws replay from the episode's seed.
+    /// Sequential reference implementation for the lockstep-equivalence
+    /// test; production evaluation goes through `greedy_rewards`.
+    #[cfg(test)]
     fn greedy_reward(
         &self,
         policy: &mut Pensieve,
@@ -552,6 +665,70 @@ mod tests {
             .filter(|(a, b)| (*a - *b).abs() > 1e-12)
             .count();
         assert!(diff <= 2);
+    }
+
+    #[test]
+    fn batched_probs_and_select_match_sequential() {
+        let (ladder, sizes) = fixture();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut p = Pensieve::new(PensieveConfig::default(), &mut rng).unwrap();
+        p.set_params(QoeParams::stall_averse());
+        // Envs with different playback histories so every state differs.
+        let mut envs: Vec<PlayerEnv> = (0..5)
+            .map(|_| PlayerEnv::new(PlayerConfig::deterministic(10.0, 0.0)).unwrap())
+            .collect();
+        for (i, env) in envs.iter_mut().enumerate() {
+            for k in 0..i {
+                let size = sizes.size_kbits(k, k % 4).unwrap();
+                env.step(size, k % 4, 3000.0 + 500.0 * i as f64, 2.0, &mut rng)
+                    .unwrap();
+            }
+        }
+        let ctxs: Vec<AbrContext<'_>> = (0..5)
+            .map(|i| AbrContext {
+                ladder: &ladder,
+                sizes: &sizes,
+                next_segment: i,
+                segment_duration: 2.0,
+            })
+            .collect();
+        let items: Vec<(&PlayerEnv, &AbrContext<'_>)> = envs.iter().zip(ctxs.iter()).collect();
+        let batch_probs = p.action_probs_batch(&items);
+        let batch_sel = p.select_batch(&items);
+        for (i, &(env, ctx)) in items.iter().enumerate() {
+            // Exact equality: batching must not perturb a single bit.
+            assert_eq!(p.action_probs(env, ctx), batch_probs[i]);
+            assert_eq!(p.select(env, ctx), batch_sel[i]);
+        }
+        assert!(p.action_probs_batch(&[]).is_empty());
+        assert!(p.select_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn lockstep_eval_matches_sequential_greedy() {
+        let ladder = BitrateLadder::default_short_video();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut p = Pensieve::new(
+            PensieveConfig {
+                hidden: (16, 8),
+                ..PensieveConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let trainer = PensieveTrainer {
+            episode_segments: 12,
+            ..PensieveTrainer::default()
+        };
+        let eps: Vec<Episode> = (0..6)
+            .map(|_| trainer.sample_episode(&ladder, &mut rng).unwrap())
+            .collect();
+        let batched = trainer.greedy_rewards(&mut p, &ladder, &eps).unwrap();
+        let sequential: Vec<f64> = eps
+            .iter()
+            .map(|ep| trainer.greedy_reward(&mut p, &ladder, ep).unwrap())
+            .collect();
+        assert_eq!(batched, sequential);
     }
 
     #[test]

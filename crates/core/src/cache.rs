@@ -77,6 +77,10 @@ pub struct CacheStats {
     pub writes: u64,
 }
 
+/// Below this many dirty entries per writer thread, extra threads cost
+/// more in spawn overhead than they recover in I/O overlap.
+const FLUSH_CHUNK_MIN: usize = 64;
+
 #[derive(Debug)]
 struct Entry {
     state: LongTermState,
@@ -245,26 +249,71 @@ impl ShardedStateCache {
         }
     }
 
-    /// Write every dirty entry to the store (ascending user id, so the
-    /// batch hits the filesystem in a deterministic order) and mark the
-    /// cache clean. Returns how many entries were written.
+    /// Write every dirty entry to the store and mark the cache clean.
+    /// Returns how many entries were written.
+    ///
+    /// The write batch is split across writer threads (the store is a
+    /// file-per-user layout, so saves to distinct users are independent):
+    /// dirty entries are snapshotted under the shard locks in ascending
+    /// `(shard, user_id)` order, saved in parallel without holding any
+    /// lock, then marked clean — but only when the cached state still
+    /// equals the snapshot that was written, so a save racing the flush
+    /// keeps its entry dirty for the next flush instead of being lost.
     pub fn flush(&self) -> Result<usize> {
-        let mut written = 0usize;
-        for shard in &self.shards {
-            let mut shard = shard.lock();
-            let mut dirty: Vec<u64> = shard
-                .map
-                .iter()
-                .filter(|(_, e)| e.dirty)
-                .map(|(id, _)| *id)
-                .collect();
-            dirty.sort_unstable();
-            for id in dirty {
-                let entry = shard.map.get_mut(&id).expect("dirty id present");
-                self.store.save(&entry.state)?;
-                entry.dirty = false;
-                shard.stats.writes += 1;
-                written += 1;
+        // Phase 1: snapshot dirty entries under the shard locks.
+        let mut batch: Vec<(usize, LongTermState)> = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock();
+            let start = batch.len();
+            batch.extend(
+                shard
+                    .map
+                    .values()
+                    .filter(|e| e.dirty)
+                    .map(|e| (si, e.state.clone())),
+            );
+            batch[start..].sort_unstable_by_key(|(_, s)| s.user_id);
+        }
+        let written = batch.len();
+
+        // Phase 2: persist without holding any lock.
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(written.div_ceil(FLUSH_CHUNK_MIN).max(1));
+        if threads <= 1 {
+            for (_, state) in &batch {
+                self.store.save(state)?;
+            }
+        } else {
+            let chunk = written.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = batch
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            for (_, state) in part {
+                                self.store.save(state)?;
+                            }
+                            Ok::<(), CoreError>(())
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("flush writer panicked")?;
+                }
+                Ok::<(), CoreError>(())
+            })?;
+        }
+
+        // Phase 3: mark clean unless the entry moved on meanwhile.
+        for (si, state) in &batch {
+            let mut shard = self.shards[*si].lock();
+            shard.stats.writes += 1;
+            if let Some(entry) = shard.map.get_mut(&state.user_id) {
+                if entry.dirty && entry.state == *state {
+                    entry.dirty = false;
+                }
             }
         }
         Ok(written)

@@ -16,7 +16,7 @@
 use std::cell::RefCell;
 
 use lingxi_abr::{Abr, AbrContext, QoeParams};
-use lingxi_exit::UserStateTracker;
+use lingxi_exit::{StateMatrix, UserStateTracker};
 use lingxi_media::{BitrateLadder, SegmentSizes, VbrModel};
 use lingxi_net::{BandwidthProcess, ModelProcess};
 use lingxi_player::PlayerEnv;
@@ -205,11 +205,23 @@ pub fn evaluate_parameters_in<R: Rng + ?Sized>(
     // RTT, exit) in one deterministic stream.
     let rng = RefCell::new(rng);
     let process = ModelProcess::new(bandwidth, MIN_ROLLOUT_KBPS, &rng);
+    // Predictors that only read the short-term context get a zero matrix;
+    // building the real one is a per-segment copy of the tracker rows. The
+    // tracker fork itself is dead weight in that case too — it is only
+    // ever read back through `matrix()` and is dropped when the rollout
+    // ends — so the fork and its per-segment pushes are skipped as well.
+    let wants_state = predictor.wants_state();
+    let zero_matrix = StateMatrix::zeros();
 
+    // One scratch fork, re-seeded per rollout (`clone_from` keeps the
+    // history buffers' allocations alive across rollouts).
+    let mut env_sim = env.clone();
     'samples: for m in 0..config.samples {
         // Fork the live state (S_sim ← S, E_sim ← E_player).
-        let mut env_sim = env.clone();
-        let mut tracker = user_state.clone();
+        if m > 0 {
+            env_sim.clone_from(env);
+        }
+        let mut tracker = wants_state.then(|| user_state.clone());
         abr.reset();
         let mut t_sim = 0.0;
         let mut k = 0usize;
@@ -239,16 +251,21 @@ pub fn evaluate_parameters_in<R: Rng + ?Sized>(
                 .map_err(|e| CoreError::Subsystem(e.to_string()))?;
             total_stall += outcome.stall_time;
 
-            // Update the user-state matrix.
-            let bitrate = ladder
-                .bitrate(level)
-                .map_err(|e| CoreError::Subsystem(e.to_string()))?;
-            tracker.push_segment(bitrate, outcome.throughput_kbps, config.segment_duration);
             let stalled = outcome.stall_time > 0.0;
             if stalled {
-                tracker.push_stall(outcome.stall_time);
                 session_stall += outcome.stall_time;
                 session_events += 1;
+            }
+            // Update the user-state matrix (skipped entirely when the
+            // predictor never reads it).
+            if let Some(tracker) = tracker.as_mut() {
+                let bitrate = ladder
+                    .bitrate(level)
+                    .map_err(|e| CoreError::Subsystem(e.to_string()))?;
+                tracker.push_segment(bitrate, outcome.throughput_kbps, config.segment_duration);
+                if stalled {
+                    tracker.push_stall(outcome.stall_time);
+                }
             }
             let tier = ladder
                 .tier(level)
@@ -265,15 +282,17 @@ pub fn evaluate_parameters_in<R: Rng + ?Sized>(
                 session_stall_events: session_events,
                 playback_time: t_sim,
             };
-            let p_exit = predictor
-                .predict(&tracker.matrix(), &rollout_ctx)
-                .clamp(0.0, 1.0);
+            let matrix = match tracker.as_ref() {
+                Some(tracker) => tracker.matrix(),
+                None => zero_matrix,
+            };
+            let p_exit = predictor.predict(&matrix, &rollout_ctx).clamp(0.0, 1.0);
             watched += 1;
             t_sim += config.segment_duration;
             k += 1;
             if rng.borrow_mut().gen::<f64>() < p_exit {
                 exited += 1;
-                if stalled {
+                if let Some(tracker) = tracker.as_mut().filter(|_| stalled) {
                     tracker.push_stall_exit();
                 }
                 break;

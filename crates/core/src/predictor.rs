@@ -31,6 +31,18 @@ pub trait RolloutPredictor: Send {
     /// Exit probability given long-term state (`state`) and the rollout's
     /// short-term context.
     fn predict(&mut self, state: &StateMatrix, ctx: &RolloutContext) -> f64;
+
+    /// Whether [`RolloutPredictor::predict`] reads `state` at all.
+    ///
+    /// Building the state matrix costs a per-virtual-segment copy of the
+    /// tracker's history rows; predictors that only consume the
+    /// [`RolloutContext`] (the profile and constant baselines) override
+    /// this to `false` and the Monte-Carlo loop hands them a zero matrix
+    /// instead. Purely an implementation shortcut — results are identical
+    /// either way.
+    fn wants_state(&self) -> bool {
+        true
+    }
 }
 
 impl RolloutPredictor for HybridPredictor {
@@ -55,6 +67,10 @@ pub struct ConstantPredictor {
 impl RolloutPredictor for ConstantPredictor {
     fn predict(&mut self, _: &StateMatrix, _: &RolloutContext) -> f64 {
         self.p.clamp(0.0, 1.0)
+    }
+
+    fn wants_state(&self) -> bool {
+        false
     }
 }
 
@@ -107,6 +123,10 @@ impl RolloutPredictor for ProfilePredictor {
             p += r;
         }
         p.clamp(0.0, 1.0)
+    }
+
+    fn wants_state(&self) -> bool {
+        false
     }
 }
 

@@ -294,6 +294,30 @@ mod tests {
     }
 
     #[test]
+    fn batch_predictions_bit_identical_to_sequential() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut p = ExitPredictor::new(PredictorConfig::small(), &mut rng).unwrap();
+        // Fully randomised states so every branch and every feature is live.
+        let states: Vec<StateMatrix> = (0..9)
+            .map(|_| {
+                let mut s = StateMatrix::zeros();
+                for d in 0..N_DIMS {
+                    for t in 0..MATRIX_LEN {
+                        s.rows[d][t] = rng.gen::<f64>();
+                    }
+                }
+                s
+            })
+            .collect();
+        let refs: Vec<&StateMatrix> = states.iter().collect();
+        let batched = p.predict_batch(&refs);
+        let sequential: Vec<f64> = states.iter().map(|s| p.predict(s)).collect();
+        // Exact equality: batching must not move a decision across the
+        // exit threshold.
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
     fn config_validation() {
         let mut rng = StdRng::seed_from_u64(4);
         assert!(ExitPredictor::new(

@@ -95,8 +95,17 @@ fn peak_rss_kb() -> u64 {
         .unwrap_or(0)
 }
 
+/// Scratch state directory for one scenario. Prefers `/dev/shm` (tmpfs)
+/// over the system temp dir so the timed region measures the simulator,
+/// not the host filesystem's journaling — see `bench/README.md`.
 fn state_dir(tag: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!("lingxi_benchjson_{}_{tag}", std::process::id()))
+    let shm = std::path::Path::new("/dev/shm");
+    let base = if shm.is_dir() {
+        shm.to_path_buf()
+    } else {
+        std::env::temp_dir()
+    };
+    base.join(format!("lingxi_benchjson_{}_{tag}", std::process::id()))
 }
 
 /// Time one scenario and record it.
@@ -293,6 +302,66 @@ pub fn gate(current: &BenchReport, baseline: &BenchReport, tolerance: f64) -> Re
     Ok(lines)
 }
 
+/// Compare two bench reports (`benchjson --compare A.json B.json`): for
+/// every scenario in `a`, the sessions/sec and peak-RSS delta of `b`
+/// relative to `a`. Purely informational — no gate, no thresholds.
+pub fn compare(a: &BenchReport, b: &BenchReport) -> Result<String> {
+    if a.schema != b.schema {
+        return Err(ExpError::Subsystem(format!(
+            "bench schema mismatch: {} vs {}",
+            a.schema, b.schema
+        )));
+    }
+    let mut out = String::new();
+    if a.seed != b.seed || a.scale != b.scale {
+        out.push_str(&format!(
+            "note: configs differ (seed {} scale {} vs seed {} scale {})\n",
+            a.seed, a.scale, b.seed, b.scale
+        ));
+    }
+    out.push_str(&format!(
+        "{:<18} {:>14} {:>14} {:>9} {:>14}\n",
+        "scenario", "A sess/s", "B sess/s", "speedup", "rss delta kB"
+    ));
+    for sa in &a.scenarios {
+        let Some(sb) = b.scenarios.iter().find(|s| s.name == sa.name) else {
+            out.push_str(&format!("{:<18} missing from B\n", sa.name));
+            continue;
+        };
+        let speedup = if sa.sessions_per_sec > 0.0 {
+            sb.sessions_per_sec / sa.sessions_per_sec
+        } else {
+            f64::NAN
+        };
+        out.push_str(&format!(
+            "{:<18} {:>14.1} {:>14.1} {:>8.2}x {:>+14}\n",
+            sa.name,
+            sa.sessions_per_sec,
+            sb.sessions_per_sec,
+            speedup,
+            sb.peak_rss_kb as i64 - sa.peak_rss_kb as i64,
+        ));
+    }
+    for sb in &b.scenarios {
+        if !a.scenarios.iter().any(|s| s.name == sb.name) {
+            out.push_str(&format!("{:<18} only in B\n", sb.name));
+        }
+    }
+    Ok(out)
+}
+
+/// `benchjson --compare`: load two report files and render their deltas.
+pub fn compare_files(a: &Path, b: &Path) -> Result<String> {
+    let ra = read_json(a)?;
+    let rb = read_json(b)?;
+    Ok(format!(
+        "benchjson compare: A={} B={}\n{}",
+        a.display(),
+        b.display(),
+        compare(&ra, &rb)?
+    ))
+}
+
 /// The full `benchjson` subcommand: run the matrix, write `out`, and (when
 /// a baseline is given) gate against it. Returns a printable summary.
 pub fn run_gate(seed: u64, scale: f64, out: &Path, baseline: Option<&Path>) -> Result<String> {
@@ -349,6 +418,41 @@ mod tests {
         let back = read_json(&path).unwrap();
         assert_eq!(back, report);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compare_reports_speedup_and_rss_delta() {
+        let mk = |wall: f64, rss: u64| BenchReport {
+            schema: BENCH_SCHEMA_VERSION,
+            seed: 1,
+            scale: 0.05,
+            scenarios: vec![BenchScenario {
+                name: "fleet_contention".into(),
+                sessions: 100,
+                wall_s: wall,
+                sessions_per_sec: 100.0 / wall,
+                peak_rss_kb: rss,
+            }],
+        };
+        let text = compare(&mk(2.0, 10_000), &mk(0.4, 9_000)).unwrap();
+        assert!(text.contains("fleet_contention"), "{text}");
+        assert!(text.contains("5.00x"), "{text}");
+        assert!(text.contains("-1000"), "{text}");
+        // Asymmetric scenario sets are reported, not an error.
+        let empty = BenchReport {
+            scenarios: vec![],
+            ..mk(1.0, 0)
+        };
+        let text = compare(&mk(1.0, 0), &empty).unwrap();
+        assert!(text.contains("missing from B"), "{text}");
+        let text = compare(&empty, &mk(1.0, 0)).unwrap();
+        assert!(text.contains("only in B"), "{text}");
+        // Schema drift is an error.
+        let drifted = BenchReport {
+            schema: BENCH_SCHEMA_VERSION + 1,
+            ..mk(1.0, 0)
+        };
+        assert!(compare(&mk(1.0, 0), &drifted).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //!     [--seed N] [--scale F] [--out DIR] [--days D]
 //! experiments benchjson [--seed N] [--scale F] \
 //!     [--bench-out FILE] [--baseline FILE]
+//! experiments benchjson --compare A.json B.json
 //! ```
 //!
 //! Prints each experiment's series and writes CSVs under `--out`
@@ -15,6 +16,8 @@
 //! writes a `BENCH_CI.json` (default `--bench-out`), and — when
 //! `--baseline` is given — fails unless every scenario runs within the
 //! gate's wall-clock tolerance of the baseline (see bench/README.md).
+//! `benchjson --compare` skips the matrix and just prints per-scenario
+//! sessions/sec and peak-RSS deltas between two existing report files.
 
 use std::env;
 use std::path::Path;
@@ -29,6 +32,7 @@ fn main() -> ExitCode {
             "usage: experiments <figNN|fleet|flashcrowd|population|all> [--seed N] [--scale F] [--out DIR] [--days D]"
         );
         eprintln!("       experiments benchjson [--seed N] [--scale F] [--bench-out FILE] [--baseline FILE]");
+        eprintln!("       experiments benchjson --compare A.json B.json");
         eprintln!(
             "experiments: {}, fleet, flashcrowd, population",
             ALL_EXPERIMENTS.join(", ")
@@ -43,9 +47,14 @@ fn main() -> ExitCode {
     let mut days = 2usize;
     let mut bench_out = String::from("BENCH_CI.json");
     let mut baseline: Option<String> = None;
+    let mut compare: Option<(String, String)> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--compare" if i + 2 < args.len() => {
+                compare = Some((args[i + 1].clone(), args[i + 2].clone()));
+                i += 3;
+            }
             "--seed" if i + 1 < args.len() => {
                 seed = args[i + 1].parse().unwrap_or(42);
                 i += 2;
@@ -78,6 +87,18 @@ fn main() -> ExitCode {
     }
 
     if target == "benchjson" {
+        if let Some((a, b)) = compare {
+            return match benchjson::compare_files(Path::new(&a), Path::new(&b)) {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("benchjson compare failed: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         eprintln!(">>> running benchjson (seed {seed}, scale {scale})");
         return match benchjson::run_gate(
             seed,

@@ -19,9 +19,20 @@
 //! access cap, each link's capacity comes from the link-class registry,
 //! and a departing agent simply stops issuing requests — the bottleneck
 //! re-shares its capacity over the survivors on the next event.
-
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+//!
+//! # Fast-path layout
+//!
+//! The kernel keeps its hot lookup state in struct-of-arrays owned by
+//! [`ContentionScratch`] and reused across links and epochs: a flat
+//! `(link, user index)` pair buffer replaces the per-epoch
+//! `BTreeMap<u64, Vec<&EpochUser>>` grouping (one sort, contiguous runs
+//! per link), ascending `uids` / `caps` vectors replace the per-link
+//! id→agent `BTreeMap` (binary search on a dense sorted array), and the
+//! pending-arrival queue is a [`TimerWheel`] (the `reference-heap`
+//! feature swaps in [`BinaryHeapQueue`] — CI runs the suite both ways to
+//! enforce pop-order equivalence). Agent RNG streams are block-buffered
+//! ([`BlockRng`]) StdRng draws: same per-(user, epoch) stream, drawn in
+//! batches of 64 words.
 
 use lingxi_abr::{Abr, AbrContext};
 use lingxi_abtest::DayAccum;
@@ -30,10 +41,14 @@ use lingxi_core::{
     SessionBuffers, ShardedStateCache,
 };
 use lingxi_media::{BitrateLadder, Catalog, Video};
-use lingxi_net::{Download, FlowEnd, SharedBottleneck};
+#[cfg(feature = "reference-heap")]
+use lingxi_net::BinaryHeapQueue;
+#[cfg(not(feature = "reference-heap"))]
+use lingxi_net::TimerWheel;
+use lingxi_net::{Download, EventQueue, FlowEnd, SharedBottleneck};
 use lingxi_player::{ExitDecision, PlayerConfig, SessionStream};
 use lingxi_user::{ExitModel, QosExitModel, SegmentView, ToleranceDrift, UserRecord};
-use rand::rngs::StdRng;
+use rand::rngs::{BlockRng, StdRng};
 use rand::{Rng, SeedableRng};
 
 use crate::config::{ContentionConfig, FleetScenario};
@@ -41,30 +56,37 @@ use crate::engine::{EpochUser, FleetEngine, ShardEpochOutput, UserEpochRow};
 use crate::report::EpochSketches;
 use crate::{sub, FleetError, Result};
 
-/// A pending download request: user `uid` wants `size_kbits` at absolute
-/// time `at`. Ordered by (time, user id) for the kernel's min-heap.
-struct Arrival {
-    at: f64,
-    uid: u64,
+/// Payload of a pending download request; the `(time, user id)` key lives
+/// in the event queue itself.
+struct ArrivalPayload {
     size_kbits: f64,
-    cap_kbps: f64,
 }
 
-impl PartialEq for Arrival {
-    fn eq(&self, other: &Self) -> bool {
-        self.at.total_cmp(&other.at).is_eq() && self.uid == other.uid
-    }
-}
-impl Eq for Arrival {}
-impl PartialOrd for Arrival {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Arrival {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at.total_cmp(&other.at).then(self.uid.cmp(&other.uid))
-    }
+/// The kernel's arrival queue: timer wheel by default, the reference
+/// binary heap under the `reference-heap` feature (CI runs both).
+#[cfg(not(feature = "reference-heap"))]
+type ArrivalQueue = TimerWheel<ArrivalPayload>;
+#[cfg(feature = "reference-heap")]
+type ArrivalQueue = BinaryHeapQueue<ArrivalPayload>;
+
+/// Per-agent RNG: the per-(user, epoch) StdRng stream, block-buffered.
+type AgentRng = BlockRng<StdRng>;
+
+/// Reusable hot-path buffers for one shard's contended epochs. Owned by
+/// the engine (one per shard) and carried across epochs, so the steady
+/// state allocates nothing per epoch or per link.
+#[derive(Default)]
+pub(crate) struct ContentionScratch {
+    /// `(link id, index into the shard's user slice)`, sorted by
+    /// `(link, user id)` at epoch start — the flat replacement for the
+    /// old per-epoch `BTreeMap` link grouping.
+    pairs: Vec<(u64, u32)>,
+    /// Pending arrivals, cleared between links.
+    queue: ArrivalQueue,
+    /// Ascending user ids of the link's live agents.
+    uids: Vec<u64>,
+    /// Per-agent flow caps, parallel to `uids` (struct-of-arrays).
+    caps: Vec<f64>,
 }
 
 /// LingXi state carried by a managed agent across its epoch sessions.
@@ -98,8 +120,7 @@ struct LinkAgent<'a> {
     class: Option<u16>,
     ladder: &'a BitrateLadder,
     player: PlayerConfig,
-    cap_kbps: f64,
-    rng: StdRng,
+    rng: AgentRng,
     abr: Box<dyn Abr>,
     exit_model: QosExitModel,
     managed: Option<ManagedParts>,
@@ -324,22 +345,40 @@ pub(crate) fn run_shard_epoch_contended(
     scenario: &FleetScenario,
     catalog: &Catalog,
     cache: &ShardedStateCache,
+    scratch: &mut ContentionScratch,
 ) -> Result<ShardEpochOutput> {
     let contention = engine
         .config()
         .contention
         .as_ref()
         .expect("contended epoch requires a contention config");
-    let mut links: BTreeMap<u64, Vec<&EpochUser>> = BTreeMap::new();
-    for user in users {
-        links
-            .entry(engine.link_of(user.record.id))
-            .or_default()
-            .push(user);
-    }
+    let ContentionScratch {
+        pairs,
+        queue,
+        uids,
+        caps,
+    } = scratch;
+    // Flat sorted link index: one reusable buffer and one sort give the
+    // same (ascending link, ascending user id) iteration the old
+    // `BTreeMap<u64, Vec<&EpochUser>>` produced, without rebuilding a
+    // tree per epoch.
+    pairs.clear();
+    pairs.extend(
+        users
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (engine.link_of(u.record.id), i as u32)),
+    );
+    pairs.sort_unstable_by_key(|&(link, i)| (link, users[i as usize].record.id));
     let mut rows = Vec::with_capacity(users.len());
     let mut sketches = EpochSketches::new();
-    for (&link_id, members) in &links {
+    let mut start = 0usize;
+    while start < pairs.len() {
+        let link_id = pairs[start].0;
+        let mut end = start + 1;
+        while end < pairs.len() && pairs[end].0 == link_id {
+            end += 1;
+        }
         // Heterogeneous topologies: the link-class registry overrides the
         // uniform contention capacity in population-dynamics mode.
         let capacity_kbps = match &engine.config().dynamics {
@@ -350,34 +389,47 @@ pub(crate) fn run_shard_epoch_contended(
             }
             None => contention.capacity_kbps,
         };
-        rows.extend(run_link_epoch(
+        run_link_epoch(
             engine,
             contention,
             capacity_kbps,
-            members,
+            users,
+            &pairs[start..end],
             epoch,
             scenario,
             catalog,
             cache,
             &mut sketches,
-        )?);
+            &mut rows,
+            queue,
+            uids,
+            caps,
+        )?;
+        start = end;
     }
     Ok(ShardEpochOutput { rows, sketches })
 }
 
 /// Event-driven co-simulation of one link's users for one epoch.
+/// `members` is the `(link, user index)` run for this link, ascending by
+/// user id; `queue`/`uids`/`caps` are the shard's reusable buffers.
 #[allow(clippy::too_many_arguments)]
 fn run_link_epoch(
     engine: &FleetEngine,
     contention: &ContentionConfig,
     capacity_kbps: f64,
-    members: &[&EpochUser],
+    users: &[EpochUser],
+    members: &[(u64, u32)],
     epoch: usize,
     scenario: &FleetScenario,
     catalog: &Catalog,
     cache: &ShardedStateCache,
     sketches: &mut EpochSketches,
-) -> Result<Vec<UserEpochRow>> {
+    rows: &mut Vec<UserEpochRow>,
+    queue: &mut ArrivalQueue,
+    uids: &mut Vec<u64>,
+    caps: &mut Vec<f64>,
+) -> Result<()> {
     let link = SharedBottleneck::new(capacity_kbps).map_err(sub)?;
     let drift = ToleranceDrift::default();
     let ladder = catalog.ladder();
@@ -388,12 +440,13 @@ fn run_link_epoch(
     // the workload schedule's times (dynamics mode) or across the legacy
     // uniform ramp window, each drawn from the user's own stream.
     let mut agents: Vec<Option<LinkAgent<'_>>> = Vec::with_capacity(members.len());
-    let mut index_of: BTreeMap<u64, usize> = BTreeMap::new();
-    let mut pending: BinaryHeap<Reverse<Arrival>> = BinaryHeap::new();
-    let mut rows = Vec::with_capacity(members.len());
-    for member in members {
+    queue.clear();
+    uids.clear();
+    caps.clear();
+    for &(_, user_idx) in members {
+        let member = &users[user_idx as usize];
         let user = &member.record;
-        let mut rng = StdRng::seed_from_u64(engine.stream_seed(user.id, epoch));
+        let mut rng = AgentRng::seed_from_u64(engine.stream_seed(user.id, epoch));
         let arrival = match member.arrival {
             Some(at) => at,
             None => rng.gen::<f64>() * contention.arrival_window,
@@ -431,7 +484,6 @@ fn run_link_epoch(
             class: member.class,
             ladder,
             player,
-            cap_kbps,
             rng,
             abr: policy.build(),
             exit_model,
@@ -445,14 +497,9 @@ fn run_link_epoch(
         };
         match agent.request(catalog, sketches)? {
             Some((at, size_kbits)) => {
-                let cap_kbps = agent.cap_kbps;
-                index_of.insert(user.id, agents.len());
-                pending.push(Reverse(Arrival {
-                    at,
-                    uid: user.id,
-                    size_kbits,
-                    cap_kbps,
-                }));
+                uids.push(user.id);
+                caps.push(cap_kbps);
+                queue.push(at, user.id, ArrivalPayload { size_kbits });
                 agents.push(Some(agent));
             }
             None => rows.push(agent.finish(cache)?),
@@ -460,9 +507,14 @@ fn run_link_epoch(
     }
 
     // The kernel: completions first on time ties, then arrivals in
-    // (time, user id) order.
+    // (time, user id) order. Agent lookup is a binary search over the
+    // dense ascending `uids` array.
+    let index_of = |uids: &[u64], uid: u64| {
+        uids.binary_search(&uid)
+            .map_err(|_| FleetError::Subsystem(format!("unknown flow {uid}")))
+    };
     loop {
-        let arrival_at = pending.peek().map(|Reverse(a)| a.at);
+        let arrival_at = queue.peek().map(|(at, _)| at);
         let completion_at = link.next_event_time();
         let take_completion = match (arrival_at, completion_at) {
             (None, None) => break,
@@ -472,22 +524,14 @@ fn run_link_epoch(
         };
         if take_completion {
             let end = link.pop_completion().expect("completion event exists");
-            let idx = *index_of
-                .get(&end.id)
-                .ok_or_else(|| FleetError::Subsystem(format!("unknown flow {}", end.id)))?;
+            let idx = index_of(uids, end.id)?;
             let agent = agents[idx]
                 .as_mut()
                 .ok_or_else(|| FleetError::Subsystem("completion for finished agent".into()))?;
             agent.complete(end)?;
             match agent.request(catalog, sketches)? {
                 Some((at, size_kbits)) => {
-                    let cap_kbps = agent.cap_kbps;
-                    pending.push(Reverse(Arrival {
-                        at,
-                        uid: end.id,
-                        size_kbits,
-                        cap_kbps,
-                    }));
+                    queue.push(at, end.id, ArrivalPayload { size_kbits });
                 }
                 None => {
                     let agent = agents[idx].take().expect("agent checked above");
@@ -495,19 +539,15 @@ fn run_link_epoch(
                 }
             }
         } else {
-            let Reverse(arrival) = pending.pop().expect("peeked arrival exists");
-            link.begin_flow(
-                arrival.uid,
-                arrival.at,
-                arrival.size_kbits,
-                arrival.cap_kbps,
-            )
-            .map_err(sub)?;
+            let (at, uid, payload) = queue.pop().expect("peeked arrival exists");
+            let idx = index_of(uids, uid)?;
+            link.begin_flow(uid, at, payload.size_kbits, caps[idx])
+                .map_err(sub)?;
         }
     }
 
     debug_assert!(agents.iter().all(Option::is_none), "all agents drained");
-    Ok(rows)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -219,6 +219,13 @@ impl FleetEngine {
             .map(|d| d.registry.users.len())
             .unwrap_or(0);
 
+        // One contention scratch per shard, reused across every epoch so
+        // the contended hot path allocates nothing in steady state.
+        let scratches: Vec<std::sync::Mutex<crate::contention::ContentionScratch>> =
+            (0..self.config.shards)
+                .map(|_| std::sync::Mutex::new(crate::contention::ContentionScratch::default()))
+                .collect();
+
         let start = Instant::now();
         let mut epochs = Vec::with_capacity(self.config.epochs);
         let mut sessions = 0usize;
@@ -242,30 +249,52 @@ impl FleetEngine {
                 .expect("static or dynamic cohort exists");
 
             // ---- parallel phase: one worker per shard ----
+            //
+            // Shards are fully independent within an epoch and the barrier
+            // below folds their outputs in shard order, so running them on
+            // worker threads or one after another on the current thread
+            // produces the same results. On a single-core host the threads
+            // would only time-slice each other; run the shards inline
+            // instead and skip the spawn/preemption overhead.
+            let single_core = std::thread::available_parallelism().is_ok_and(|n| n.get() == 1);
             let shard_results: Vec<std::result::Result<Result<ShardEpochOutput>, String>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = shard_users
+                if single_core || shard_users.len() == 1 {
+                    shard_users
                         .iter()
-                        .map(|users| {
-                            let catalog = &catalog;
-                            let cache = &cache;
-                            scope.spawn(move || {
-                                self.run_shard_epoch(users, epoch, scenario, catalog, cache)
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| {
-                            h.join().map_err(|p| {
-                                p.downcast_ref::<String>()
-                                    .cloned()
-                                    .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
-                                    .unwrap_or_else(|| "unknown panic".into())
-                            })
+                        .zip(&scratches)
+                        .map(|(users, scratch)| {
+                            Ok(self
+                                .run_shard_epoch(users, epoch, scenario, &catalog, &cache, scratch))
                         })
                         .collect()
-                });
+                } else {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = shard_users
+                            .iter()
+                            .zip(&scratches)
+                            .map(|(users, scratch)| {
+                                let catalog = &catalog;
+                                let cache = &cache;
+                                scope.spawn(move || {
+                                    self.run_shard_epoch(
+                                        users, epoch, scenario, catalog, cache, scratch,
+                                    )
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| {
+                                h.join().map_err(|p| {
+                                    p.downcast_ref::<String>()
+                                        .cloned()
+                                        .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                                        .unwrap_or_else(|| "unknown panic".into())
+                                })
+                            })
+                            .collect()
+                    })
+                };
 
             // ---- epoch barrier: fold per-user accumulators in user-id
             // order (sketch merges are exactly order-independent), then
@@ -358,10 +387,18 @@ impl FleetEngine {
         scenario: &FleetScenario,
         catalog: &Catalog,
         cache: &ShardedStateCache,
+        scratch: &std::sync::Mutex<crate::contention::ContentionScratch>,
     ) -> Result<ShardEpochOutput> {
         if self.config.contention.is_some() {
+            let mut scratch = scratch.lock().expect("contention scratch lock poisoned");
             return crate::contention::run_shard_epoch_contended(
-                self, users, epoch, scenario, catalog, cache,
+                self,
+                users,
+                epoch,
+                scenario,
+                catalog,
+                cache,
+                &mut scratch,
             );
         }
         let drift = ToleranceDrift::default();

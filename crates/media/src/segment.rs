@@ -72,8 +72,12 @@ impl VbrModel {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SegmentSizes {
     segment_duration: f64,
-    /// `sizes[k][level]`, kilobits.
-    sizes: Vec<Vec<f64>>,
+    /// Levels per segment (the flat table's row stride).
+    levels: usize,
+    /// `sizes[k * levels + level]`, kilobits — row-major flat layout, so
+    /// the ABR select loop's per-level lookups walk one contiguous row
+    /// instead of chasing a pointer per segment.
+    sizes: Vec<f64>,
 }
 
 impl SegmentSizes {
@@ -86,38 +90,13 @@ impl SegmentSizes {
         vbr: &VbrModel,
         rng: &mut R,
     ) -> Result<Self> {
-        if n_segments == 0 {
-            return Err(MediaError::InvalidConfig(
-                "need at least one segment".into(),
-            ));
-        }
-        if !(segment_duration > 0.0) || !segment_duration.is_finite() {
-            return Err(MediaError::InvalidConfig(
-                "segment duration must be positive".into(),
-            ));
-        }
-        vbr.validate()?;
-        let mut sizes = Vec::with_capacity(n_segments);
-        for _ in 0..n_segments {
-            let shared = vbr.factor(rng);
-            let row: Vec<f64> = ladder
-                .bitrates()
-                .iter()
-                .map(|&b| {
-                    let f = if vbr.shared_complexity {
-                        shared
-                    } else {
-                        vbr.factor(rng)
-                    };
-                    b * segment_duration * f
-                })
-                .collect();
-            sizes.push(row);
-        }
-        Ok(Self {
+        let mut sizes = Self {
             segment_duration,
-            sizes,
-        })
+            levels: 0,
+            sizes: Vec::new(),
+        };
+        sizes.refill(ladder, n_segments, segment_duration, vbr, rng)?;
+        Ok(sizes)
     }
 
     /// Regenerate this size table in place for a (possibly different)
@@ -146,10 +125,10 @@ impl SegmentSizes {
         }
         vbr.validate()?;
         self.segment_duration = segment_duration;
-        self.sizes.resize_with(n_segments, Vec::new);
         let levels = ladder.bitrates().len();
-        for row in &mut self.sizes {
-            row.resize(levels, 0.0);
+        self.levels = levels;
+        self.sizes.resize(n_segments * levels, 0.0);
+        for row in self.sizes.chunks_exact_mut(levels) {
             let shared = vbr.factor(rng);
             for (slot, &b) in row.iter_mut().zip(ladder.bitrates()) {
                 let f = if vbr.shared_complexity {
@@ -165,7 +144,7 @@ impl SegmentSizes {
 
     /// Number of segments.
     pub fn n_segments(&self) -> usize {
-        self.sizes.len()
+        self.sizes.len().checked_div(self.levels).unwrap_or(0)
     }
 
     /// Segment duration in seconds (the `L` of Eq. 3).
@@ -175,9 +154,11 @@ impl SegmentSizes {
 
     /// Size of segment `k` at `level`, kilobits.
     pub fn size_kbits(&self, k: usize, level: usize) -> Result<f64> {
-        self.sizes
-            .get(k)
-            .and_then(|row| row.get(level))
+        if level >= self.levels {
+            return Err(MediaError::OutOfRange(format!("segment {k} level {level}")));
+        }
+        k.checked_mul(self.levels)
+            .and_then(|base| self.sizes.get(base + level))
             .copied()
             .ok_or_else(|| MediaError::OutOfRange(format!("segment {k} level {level}")))
     }

@@ -20,6 +20,7 @@
 //! ```
 
 pub mod estimator;
+pub mod events;
 pub mod gen;
 pub mod mixture;
 pub mod process;
@@ -27,6 +28,7 @@ pub mod rtt;
 pub mod trace;
 
 pub use estimator::{BandwidthEstimator, EwmaEstimator, HarmonicMeanEstimator, WindowEstimator};
+pub use events::{BinaryHeapQueue, EventQueue, TimerWheel};
 pub use gen::{LogNormalFadeGen, MarkovGen, RandomWalkGen, StationaryGaussGen, TraceGenerator};
 pub use mixture::{NetClass, ProductionMixture, UserNetProfile};
 pub use process::{BandwidthProcess, Download, FlowEnd, ModelProcess, SharedBottleneck};

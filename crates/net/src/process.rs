@@ -170,9 +170,68 @@ struct Flow {
 struct LinkState {
     /// Virtual time of the last processed event.
     now: f64,
+    /// Active flows, kept sorted ascending by `(cap_kbps, id)` — the
+    /// water-fill visitation order. Sorted insertion on arrival makes
+    /// [`LinkState::refresh_rates`] a single allocation-free walk instead
+    /// of a per-event sort.
     flows: Vec<Flow>,
     /// Completions not yet consumed, ordered by (time, id).
     done: VecDeque<FlowEnd>,
+    /// Cached max-min shares, parallel to `flows`. The water-fill depends
+    /// only on the flow *set* (caps and ids), never on residuals, so the
+    /// shares stay valid across fluid drains and are recomputed only when
+    /// a flow arrives or departs.
+    rates: Vec<f64>,
+    rates_fresh: bool,
+    /// Cached earliest projected completion under the current shares
+    /// (`INFINITY` when idle). Goes stale whenever `now`, a residual, or
+    /// the flow set changes — the projection mixes all three.
+    earliest: f64,
+    earliest_fresh: bool,
+    /// Scratch for the flows completing at the current event.
+    finished: Vec<Flow>,
+}
+
+impl LinkState {
+    /// Max-min water-filling into the `rates` cache: every flow gets an
+    /// equal share of what is left, except flows whose access cap is below
+    /// their share, which get their cap (freeing the difference for the
+    /// others). `flows` is already in `(cap_kbps, id)` order, so the walk
+    /// visits flows in exactly the order the former per-event sort
+    /// produced — the share arithmetic is bit-identical.
+    fn refresh_rates(&mut self, capacity: f64) {
+        if self.rates_fresh {
+            return;
+        }
+        let n = self.flows.len();
+        self.rates.clear();
+        self.rates.reserve(n);
+        let mut remaining_cap = capacity;
+        let mut remaining_flows = n;
+        for flow in &self.flows {
+            let share = remaining_cap / remaining_flows as f64;
+            let rate = flow.cap_kbps.min(share);
+            self.rates.push(rate);
+            remaining_cap -= rate;
+            remaining_flows -= 1;
+        }
+        self.rates_fresh = true;
+    }
+
+    /// Earliest projected completion under the current shares, into the
+    /// `earliest` cache.
+    fn refresh_earliest(&mut self, capacity: f64) {
+        if self.earliest_fresh {
+            return;
+        }
+        self.refresh_rates(capacity);
+        let mut t = f64::INFINITY;
+        for (flow, &rate) in self.flows.iter().zip(&self.rates) {
+            t = t.min(self.now + flow.remaining_kbits / rate);
+        }
+        self.earliest = t;
+        self.earliest_fresh = true;
+    }
 }
 
 /// Residual kbits below which a flow counts as complete (absorbs the
@@ -247,93 +306,63 @@ impl SharedBottleneck {
             .sum()
     }
 
-    /// Max-min water-filling: every flow gets an equal share of what is
-    /// left, except flows whose access cap is below their share, which get
-    /// their cap (freeing the difference for the others).
-    fn rates(capacity: f64, flows: &[Flow]) -> Vec<f64> {
-        let mut rates = vec![0.0; flows.len()];
-        let mut order: Vec<usize> = (0..flows.len()).collect();
-        order.sort_by(|&a, &b| {
-            flows[a]
-                .cap_kbps
-                .total_cmp(&flows[b].cap_kbps)
-                .then(flows[a].id.cmp(&flows[b].id))
-        });
-        let mut remaining_cap = capacity;
-        let mut remaining_flows = flows.len();
-        for &i in &order {
-            let share = remaining_cap / remaining_flows as f64;
-            let rate = flows[i].cap_kbps.min(share);
-            rates[i] = rate;
-            remaining_cap -= rate;
-            remaining_flows -= 1;
-        }
-        rates
-    }
-
-    /// Earliest completion among active flows under the current shares.
-    fn earliest_completion(capacity: f64, state: &LinkState) -> Option<f64> {
-        if state.flows.is_empty() {
-            return None;
-        }
-        let rates = Self::rates(capacity, &state.flows);
-        let mut t = f64::INFINITY;
-        for (flow, &rate) in state.flows.iter().zip(&rates) {
-            t = t.min(state.now + flow.remaining_kbits / rate);
-        }
-        Some(t)
-    }
-
     /// Advance the fluid simulation to absolute time `to`, queueing every
     /// completion on the way (ties resolved in ascending flow-id order).
     fn advance(capacity: f64, state: &mut LinkState, to: f64) {
         while !state.flows.is_empty() && state.now < to {
-            let rates = Self::rates(capacity, &state.flows);
-            let mut t_end = f64::INFINITY;
-            for (flow, &rate) in state.flows.iter().zip(&rates) {
-                t_end = t_end.min(state.now + flow.remaining_kbits / rate);
-            }
+            state.refresh_earliest(capacity);
+            let t_end = state.earliest;
             let t_stop = t_end.min(to);
             let dt = t_stop - state.now;
-            // Which flows complete at this event. Decided from the
-            // *pre-advance* projection, not the drained residual: at large
-            // virtual times `rate * dt` can round such that the minimal
-            // flow keeps a residual above any absolute epsilon while its
-            // next projected completion rounds back to `now` — an infinite
-            // loop. Completing every flow whose projection attained `t_end`
-            // removes at least one flow per event, guaranteeing progress.
-            let completes = |flow: &Flow, rate: f64| {
-                state.now + flow.remaining_kbits / rate <= t_end
-                    || flow.remaining_kbits - rate * dt <= FLOW_EPS_KBITS
-            };
-            let mut finished: Vec<Flow> = Vec::new();
-            if t_end <= to {
-                finished = state
-                    .flows
-                    .iter()
-                    .zip(&rates)
-                    .filter(|(f, &r)| completes(f, r))
-                    .map(|(f, _)| *f)
-                    .collect();
+            let now = state.now;
+            let completing = t_end <= to;
+            let LinkState {
+                flows,
+                rates,
+                finished,
+                done,
+                ..
+            } = &mut *state;
+            finished.clear();
+            if completing {
+                // Which flows complete at this event. Decided from the
+                // *pre-advance* projection, not the drained residual: at
+                // large virtual times `rate * dt` can round such that the
+                // minimal flow keeps a residual above any absolute epsilon
+                // while its next projected completion rounds back to `now`
+                // — an infinite loop. Completing every flow whose
+                // projection attained `t_end` removes at least one flow
+                // per event, guaranteeing progress.
+                for (flow, &rate) in flows.iter().zip(rates.iter()) {
+                    if now + flow.remaining_kbits / rate <= t_end
+                        || flow.remaining_kbits - rate * dt <= FLOW_EPS_KBITS
+                    {
+                        finished.push(*flow);
+                    }
+                }
                 finished.sort_by_key(|f| f.id);
             }
-            for (flow, &rate) in state.flows.iter_mut().zip(&rates) {
+            for (flow, &rate) in flows.iter_mut().zip(rates.iter()) {
                 flow.remaining_kbits -= rate * dt;
             }
-            state.now = t_stop;
-            if t_end <= to {
-                state
-                    .flows
-                    .retain(|f| !finished.iter().any(|g| g.id == f.id));
-                for f in finished {
-                    let duration = state.now - f.started;
-                    state.done.push_back(FlowEnd {
+            if completing {
+                flows.retain(|f| !finished.iter().any(|g| g.id == f.id));
+                for f in finished.drain(..) {
+                    let duration = t_stop - f.started;
+                    done.push_back(FlowEnd {
                         id: f.id,
-                        at: state.now,
+                        at: t_stop,
                         duration,
                         kbps: f.size_kbits / duration,
                     });
                 }
+            }
+            state.now = t_stop;
+            // The drain moved `now` and every residual; a completion also
+            // changed the flow set.
+            state.earliest_fresh = false;
+            if completing {
+                state.rates_fresh = false;
             }
         }
         state.now = state.now.max(to);
@@ -360,13 +389,23 @@ impl SharedBottleneck {
         }
         Self::advance(self.capacity_kbps, &mut state, at);
         let started = state.now;
-        state.flows.push(Flow {
-            id,
-            started,
-            size_kbits,
-            remaining_kbits: size_kbits,
-            cap_kbps,
-        });
+        // Sorted insert: keep `flows` in the water-fill's `(cap, id)`
+        // visitation order (keys are unique — ids are).
+        let pos = state
+            .flows
+            .partition_point(|f| f.cap_kbps.total_cmp(&cap_kbps).then(f.id.cmp(&id)).is_lt());
+        state.flows.insert(
+            pos,
+            Flow {
+                id,
+                started,
+                size_kbits,
+                remaining_kbits: size_kbits,
+                cap_kbps,
+            },
+        );
+        state.rates_fresh = false;
+        state.earliest_fresh = false;
         Ok(())
     }
 
@@ -374,18 +413,26 @@ impl SharedBottleneck {
     /// completion, else the earliest projected completion of an active
     /// flow. `None` when the link is idle.
     pub fn next_event_time(&self) -> Option<f64> {
-        let state = self.state.borrow();
+        let mut state = self.state.borrow_mut();
         if let Some(end) = state.done.front() {
             return Some(end.at);
         }
-        Self::earliest_completion(self.capacity_kbps, &state)
+        if state.flows.is_empty() {
+            return None;
+        }
+        state.refresh_earliest(self.capacity_kbps);
+        Some(state.earliest)
     }
 
     /// Consume the next completion, advancing the link to it if necessary.
     pub fn pop_completion(&self) -> Option<FlowEnd> {
         let mut state = self.state.borrow_mut();
         if state.done.is_empty() {
-            let t = Self::earliest_completion(self.capacity_kbps, &state)?;
+            if state.flows.is_empty() {
+                return None;
+            }
+            state.refresh_earliest(self.capacity_kbps);
+            let t = state.earliest;
             Self::advance(self.capacity_kbps, &mut state, t);
         }
         state.done.pop_front()
@@ -406,8 +453,12 @@ impl SharedBottleneck {
             if let Some(pos) = state.done.iter().position(|e| e.id == id) {
                 return state.done.remove(pos).expect("position just found");
             }
-            let t = Self::earliest_completion(self.capacity_kbps, &state)
-                .expect("flow is active, so a completion exists");
+            assert!(
+                !state.flows.is_empty(),
+                "flow is active, so a completion exists"
+            );
+            state.refresh_earliest(self.capacity_kbps);
+            let t = state.earliest;
             Self::advance(self.capacity_kbps, &mut state, t);
         }
     }

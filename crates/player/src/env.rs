@@ -41,7 +41,7 @@ pub struct SegmentOutcome {
 /// Cloning an env forks the simulation — this is exactly how the
 /// Monte-Carlo evaluator of Algorithm 2 seeds each rollout with the live
 /// player state (`E_sim ← E_player`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct PlayerEnv {
     config: PlayerConfig,
     /// Current playback buffer (seconds).
@@ -69,6 +69,45 @@ pub struct PlayerEnv {
     /// Startup (initial buffering) delay in seconds — tracked separately
     /// from rebuffer stalls, as production players do.
     startup_delay: f64,
+}
+
+impl Clone for PlayerEnv {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            buffer: self.buffer,
+            wall_time: self.wall_time,
+            playback_time: self.playback_time,
+            segment_index: self.segment_index,
+            last_level: self.last_level,
+            throughput_history: self.throughput_history.clone(),
+            level_history: self.level_history.clone(),
+            stalls: self.stalls.clone(),
+            total_stall: self.total_stall,
+            bmax: self.bmax,
+            startup_delay: self.startup_delay,
+        }
+    }
+
+    /// Buffer-reusing fork: the Monte-Carlo evaluator re-seeds one scratch
+    /// env from the live player once per rollout, so the histories' and
+    /// stall log's allocations must survive the copy instead of being
+    /// dropped and re-made thousands of times per optimization pass.
+    fn clone_from(&mut self, source: &Self) {
+        self.config = source.config;
+        self.buffer = source.buffer;
+        self.wall_time = source.wall_time;
+        self.playback_time = source.playback_time;
+        self.segment_index = source.segment_index;
+        self.last_level = source.last_level;
+        self.throughput_history
+            .clone_from(&source.throughput_history);
+        self.level_history.clone_from(&source.level_history);
+        self.stalls.clone_from(&source.stalls);
+        self.total_stall = source.total_stall;
+        self.bmax = source.bmax;
+        self.startup_delay = source.startup_delay;
+    }
 }
 
 impl PlayerEnv {
@@ -170,11 +209,21 @@ impl PlayerEnv {
         if self.throughput_history.is_empty() {
             return None;
         }
-        NormalDist::fit_iter(self.throughput_history.iter().copied()).ok()
+        // `fit_slices(front, back)` visits the deque's elements in the same
+        // order as `fit_iter` over its iterator — bit-identical, minus the
+        // counting pass and the wrap-checking cursor.
+        let (front, back) = self.throughput_history.as_slices();
+        NormalDist::fit_slices(front, back).ok()
     }
 
     /// Refresh `B_max` from the current bandwidth model (`B_max = f(N)`).
     pub fn update_bmax(&mut self) {
+        // A fixed cap ignores the model, and `new` already pinned `bmax`
+        // to it — fitting the history just to discard the result would be
+        // pure per-step overhead.
+        if matches!(self.config.bmax, crate::BmaxPolicy::Fixed(_)) {
+            return;
+        }
         if let Some(model) = self.bandwidth_model() {
             self.bmax = self.config.bmax.cap(&model);
         }

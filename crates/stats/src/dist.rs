@@ -138,6 +138,38 @@ impl NormalDist {
         Self::new(mu, var.sqrt())
     }
 
+    /// [`NormalDist::fit`] over a ring buffer's two contiguous halves,
+    /// visiting `front` then `back` — the same element order as
+    /// [`NormalDist::fit_iter`] over the deque's iterator, so every
+    /// floating-point operation happens in the same sequence and the fit is
+    /// bit-identical. This variant skips the counting pass (slice lengths
+    /// are known) and iterates slices instead of a wrap-checking deque
+    /// cursor, which is what the per-segment bandwidth-model refresh on the
+    /// player hot path wants.
+    pub fn fit_slices(front: &[f64], back: &[f64]) -> Result<Self> {
+        let n = front.len() + back.len();
+        if n == 0 {
+            return Err(StatsError::Empty);
+        }
+        let mut sum = 0.0;
+        for &x in front {
+            sum += x;
+        }
+        for &x in back {
+            sum += x;
+        }
+        let mu = sum / n as f64;
+        let mut sq = 0.0;
+        for &x in front {
+            sq += (x - mu) * (x - mu);
+        }
+        for &x in back {
+            sq += (x - mu) * (x - mu);
+        }
+        let var = sq / n as f64;
+        Self::new(mu, var.sqrt())
+    }
+
     /// Draw one sample using the Box-Muller transform.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         if self.sigma == 0.0 {
@@ -240,6 +272,31 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn fit_slices_matches_fit_iter_bit_for_bit() {
+        // Any front/back split of the same sequence must reproduce
+        // `fit_iter` exactly — this is the ring-buffer fast path's
+        // bit-identity contract.
+        let samples = [
+            3121.75,
+            980.0625,
+            4471.21875,
+            2250.5,
+            1823.109375,
+            5004.0,
+            777.3125,
+            3999.875,
+        ];
+        let whole = NormalDist::fit_iter(samples.iter().copied()).unwrap();
+        for split in 0..=samples.len() {
+            let (front, back) = samples.split_at(split);
+            let fast = NormalDist::fit_slices(front, back).unwrap();
+            assert_eq!(whole.mu.to_bits(), fast.mu.to_bits(), "split {split}");
+            assert_eq!(whole.sigma.to_bits(), fast.sigma.to_bits(), "split {split}");
+        }
+        assert!(NormalDist::fit_slices(&[], &[]).is_err());
+    }
 
     #[test]
     fn erf_known_values() {

@@ -186,6 +186,55 @@ pub mod strategy {
         (A: 0, B: 1, C: 2, D: 3, E: 4),
         (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
     );
+
+    /// Weighted choice among strategies producing the same value type —
+    /// the engine behind [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<V> {
+        options: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+        total_weight: u32,
+    }
+
+    impl<V> Union<V> {
+        /// Build from `(weight, strategy)` pairs; weights must not all
+        /// be zero.
+        pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+            let total_weight = options.iter().map(|(w, _)| *w).sum();
+            assert!(total_weight > 0, "prop_oneof: total weight must be > 0");
+            Self {
+                options,
+                total_weight,
+            }
+        }
+    }
+
+    impl<V> std::fmt::Debug for Union<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Union")
+                .field("options", &self.options.len())
+                .field("total_weight", &self.total_weight)
+                .finish()
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let mut pick = rng.gen_range(0..self.total_weight);
+            for (weight, strategy) in &self.options {
+                if pick < *weight {
+                    return strategy.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("pick is below the summed weight")
+        }
+    }
+
+    /// Box a strategy for [`Union`] (used by the `prop_oneof!` macro).
+    pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(strategy)
+    }
 }
 
 pub mod collection {
@@ -278,6 +327,29 @@ macro_rules! prop_assert_ne {
     }};
 }
 
+/// Weighted (or uniform) choice among strategies with one value type.
+///
+/// ```ignore
+/// let t = prop_oneof![
+///     4 => 0.0f64..2.0,      // weight 4
+///     1 => Just(1.25f64),    // weight 1
+/// ];
+/// let u = prop_oneof![0u64..10, 100u64..110]; // uniform
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::boxed($strategy))),+
+        ])
+    };
+}
+
 /// Define property tests.
 ///
 /// ```ignore
@@ -345,7 +417,7 @@ pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::TestCaseError;
     pub use crate::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 #[cfg(test)]
