@@ -26,6 +26,8 @@
 //! assert_eq!(Abr::params(&abr).beta, 0.5);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod abr;
 pub mod bba;
 pub mod bola;

@@ -23,6 +23,8 @@
 //! assert!(report.watch_time.did.effect > 5.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod experiment;
 pub mod metrics;
 

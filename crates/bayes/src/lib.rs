@@ -25,6 +25,8 @@
 //! opt.update(x, 0.12).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod acquisition;
 pub mod gp;
 pub mod kernel;

@@ -11,6 +11,8 @@
 //! assert!(fx.env.buffer() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lingxi_media::{BitrateLadder, SegmentSizes, VbrModel};
 use lingxi_player::{PlayerConfig, PlayerEnv};
 use rand::rngs::StdRng;

@@ -16,7 +16,7 @@
 //! in the same state as calling [`StateStore`] directly once a final
 //! `flush` lands (property-tested in `tests/cache_props.rs`).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
@@ -90,7 +90,11 @@ struct Entry {
 
 #[derive(Debug, Default)]
 struct CacheShard {
-    map: HashMap<u64, Entry>,
+    /// Resident entries, keyed by user id. A `BTreeMap` rather than a
+    /// hash map so iteration (the flush snapshot below) is in ascending
+    /// user-id order by construction — write-behind flush order must
+    /// never depend on a process-seeded hash (detlint rule D1).
+    map: BTreeMap<u64, Entry>,
     /// LRU index: `(last_used, user_id)` kept in lockstep with `map`, so
     /// the eviction victim is `O(log n)` instead of a full map scan.
     lru: std::collections::BTreeSet<(u64, u64)>,
@@ -264,7 +268,8 @@ impl ShardedStateCache {
         let mut batch: Vec<(usize, LongTermState)> = Vec::new();
         for (si, shard) in self.shards.iter().enumerate() {
             let shard = shard.lock();
-            let start = batch.len();
+            // BTreeMap::values is ascending user-id order, so the batch
+            // is already sorted per shard — no post-hoc sort needed.
             batch.extend(
                 shard
                     .map
@@ -272,7 +277,6 @@ impl ShardedStateCache {
                     .filter(|e| e.dirty)
                     .map(|e| (si, e.state.clone())),
             );
-            batch[start..].sort_unstable_by_key(|(_, s)| s.user_id);
         }
         let written = batch.len();
 
@@ -309,6 +313,7 @@ impl ShardedStateCache {
         // Phase 3: mark clean unless the entry moved on meanwhile.
         for (si, state) in &batch {
             let mut shard = self.shards[*si].lock();
+            // detlint::allow(unordered_float_merge, reason = "u64 write counter; addition is associative and order-free")
             shard.stats.writes += 1;
             if let Some(entry) = shard.map.get_mut(&state.user_id) {
                 if entry.dirty && entry.state == *state {

@@ -32,6 +32,7 @@
 //! assert!(!controller.triggered());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;

@@ -1,0 +1,401 @@
+//! A lightweight, comment/string-aware Rust lexer.
+//!
+//! The determinism rules in [`crate::rules`] only need to distinguish
+//! *code* identifiers from text that merely looks like code — a
+//! `"HashMap"` inside a string literal or a `// HashMap` comment must
+//! never trip rule D1. That is a token-classification problem, not a
+//! parsing problem, so this module hand-rolls a scanner instead of
+//! vendoring a full parser: every byte of the input is covered by either
+//! a token span or inter-token whitespace, and the token kind says
+//! whether the bytes were live code, literal text, or commentary.
+//!
+//! Guarantees (property-tested in `tests/lexer_props.rs`):
+//!
+//! - `lex` never panics, for arbitrary input (malformed literals
+//!   degrade to best-effort tokens; they never abort the scan);
+//! - token spans are in order, non-overlapping, within bounds, and on
+//!   UTF-8 character boundaries;
+//! - the bytes between consecutive tokens are ASCII whitespace only, so
+//!   re-concatenating `gap + token + gap + ...` round-trips the source.
+
+/// What a token's bytes were doing in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers `r#ident`).
+    Ident,
+    /// A lifetime or loop label such as `'a` (no closing quote).
+    Lifetime,
+    /// Numeric literal (integers, floats, and their suffixes).
+    Num,
+    /// String-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"` and friends.
+    Str,
+    /// Character-like literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` (including `///` and `//!` doc comments), newline excluded.
+    LineComment,
+    /// `/* … */`, nesting-aware; unterminated comments run to EOF.
+    BlockComment,
+    /// A single punctuation character (`+`, `=`, `[`, …). Multi-char
+    /// operators arrive as adjacent `Punct` tokens; rules that care
+    /// (e.g. `+=`) check byte adjacency of consecutive spans.
+    Punct,
+}
+
+/// One lexed token: classification plus its byte span and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Classification of the bytes.
+    pub kind: TokKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lex `src` into a complete token stream. Never panics; see the module
+/// docs for the span guarantees.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            let kind = match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(0, false),
+                b'\'' => self.quote(),
+                b'0'..=b'9' => self.number(),
+                _ if ident_start(b) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.bump_char();
+                    TokKind::Punct
+                }
+            };
+            self.out.push(Tok {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte (caller guarantees it is ASCII / boundary-safe).
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advance one full UTF-8 character.
+    fn bump_char(&mut self) {
+        let ch_len = self.src[self.pos..]
+            .chars()
+            .next()
+            .map(char::len_utf8)
+            .unwrap_or(1);
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += ch_len;
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.bump_char();
+        }
+        TokKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.bump(); // `/`
+        self.bump(); // `*`
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump_char();
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// A string literal; `hashes` is the number of `#` guards already
+    /// consumed, and `raw` disables escape processing (`r"…"` strings
+    /// treat backslashes literally even with zero guards).
+    fn string(&mut self, hashes: usize, raw: bool) -> TokKind {
+        self.bump(); // opening `"`
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' if !raw => {
+                    // Escape sequence: skip the `\` and whatever follows.
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump_char();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    if hashes == 0 {
+                        return TokKind::Str;
+                    }
+                    // Raw string: the quote only closes when followed by
+                    // the right number of `#`s.
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some(b'#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return TokKind::Str;
+                    }
+                }
+                _ => self.bump_char(),
+            }
+        }
+        TokKind::Str // unterminated: runs to EOF, still a literal
+    }
+
+    /// `'` starts either a lifetime (`'a`), a loop label, or a char
+    /// literal (`'x'`, `'\n'`). Disambiguate exactly like rustc: an
+    /// identifier run after the quote is a lifetime *unless* it is a
+    /// single char followed by a closing `'`.
+    fn quote(&mut self) -> TokKind {
+        self.bump(); // `'`
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escape: definitely a char literal.
+                self.bump();
+                if self.pos < self.bytes.len() {
+                    self.bump_char();
+                }
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokKind::Char
+            }
+            Some(b) if ident_start(b) => {
+                // Consume the identifier run, then check for `'`.
+                let run_start = self.pos;
+                while self.peek(0).map(ident_continue).unwrap_or(false) {
+                    self.bump();
+                }
+                let one_char = {
+                    let run = &self.src[run_start..self.pos];
+                    run.chars().count() == 1
+                };
+                if one_char && self.peek(0) == Some(b'\'') {
+                    self.bump();
+                    TokKind::Char
+                } else {
+                    TokKind::Lifetime
+                }
+            }
+            Some(b'\'') => {
+                // `''`: empty char literal (invalid Rust, but lex it).
+                self.bump();
+                TokKind::Char
+            }
+            Some(_) => {
+                // Non-identifier char: `'+'` style literal.
+                self.bump_char();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokKind::Char
+            }
+            None => TokKind::Char,
+        }
+    }
+
+    fn number(&mut self) -> TokKind {
+        // Digits, underscores, radix prefixes, a fractional part, an
+        // exponent, and type suffixes — all one permissive token. `1.foo`
+        // must NOT eat the dot (method call on a literal), so the dot is
+        // only consumed when a digit follows.
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'0'..=b'9'
+                | b'_'
+                | b'a'..=b'd'
+                | b'f'
+                | b'o'
+                | b'x'
+                | b'A'..=b'D'
+                | b'F'
+                | b'i'
+                | b'u' => self.bump(),
+                b'e' | b'E' => {
+                    self.bump();
+                    if matches!(self.peek(0), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                b'.' if self.peek(1).map(|d| d.is_ascii_digit()).unwrap_or(false) => self.bump(),
+                _ => break,
+            }
+        }
+        TokKind::Num
+    }
+
+    fn ident_or_prefixed_literal(&mut self) -> TokKind {
+        let start = self.pos;
+        while self.peek(0).map(ident_continue).unwrap_or(false) {
+            self.bump();
+        }
+        let ident = &self.src[start..self.pos];
+        // Literal prefixes: `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`,
+        // `b'x'`, and raw identifiers `r#ident`.
+        match self.peek(0) {
+            Some(b'"') if matches!(ident, "r" | "b" | "br" | "rb" | "c" | "cr") => {
+                self.string(0, ident.contains('r'))
+            }
+            Some(b'\'') if ident == "b" => self.quote(),
+            Some(b'#') if matches!(ident, "r" | "b" | "br" | "rb" | "c" | "cr") => {
+                // Count the `#` guards; a quote then opens a raw string,
+                // anything else is a raw identifier (`r#ident`) or just
+                // an ident next to punctuation.
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some(b'#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some(b'"') {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.string(hashes, true)
+                } else if ident == "r" && hashes == 1 {
+                    self.bump(); // `#`
+                    while self.peek(0).map(ident_continue).unwrap_or(false) {
+                        self.bump();
+                    }
+                    TokKind::Ident
+                } else {
+                    TokKind::Ident
+                }
+            }
+            _ => TokKind::Ident,
+        }
+    }
+}
+
+fn ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let toks = kinds(r#"let x = "HashMap"; // HashMap here"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| t != "HashMap" || !matches!(k, TokKind::Ident)));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::LineComment));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r##"let s = r#"an "inner" HashMap"#; use std::x;"##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("inner")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "use"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(idents, ["a", "b"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_dots() {
+        let toks = kinds("1.0f64.sum() 2.sum()");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "sum"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "2"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+}

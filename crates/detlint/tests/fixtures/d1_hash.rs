@@ -1,0 +1,26 @@
+//! D1 fixture: hash collections on the simulation path.
+//! Expected: 2 findings, 1 allowed. Mentions of HashMap in this doc
+//! comment, in `// HashMap` comments, and in "HashMap" strings must not
+//! fire.
+
+use std::collections::HashMap; // finding 1: unannotated
+
+// detlint::allow(hash_collection, reason = "counts only; never iterated into output")
+use std::collections::HashSet; // finding 2: allowed
+
+fn no_false_positives() -> String {
+    let s = "a HashMap in a string";
+    /* a HashMap in a block comment */
+    let r = r#"raw "HashMap" text"#;
+    format!("{s}{r}")
+}
+
+#[cfg(test)]
+mod tests {
+    // Test-only hash state is fine: output is asserted, not merged.
+    use std::collections::HashMap;
+
+    fn t() -> HashMap<u32, u32> {
+        HashMap::new()
+    }
+}

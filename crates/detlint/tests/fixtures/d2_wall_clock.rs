@@ -1,0 +1,37 @@
+//! D2 fixture: ambient time and entropy.
+//! Expected: 3 findings, 1 allowed. `Instant::now` in the cfg(test)
+//! module and inside strings/comments must not fire; bare `Instant`
+//! without `::now` (e.g. a type annotation) must not fire either.
+
+use std::time::Instant;
+
+fn timed() -> f64 {
+    let start = Instant::now(); // finding 1: unannotated
+    start.elapsed().as_secs_f64()
+}
+
+fn reseeded() {
+    let _rng = thread_rng(); // finding 2: unannotated
+}
+
+fn allowed_timer() -> f64 {
+    // detlint::allow(wall_clock, reason = "bench wall time; never feeds metrics")
+    let start = Instant::now(); // finding 3: allowed
+    start.elapsed().as_secs_f64()
+}
+
+fn not_ambient(deadline: Instant) -> bool {
+    // Instant::now mentioned in a comment only.
+    let label = "SystemTime in a string";
+    !label.is_empty() && deadline.elapsed().as_secs() == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = Instant::now();
+    }
+}

@@ -1,0 +1,48 @@
+//! D3 fixture: float accumulation under unordered control flow.
+//! Expected: 3 findings, 1 allowed. Accumulation without a join/recv
+//! signal must not fire; `.join(separator)` with arguments (paths,
+//! slices) is not a thread join and must not fire.
+
+fn unordered_merge(handles: Vec<std::thread::JoinHandle<f64>>) -> f64 {
+    let mut total = 0.0;
+    for h in handles {
+        total += h.join().unwrap(); // finding 1: += in a joining fn
+    }
+    total
+}
+
+fn channel_fold(rx: std::sync::mpsc::Receiver<f64>) -> f64 {
+    let mut acc = 0.0;
+    while let Ok(x) = rx.recv() {
+        acc += x; // finding 2: += in a receiving fn
+    }
+    acc
+}
+
+fn annotated_merge(handles: Vec<std::thread::JoinHandle<f64>>) -> f64 {
+    let mut parts: Vec<(u64, f64)> = handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .enumerate()
+        .map(|(i, x)| (i as u64, x))
+        .collect();
+    parts.sort_by_key(|(id, _)| *id);
+    // detlint::allow(unordered_float_merge, reason = "parts sorted by id before folding")
+    parts.iter().map(|(_, x)| x).sum() // finding 3: allowed
+}
+
+fn ordered_accumulation(xs: &[f64]) -> f64 {
+    // No join/recv/hash signal in scope: plain sequential folds are fine.
+    let mut acc = 0.0;
+    for x in xs {
+        acc += x;
+    }
+    acc + xs.iter().sum::<f64>()
+}
+
+fn string_join_is_not_a_signal(words: &[String], dir: &std::path::Path) -> String {
+    let mut n = 0.0;
+    n += words.len() as f64;
+    let joined = words.join(", ");
+    format!("{}{}", dir.join(&joined).display(), n)
+}

@@ -1,0 +1,30 @@
+//! D5 fixture: comparator hygiene in event-queue code. This file
+//! mentions EventQueue, so the rule is live. Expected: 3 findings,
+//! 1 allowed.
+
+struct Ev {
+    at: f64,
+    id: u64,
+}
+
+trait EventQueue {
+    fn next(&mut self) -> Option<Ev>;
+}
+
+fn good_comparator(a: &Ev, b: &Ev) -> std::cmp::Ordering {
+    // The documented chain: time first, ascending id on ties.
+    a.at.total_cmp(&b.at).then(a.id.cmp(&b.id))
+}
+
+fn bad_partial(a: &Ev, b: &Ev) -> Option<std::cmp::Ordering> {
+    a.at.partial_cmp(&b.at) // finding 1: partial_cmp in event ordering
+}
+
+fn bad_no_tiebreak(a: &Ev, b: &Ev) -> std::cmp::Ordering {
+    a.at.total_cmp(&b.at) // finding 2: total_cmp without .then chain
+}
+
+fn annotated_partial(a: &Ev, b: &Ev) -> Option<std::cmp::Ordering> {
+    // detlint::allow(float_comparator, reason = "diagnostics only; never orders the queue")
+    a.at.partial_cmp(&b.at) // finding 3: allowed
+}

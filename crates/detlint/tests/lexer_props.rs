@@ -1,0 +1,160 @@
+//! Lexer robustness properties: on arbitrary token soup the scanner
+//! never panics, its spans tile the input (ordered, non-overlapping, on
+//! character boundaries, whitespace-only gaps), and re-concatenating
+//! gaps and token texts round-trips the source byte-for-byte.
+
+use lingxi_detlint::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Fragments chosen to stress every lexer mode transition: string and
+/// raw-string guards, char-vs-lifetime quotes, nested comments, literal
+/// prefixes, multi-byte UTF-8, and bare punctuation soup.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "let",
+    "HashMap",
+    "x",
+    "_y1",
+    " ",
+    "\n",
+    "\t",
+    "0",
+    "1.5e-3",
+    "0x_f",
+    "+",
+    "+=",
+    "=",
+    "::",
+    ".",
+    ",",
+    ";",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    "#",
+    "!",
+    "\"",
+    "\\\"",
+    "\\",
+    "'",
+    "'a",
+    "'a'",
+    "b'q'",
+    "r\"",
+    "r#\"",
+    "\"#",
+    "##",
+    "r#ident",
+    "br#\"",
+    "c\"",
+    "//",
+    "/*",
+    "*/",
+    "/**/",
+    "// line\n",
+    "/* nested /* deep */ */",
+    "\"closed\"",
+    "日本語",
+    "🦀",
+    "é",
+    "\r\n",
+    "detlint::allow(wall_clock, reason = \"x\")",
+];
+
+fn soup(picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+        .collect()
+}
+
+fn check_invariants(src: &str) -> Result<(), TestCaseError> {
+    let toks = lex(src);
+    let mut prev_end = 0usize;
+    for t in &toks {
+        prop_assert!(t.start >= prev_end, "overlapping or unordered span");
+        prop_assert!(t.end <= src.len(), "span past EOF");
+        prop_assert!(t.start < t.end, "empty token span");
+        prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        prop_assert!(
+            src[prev_end..t.start].chars().all(char::is_whitespace),
+            "non-whitespace bytes between tokens"
+        );
+        prev_end = t.end;
+    }
+    prop_assert!(src[prev_end..].chars().all(char::is_whitespace));
+
+    // Span round-trip: gaps + token texts reassemble the source.
+    let mut rebuilt = String::with_capacity(src.len());
+    let mut at = 0usize;
+    for t in &toks {
+        rebuilt.push_str(&src[at..t.start]);
+        rebuilt.push_str(&src[t.start..t.end]);
+        at = t.end;
+    }
+    rebuilt.push_str(&src[at..]);
+    prop_assert_eq!(rebuilt, src);
+
+    // Determinism: lexing is a pure function of the input.
+    prop_assert_eq!(&lex(src), &toks);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fragment_soup_never_breaks_the_lexer(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..80),
+    ) {
+        check_invariants(&soup(&picks))?;
+    }
+
+    #[test]
+    fn random_unicode_never_breaks_the_lexer(
+        codes in proptest::collection::vec(0u32..0x11_0000, 0..200),
+    ) {
+        let src: String = codes.iter().filter_map(|&c| char::from_u32(c)).collect();
+        check_invariants(&src)?;
+    }
+}
+
+#[test]
+fn empty_and_whitespace_inputs() {
+    assert!(lex("").is_empty());
+    assert!(lex("  \n\t\r\n  ").is_empty());
+}
+
+#[test]
+fn unterminated_literals_run_to_eof_without_panicking() {
+    for src in ["\"open", "r#\"open", "/* open", "'", "b'", "1e", "r#"] {
+        let toks = lex(src);
+        assert!(!toks.is_empty(), "{src:?} should still tokenize");
+        assert!(toks.iter().all(|t| t.end <= src.len()));
+    }
+}
+
+#[test]
+fn token_kinds_cover_a_realistic_snippet() {
+    let src = r#"
+// detlint::allow(wall_clock, reason = "demo")
+fn f<'a>(m: &'a str) -> f64 {
+    let s = "HashMap"; /* not code */
+    let c = 'x';
+    1.5 + s.len() as f64 + (c as u32) as f64
+}
+"#;
+    let toks = lex(src);
+    let has = |k: TokKind| toks.iter().any(|t| t.kind == k);
+    assert!(has(TokKind::Ident));
+    assert!(has(TokKind::Lifetime));
+    assert!(has(TokKind::Num));
+    assert!(has(TokKind::Str));
+    assert!(has(TokKind::Char));
+    assert!(has(TokKind::LineComment));
+    assert!(has(TokKind::BlockComment));
+    assert!(has(TokKind::Punct));
+}

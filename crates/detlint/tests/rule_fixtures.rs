@@ -1,0 +1,163 @@
+//! Per-rule fixture tests: each file under `tests/fixtures/` encodes
+//! true positives, annotated-allow sites, and the tricky false-positive
+//! shapes (string/comment mentions, `#[cfg(test)]` regions, argumentful
+//! `.join(sep)` calls) for one rule. Fixtures live under `tests/`, so
+//! the workspace lint run never scans them.
+
+use lingxi_detlint::rules::{lint_source, FileCtx, Finding, RuleId};
+use lingxi_detlint::workspace::lint_workspace;
+
+fn lint_fixture(name: &str, sim_path: bool) -> Vec<Finding> {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    lint_source(
+        &src,
+        &FileCtx {
+            path: name.to_string(),
+            sim_path,
+        },
+    )
+}
+
+fn by_rule(findings: &[Finding], rule: RuleId) -> Vec<&Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn d1_hash_collections() {
+    let findings = lint_fixture("d1_hash.rs", true);
+    let d1 = by_rule(&findings, RuleId::D1);
+    assert_eq!(d1.len(), 2, "{d1:?}");
+    assert!(!d1[0].allowed, "bare HashMap use is a violation");
+    assert!(d1[1].allowed, "annotated HashSet is allowed");
+    assert_eq!(
+        d1[1].reason.as_deref(),
+        Some("counts only; never iterated into output")
+    );
+    // Off the simulation path, D1 does not apply at all.
+    assert!(by_rule(&lint_fixture("d1_hash.rs", false), RuleId::D1).is_empty());
+}
+
+#[test]
+fn d2_wall_clock_and_entropy() {
+    let findings = lint_fixture("d2_wall_clock.rs", true);
+    let d2 = by_rule(&findings, RuleId::D2);
+    assert_eq!(d2.len(), 3, "{d2:?}");
+    assert_eq!(d2.iter().filter(|f| f.allowed).count(), 1);
+    // D2 applies off the simulation path too (timing code annotates).
+    let off = lint_fixture("d2_wall_clock.rs", false);
+    assert_eq!(by_rule(&off, RuleId::D2).len(), 3);
+}
+
+#[test]
+fn d3_unordered_float_merge() {
+    let findings = lint_fixture("d3_merge.rs", true);
+    let d3 = by_rule(&findings, RuleId::D3);
+    assert_eq!(d3.len(), 3, "{d3:?}");
+    assert_eq!(d3.iter().filter(|f| f.allowed).count(), 1);
+    assert!(d3.iter().any(|f| f.message.contains("joins threads")));
+    assert!(d3
+        .iter()
+        .any(|f| f.message.contains("receives from a channel")));
+}
+
+#[test]
+fn d5_float_comparators() {
+    let findings = lint_fixture("d5_comparator.rs", true);
+    let d5 = by_rule(&findings, RuleId::D5);
+    assert_eq!(d5.len(), 3, "{d5:?}");
+    assert_eq!(d5.iter().filter(|f| f.allowed).count(), 1);
+    assert!(d5.iter().any(|f| f.message.contains("tie-break")));
+}
+
+#[test]
+fn d5_requires_event_queue_context() {
+    // The same comparator patterns outside an EventQueue file are the
+    // business of ordinary code review, not the determinism linter.
+    let src = "fn cmp(a: f64, b: f64) -> Option<std::cmp::Ordering> { a.partial_cmp(&b) }";
+    let findings = lint_source(
+        src,
+        &FileCtx {
+            path: "free.rs".into(),
+            sim_path: true,
+        },
+    );
+    assert!(by_rule(&findings, RuleId::D5).is_empty());
+}
+
+/// D4 is structural, so it is exercised on a synthetic mini-workspace:
+/// a crate root without the forbid attribute, plus a vendored crate
+/// whose unsafe count drifts from the committed budget.
+#[test]
+fn d4_forbid_and_vendor_budget() {
+    let root = std::env::temp_dir().join(format!("detlint_d4_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    for dir in ["src", "crates/good/src", "crates/bad/src", "vendor/dep/src"] {
+        std::fs::create_dir_all(root.join(dir)).unwrap();
+    }
+    std::fs::write(
+        root.join("src/lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn facade() {}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        root.join("crates/good/src/lib.rs"),
+        "//! Good crate.\n#![forbid(unsafe_code)]\npub fn ok() {}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        root.join("crates/bad/src/lib.rs"),
+        "//! Bad crate: no forbid attribute.\npub fn nope() {}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        root.join("vendor/dep/src/lib.rs"),
+        "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+    )
+    .unwrap();
+    // Budget declares 0, the vendored source has 1: drift.
+    std::fs::write(root.join("vendor/UNSAFE_BUDGET"), "# crate count\ndep 0\n").unwrap();
+
+    let report = lint_workspace(&root).unwrap();
+    let d4: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleId::D4)
+        .collect();
+    assert_eq!(d4.len(), 2, "{d4:?}");
+    assert!(d4
+        .iter()
+        .any(|f| f.file.contains("crates/bad") && f.message.contains("forbid")));
+    assert!(d4
+        .iter()
+        .any(|f| f.file.contains("UNSAFE_BUDGET") && f.message.contains("drifted")));
+    assert!(report.violations().count() >= 2, "D4 is never annotatable");
+
+    // Fixing both makes the mini-workspace clean.
+    std::fs::write(
+        root.join("crates/bad/src/lib.rs"),
+        "//! Fixed.\n#![forbid(unsafe_code)]\npub fn yep() {}\n",
+    )
+    .unwrap();
+    std::fs::write(root.join("vendor/UNSAFE_BUDGET"), "dep 1\n").unwrap();
+    let report = lint_workspace(&root).unwrap();
+    assert_eq!(report.violations().count(), 0, "{:?}", report.findings);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let findings = lint_fixture("d1_hash.rs", true);
+    let report = lingxi_detlint::Report {
+        findings,
+        files_scanned: 1,
+    };
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": 1"));
+    assert!(json.contains("\"rule\": \"D1\""));
+    assert!(json.contains("\"name\": \"hash_collection\""));
+    // Balanced braces/brackets as a cheap well-formedness check.
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert!(json.contains("\"findings\": ["));
+}

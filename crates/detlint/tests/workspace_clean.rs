@@ -1,0 +1,43 @@
+//! The acceptance gate, as a test: linting this repository must produce
+//! zero unannotated findings, and every annotated finding must carry a
+//! reason. CI additionally runs the binary (which writes detlint.json),
+//! but this test keeps `cargo test` self-sufficient.
+
+use std::path::Path;
+
+use lingxi_detlint::lint_workspace;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("workspace is lintable");
+    assert!(report.files_scanned > 50, "member discovery looks broken");
+
+    let violations: Vec<String> = report
+        .violations()
+        .map(|f| {
+            format!(
+                "{}({}) {}:{} {}",
+                f.rule.id(),
+                f.rule.name(),
+                f.file,
+                f.line,
+                f.message
+            )
+        })
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "unannotated determinism findings:\n{}",
+        violations.join("\n")
+    );
+
+    for f in report.findings.iter().filter(|f| f.allowed) {
+        assert!(
+            f.reason.as_deref().is_some_and(|r| !r.is_empty()),
+            "allowed finding without a reason: {}:{}",
+            f.file,
+            f.line
+        );
+    }
+}

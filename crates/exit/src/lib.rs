@@ -29,6 +29,8 @@
 //! assert_eq!(matrix.rows.len(), lingxi_exit::N_DIMS);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod features;
 pub mod hybrid;

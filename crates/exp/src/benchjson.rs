@@ -110,6 +110,7 @@ fn state_dir(tag: &str) -> std::path::PathBuf {
 
 /// Time one scenario and record it.
 fn record(name: &str, f: impl FnOnce() -> Result<usize>) -> Result<BenchScenario> {
+    // detlint::allow(wall_clock, reason = "bench harness wall-clock timing; sessions/sec reporting only, outside the simulation")
     let start = Instant::now();
     let sessions = f()?;
     let wall_s = start.elapsed().as_secs_f64();

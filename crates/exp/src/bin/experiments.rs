@@ -19,6 +19,8 @@
 //! `benchjson --compare` skips the matrix and just prints per-scenario
 //! sessions/sec and peak-RSS deltas between two existing report files.
 
+#![forbid(unsafe_code)]
+
 use std::env;
 use std::path::Path;
 use std::process::ExitCode;

@@ -21,6 +21,8 @@
 //! assert_eq!(r.series_named("curve").unwrap().ys(), vec![1.0, 0.5]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod benchjson;
 pub mod datasets;
 pub mod fig01_qos_saturation;

@@ -513,6 +513,11 @@ fn run_link_epoch(
         uids.binary_search(&uid)
             .map_err(|_| FleetError::Subsystem(format!("unknown flow {uid}")))
     };
+    // Dynamic counterpart to detlint rule D5: the merged event stream
+    // must pop in monotone non-decreasing time order, whatever queue
+    // implementation is compiled in. Debug builds assert it per event.
+    #[cfg(debug_assertions)]
+    let mut last_pop_t = f64::NEG_INFINITY;
     loop {
         let arrival_at = queue.peek().map(|(at, _)| at);
         let completion_at = link.next_event_time();
@@ -522,6 +527,19 @@ fn run_link_epoch(
             (None, Some(_)) => true,
             (Some(a), Some(c)) => c <= a,
         };
+        #[cfg(debug_assertions)]
+        {
+            let t = if take_completion {
+                completion_at.expect("completion chosen")
+            } else {
+                arrival_at.expect("arrival chosen")
+            };
+            debug_assert!(
+                t >= last_pop_t,
+                "event queue popped backwards in time: {t} after {last_pop_t}"
+            );
+            last_pop_t = t;
+        }
         if take_completion {
             let end = link.pop_completion().expect("completion event exists");
             let idx = index_of(uids, end.id)?;

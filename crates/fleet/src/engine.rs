@@ -226,12 +226,14 @@ impl FleetEngine {
                 .map(|_| std::sync::Mutex::new(crate::contention::ContentionScratch::default()))
                 .collect();
 
+        // detlint::allow(wall_clock, reason = "wall-time reporting only; never feeds simulated state or metrics")
         let start = Instant::now();
         let mut epochs = Vec::with_capacity(self.config.epochs);
         let mut sessions = 0usize;
         let mut segments = 0usize;
         let mut users_total = static_shards
             .as_ref()
+            // detlint::allow(unordered_float_merge, reason = "usize count over per-shard Vec lengths; integer addition is order-free")
             .map(|s| s.iter().map(Vec::len).sum())
             .unwrap_or(0usize);
         for epoch in 0..self.config.epochs {
@@ -241,6 +243,7 @@ impl FleetEngine {
                 .as_ref()
                 .map(|d| self.shard_partition(self.dynamic_epoch_users(d, epoch)));
             if let Some(shards) = &dynamic_shards {
+                // detlint::allow(unordered_float_merge, reason = "usize count of cohort sizes; integer addition is order-free")
                 users_total += shards.iter().map(Vec::len).sum::<usize>();
             }
             let shard_users = dynamic_shards
@@ -314,7 +317,9 @@ impl FleetEngine {
             let mut treatment = DayAccum::new();
             let mut classes = vec![DayAccum::new(); n_classes];
             for row in &rows {
+                // detlint::allow(unordered_float_merge, reason = "usize session/segment counts, folded after rows.sort_by_key(user_id)")
                 sessions += row.day.sessions();
+                // detlint::allow(unordered_float_merge, reason = "usize segment count; rows already sorted by user id")
                 segments += row.day.segments();
                 all.merge(&row.day);
                 if ab_mode {

@@ -23,6 +23,7 @@
 //! std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

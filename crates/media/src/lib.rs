@@ -19,6 +19,8 @@
 //! assert_eq!(sizes.size_kbits(0, 0).unwrap(), 700.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod ladder;
 pub mod quality;

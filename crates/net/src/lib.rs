@@ -19,6 +19,8 @@
 //! assert!((trace.download_time(0.0, 5000.0) - 1.0).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod estimator;
 pub mod events;
 pub mod gen;

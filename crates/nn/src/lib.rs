@@ -27,6 +27,8 @@
 //! assert_eq!(y.get(1, 1), 25.0); // 3·3 + 4·4
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod init;
 pub mod layer;
 pub mod loss;

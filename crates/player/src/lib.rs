@@ -31,6 +31,8 @@
 //! assert!(env.buffer() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod env;
 pub mod log;

@@ -20,6 +20,8 @@
 //! assert!(did.p_two_sided < 0.05);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod confusion;
 pub mod corr;
 pub mod describe;

@@ -29,6 +29,8 @@
 //! assert!(pop.users().iter().all(|u| u.sessions_per_day >= 1.0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod datadriven;
 pub mod population;
 pub mod profile;

@@ -31,6 +31,7 @@
 //! assert!(events.iter().all(|e| (e.class as usize) < registry.users.len()));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrival;

@@ -43,8 +43,37 @@ for manifest in "$root"/vendor/*/Cargo.toml; do
     fi
 done
 
+# Unsafe-budget check: each vendored crate's raw word-boundary count of
+# `unsafe` across its *.rs files must match the committed manifest
+# vendor/UNSAFE_BUDGET (same metric as lingxi-detlint rule D4 — raw text
+# on purpose, so even a new comment mentioning unsafe surfaces for
+# review). Member crates don't need a budget: they #![forbid(unsafe_code)].
+budget="$root/vendor/UNSAFE_BUDGET"
+if [ ! -f "$budget" ]; then
+    echo "DRIFT: $budget not found (every vendored crate needs a declared unsafe budget)" >&2
+    fail=1
+else
+    for dir in "$root"/vendor/*/; do
+        name=$(basename "$dir")
+        # grep exits 1 on zero matches (the common, good case); guard it
+        # so `set -o pipefail` doesn't abort the scan.
+        actual=$( (find "$dir" -name '*.rs' -print0 \
+            | xargs -0 grep -oh -w 'unsafe' 2>/dev/null || true) | wc -l | tr -d ' ')
+        declared=$(awk -v pkg="$name" '$1 == pkg { print $2; exit }' "$budget")
+        if [ -z "$declared" ]; then
+            echo "DRIFT: vendor crate $name (unsafe count $actual) has no entry in vendor/UNSAFE_BUDGET" >&2
+            fail=1
+        elif [ "$declared" != "$actual" ]; then
+            echo "DRIFT: vendor crate $name: unsafe count $actual drifted from declared budget $declared" >&2
+            fail=1
+        else
+            echo "ok: $name unsafe budget $declared"
+        fi
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
-    echo "vendored-registry drift detected: re-run 'cargo build' to refresh Cargo.lock (and commit it)" >&2
+    echo "vendored-registry drift detected: re-run 'cargo build' to refresh Cargo.lock (and commit it); for unsafe-budget drift, audit the new sites and update vendor/UNSAFE_BUDGET in the same commit" >&2
     exit 1
 fi
 echo "vendor/ and Cargo.lock agree"

@@ -58,6 +58,8 @@
 //! assert!(!outcome.log.segments.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use lingxi_abr as abr;
 pub use lingxi_abtest as abtest;
 pub use lingxi_bayes as bayes;
