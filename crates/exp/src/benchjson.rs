@@ -18,7 +18,8 @@ use lingxi_core::{
     run_managed_session_in, LingXiConfig, LingXiController, ProfilePredictor, SessionBuffers,
 };
 use lingxi_fleet::{
-    AbrMix, ContentionConfig, FleetConfig, FleetEngine, FleetScenario, PopulationDynamics,
+    AbrMix, ContentionConfig, FairnessConfig, FleetConfig, FleetEngine, FleetScenario,
+    PopulationDynamics,
 };
 use lingxi_media::{BitrateLadder, Catalog, CatalogConfig, VbrModel};
 use lingxi_net::{BandwidthTrace, ProductionMixture};
@@ -172,13 +173,15 @@ fn managed_session_scenario(seed: u64, scale: f64) -> Result<usize> {
     Ok(n)
 }
 
-/// A fleet epoch; `contention`/`dynamics` select the matrix cell.
+/// A fleet epoch; `contention`/`dynamics`/`fairness` select the matrix
+/// cell.
 fn fleet_scenario(
     seed: u64,
     scale: f64,
     tag: &str,
     contention: Option<ContentionConfig>,
     dynamics: Option<PopulationDynamics>,
+    fairness: Option<FairnessConfig>,
 ) -> Result<usize> {
     let dir = state_dir(tag);
     let _ = std::fs::remove_dir_all(&dir);
@@ -190,6 +193,7 @@ fn fleet_scenario(
         state_dir: dir.clone(),
         contention,
         dynamics,
+        fairness,
         ..FleetConfig::default()
     };
     let scenario = FleetScenario {
@@ -229,13 +233,35 @@ pub fn run(seed: u64, scale: f64) -> Result<BenchReport> {
     let scenarios = vec![
         record("managed_session", || managed_session_scenario(seed, scale))?,
         record("fleet_independent", || {
-            fleet_scenario(seed, scale, "independent", None, None)
+            fleet_scenario(seed, scale, "independent", None, None, None)
         })?,
         record("fleet_contention", || {
-            fleet_scenario(seed, scale, "contention", Some(contention), None)
+            fleet_scenario(seed, scale, "contention", Some(contention), None, None)
         })?,
         record("population", || {
-            fleet_scenario(seed, scale, "population", Some(contention), Some(dynamics))
+            fleet_scenario(
+                seed,
+                scale,
+                "population",
+                Some(contention),
+                Some(dynamics),
+                None,
+            )
+        })?,
+        record("fairness_alpha2", || {
+            // The α-fair dual solver on the multi-hop pod — the one cell
+            // that exercises the finite-α allocator's per-event cost.
+            fleet_scenario(
+                seed,
+                scale,
+                "fairness",
+                Some(contention),
+                None,
+                Some(FairnessConfig {
+                    objective: lingxi_net::FairnessObjective::AlphaFair(2.0),
+                    topology: crate::fairness::pod_topology()?,
+                }),
+            )
         })?,
     ];
     Ok(BenchReport {
@@ -409,7 +435,7 @@ mod tests {
     fn matrix_runs_and_round_trips() {
         let report = run(9, 0.02).unwrap();
         assert_eq!(report.schema, BENCH_SCHEMA_VERSION);
-        assert_eq!(report.scenarios.len(), 4);
+        assert_eq!(report.scenarios.len(), 5);
         for s in &report.scenarios {
             assert!(s.sessions > 0, "{}: no sessions", s.name);
             assert!(s.wall_s > 0.0 && s.sessions_per_sec > 0.0, "{}", s.name);

@@ -3,7 +3,7 @@
 //!
 //! Usage:
 //! ```text
-//! experiments <fig01|...|fig15|fleet|flashcrowd|population|all> \
+//! experiments <fig01|...|fig15|fleet|flashcrowd|population|fairness|all> \
 //!     [--seed N] [--scale F] [--out DIR] [--days D]
 //! experiments benchjson [--seed N] [--scale F] \
 //!     [--bench-out FILE] [--baseline FILE]
@@ -31,15 +31,15 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: experiments <figNN|fleet|flashcrowd|population|all> [--seed N] [--scale F] [--out DIR] [--days D]"
+            "usage: experiments <figNN|fleet|flashcrowd|population|fairness|all> [--seed N] [--scale F] [--out DIR] [--days D]"
         );
         eprintln!("       experiments benchjson [--seed N] [--scale F] [--bench-out FILE] [--baseline FILE]");
         eprintln!("       experiments benchjson --compare A.json B.json");
         eprintln!(
-            "experiments: {}, fleet, flashcrowd, population",
+            "experiments: {}, fleet, flashcrowd, population, fairness",
             ALL_EXPERIMENTS.join(", ")
         );
-        eprintln!("(`all` runs the paper figures; `fleet`/`flashcrowd`/`population` are the systems scenarios; `benchjson` emits the CI perf report)");
+        eprintln!("(`all` runs the paper figures; `fleet`/`flashcrowd`/`population`/`fairness` are the systems scenarios; `benchjson` emits the CI perf report)");
         return ExitCode::FAILURE;
     }
     let target = args[0].clone();

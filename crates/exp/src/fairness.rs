@@ -1,0 +1,309 @@
+//! `fairness` — the fairness-objective scenario (ROADMAP north star, not
+//! a paper figure): the *same* diurnal heterogeneous population replayed
+//! on a multi-hop pod topology under three bandwidth-sharing objectives —
+//! max-min, proportional-fair, and α-fair with α = 2 — so the only thing
+//! that differs between cells is how the links split their capacity.
+//!
+//! The experiment reports per-class stall/watch per session under each
+//! objective and the per-class tail-stall divergence across objectives
+//! (how much the sharing rule moves each class's QoE). The run *fails*
+//! unless
+//!
+//! 1. every objective's cell is bit-identical across 1, 4 and 8 shards
+//!    (scalars **and** distribution sketches), and
+//! 2. per-class QoE ordering holds under every objective: stall
+//!    quantiles are monotone (p50 ≤ p90 ≤ p99) and the uncapped `tv`
+//!    class never ends up with a lower session-weighted mean bitrate
+//!    than the capped `mobile` class.
+
+use lingxi_fleet::{
+    AbrMix, ContentionConfig, FairnessConfig, FleetConfig, FleetEngine, FleetReport, FleetScenario,
+    PopulationDynamics,
+};
+use lingxi_net::{FairnessObjective, ProductionMixture, TopoLink, Topology};
+use lingxi_workload::{ArrivalKind, ClassRegistry, Diurnal, LinkClass};
+
+use crate::report::{ExperimentResult, Series};
+use crate::{ExpError, Result};
+
+/// The objectives swept by the experiment, with their cell labels.
+pub const OBJECTIVES: [(&str, FairnessObjective); 3] = [
+    ("maxmin", FairnessObjective::MaxMin),
+    ("proportional", FairnessObjective::ProportionalFair),
+    ("alpha2", FairnessObjective::AlphaFair(2.0)),
+];
+
+/// Baseline arrivals per simulated day at `scale = 1`.
+const BASE_ARRIVALS_PER_DAY: f64 = 6_000.0;
+
+/// One simulated day (seconds). A compressed hour-long "day": the same
+/// diurnal arrival *count* packed into 1/24 of real time, so peak-hour
+/// concurrency on the pod is high enough that the sharing objective
+/// actually binds (sessions average tens of seconds; at real-day
+/// spreading they almost never overlap and every objective degenerates
+/// to handing each solo flow its cap).
+const DAY_SECONDS: f64 = 3_600.0;
+
+/// Simulated days per cell.
+const DAYS: usize = 2;
+
+fn state_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lingxi_fairness_{}_{tag}", std::process::id()))
+}
+
+/// The pod topology template every path group instantiates: two access
+/// links feeding a metro link into a core link, with three routes —
+/// a 3-hop access path, a 2-hop metro path, and a 1-hop core path.
+/// Capacities are stated at the cell-class reference (25 Mbps) and are
+/// deliberately tight against the session demand so the sharing rule
+/// binds (otherwise every objective hands each flow its cap and the
+/// cells cannot diverge); in population-dynamics mode each group's copy
+/// is rescaled by its link class (fiber groups get ×4.8 of every hop).
+pub fn pod_topology() -> Result<Topology> {
+    Topology::new(
+        vec![
+            TopoLink {
+                capacity_kbps: 8_000.0,
+                prop_delay_s: 0.004,
+            },
+            TopoLink {
+                capacity_kbps: 8_000.0,
+                prop_delay_s: 0.004,
+            },
+            TopoLink {
+                capacity_kbps: 12_000.0,
+                prop_delay_s: 0.008,
+            },
+            TopoLink {
+                capacity_kbps: 16_000.0,
+                prop_delay_s: 0.012,
+            },
+        ],
+        vec![vec![0, 2, 3], vec![1, 3], vec![3]],
+    )
+    .map_err(crate::sub)
+}
+
+/// Run one fairness cell: the diurnal heterogeneous population on the
+/// pod topology under `objective`. Public so the golden regression test
+/// can pin its bit-exact output per shard count.
+pub fn run_cell(
+    objective: FairnessObjective,
+    scale: f64,
+    shards: usize,
+    seed: u64,
+    tag: &str,
+) -> Result<FleetReport> {
+    let scale = scale.clamp(0.001, 10.0);
+    let daily = (BASE_ARRIVALS_PER_DAY * scale).max(40.0);
+    let path_groups = ((8.0 * scale).round() as usize).max(1);
+    let scenario = FleetScenario {
+        name: format!("fairness_{tag}"),
+        n_users: (daily as usize).max(1),
+        n_videos: 16,
+        mean_sessions_per_epoch: 2.0,
+        mixture: ProductionMixture::default(),
+        abr_mix: AbrMix::default(),
+    };
+    let dir = state_dir(&format!("{tag}_s{seed}_n{shards}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = FleetConfig {
+        shards,
+        epochs: DAYS,
+        seed,
+        state_dir: dir.clone(),
+        contention: Some(ContentionConfig {
+            links: path_groups,
+            capacity_kbps: 25_000.0,
+            arrival_window: 30.0,
+            access_cap_factor: 1.5,
+        }),
+        fairness: Some(FairnessConfig {
+            objective,
+            topology: pod_topology()?,
+        }),
+        dynamics: Some(PopulationDynamics {
+            arrivals: ArrivalKind::Diurnal(Diurnal {
+                base_rate: daily / DAY_SECONDS,
+                amplitude: 0.7,
+                peak_s: 21.0 * 3600.0,
+                period_s: DAY_SECONDS,
+            }),
+            // Heterogeneous users, but a single pod link class at the
+            // 25 Mbps reference: every path group is the same tight pod
+            // (a ×1.0 topology rescale), so the objectives are compared
+            // on identical plant rather than on which groups hashed to
+            // fiber.
+            registry: ClassRegistry {
+                links: vec![LinkClass {
+                    name: "pod".into(),
+                    weight: 1.0,
+                    capacity_kbps: 25_000.0,
+                }],
+                ..ClassRegistry::default_heterogeneous()
+            },
+            day_seconds: DAY_SECONDS,
+        }),
+        ..FleetConfig::default()
+    };
+    let report = FleetEngine::new(config)
+        .map_err(crate::sub)?
+        .run(&scenario)
+        .map_err(crate::sub)?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(report)
+}
+
+/// Session-weighted aggregate of one class across all epochs:
+/// `(stall/session, watch/session, mean bitrate)`.
+fn class_qoe(report: &FleetReport, class: usize) -> (f64, f64, f64) {
+    let mut stall = 0.0;
+    let mut watch = 0.0;
+    let mut rate_mass = 0.0;
+    let mut sessions = 0usize;
+    for m in report.class_metrics(class) {
+        stall += m.stall_time;
+        watch += m.watch_time;
+        rate_mass += m.mean_bitrate * m.sessions as f64;
+        sessions += m.sessions;
+    }
+    let per = 1.0 / (sessions as f64).max(1.0);
+    (stall * per, watch * per, rate_mass * per)
+}
+
+/// Run the fairness-objective experiment.
+pub fn run(seed: u64, scale: f64) -> Result<ExperimentResult> {
+    let mut result = ExperimentResult::new(
+        "fairness",
+        "Same diurnal population under max-min / proportional-fair / alpha=2 sharing",
+    );
+
+    let mut reports: Vec<(&str, FleetReport)> = Vec::new();
+    for (name, objective) in OBJECTIVES {
+        // Shard-variance gate: each objective's cell must be bit-exact
+        // for any shard count, or the whole experiment fails.
+        let one = run_cell(objective, scale, 1, seed, &format!("{name}_1"))?;
+        let four = run_cell(objective, scale, 4, seed, &format!("{name}_4"))?;
+        let eight = run_cell(objective, scale, 8, seed, &format!("{name}_8"))?;
+        if one.merged_metrics() != four.merged_metrics()
+            || one.merged_metrics() != eight.merged_metrics()
+            || one.merged_sketches() != four.merged_sketches()
+            || one.merged_sketches() != eight.merged_sketches()
+            || one.sessions != eight.sessions
+        {
+            return Err(ExpError::Subsystem(format!(
+                "fairness shard invariance violated under {name}: 1/4/8 shards gave {}/{}/{} sessions",
+                one.sessions, four.sessions, eight.sessions
+            )));
+        }
+        reports.push((name, four));
+    }
+    result.headline_value("shard invariance (1 = identical)", 1.0);
+
+    // Per-class QoE under each objective, plus the ordering gates.
+    let class_names = reports[0].1.class_names.clone();
+    let mobile = class_names.iter().position(|n| n == "mobile");
+    let tv = class_names.iter().position(|n| n == "tv");
+    let mut stall_spread = vec![(f64::INFINITY, f64::NEG_INFINITY); class_names.len()];
+    for (obj_idx, (name, report)) in reports.iter().enumerate() {
+        // Ordering gate 1: stall tail quantiles must be monotone.
+        let sketches = &report.epochs.last().expect("DAYS >= 1").sketches;
+        let p50 = sketches.stall.quantile(0.5).map_err(crate::sub)?;
+        let p90 = sketches.stall.quantile(0.9).map_err(crate::sub)?;
+        let p99 = sketches.stall.quantile(0.99).map_err(crate::sub)?;
+        if !(p50 <= p90 && p90 <= p99) {
+            return Err(ExpError::Subsystem(format!(
+                "QoE ordering violated under {name}: stall p50/p90/p99 = {p50}/{p90}/{p99}"
+            )));
+        }
+        result.headline_value(&format!("{name} stall p99 (s)"), p99);
+
+        // Ordering gate 2: the uncapped tv class cannot do worse on
+        // bitrate than the capped mobile class under any sharing rule.
+        if let (Some(m), Some(t)) = (mobile, tv) {
+            let (_, _, mobile_rate) = class_qoe(report, m);
+            let (_, _, tv_rate) = class_qoe(report, t);
+            if tv_rate < mobile_rate {
+                return Err(ExpError::Subsystem(format!(
+                    "QoE ordering violated under {name}: tv bitrate {tv_rate} < mobile {mobile_rate}"
+                )));
+            }
+        }
+
+        for (class, spread) in stall_spread.iter_mut().enumerate() {
+            let (stall, watch, _) = class_qoe(report, class);
+            spread.0 = spread.0.min(stall);
+            spread.1 = spread.1.max(stall);
+            result.push_series(Series::from_xy(
+                &format!("fairness/{}/{name}", class_names[class]),
+                &[
+                    (obj_idx as f64, stall),
+                    (obj_idx as f64 + 0.5, watch / 60.0),
+                ],
+            ));
+        }
+    }
+
+    // Per-class tail-stall divergence: how far the sharing rule moves
+    // each class's stall-per-session across the three objectives.
+    let divergence = stall_spread
+        .iter()
+        .map(|&(lo, hi)| hi - lo)
+        .fold(0.0, f64::max);
+    result.headline_value("max per-class stall divergence (s)", divergence);
+    result.headline_value(
+        "sessions simulated",
+        reports.iter().map(|(_, r)| r.sessions).sum::<usize>() as f64,
+    );
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fairness_runs_at_test_scale() {
+        let r = run(9, 0.02).unwrap();
+        let headline = |name: &str| {
+            r.headline
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(headline("shard invariance (1 = identical)"), 1.0);
+        assert!(headline("sessions simulated") > 0.0);
+        assert!(headline("max per-class stall divergence (s)") >= 0.0);
+        for class in ["mobile", "desktop", "tv"] {
+            for (name, _) in OBJECTIVES {
+                assert!(r
+                    .series_named(&format!("fairness/{class}/{name}"))
+                    .is_some());
+            }
+        }
+    }
+
+    #[test]
+    #[ignore = "manual timing probe: cargo test -p lingxi-exp --release probe_cell_timing -- --ignored --nocapture"]
+    fn probe_cell_timing() {
+        for (name, objective) in OBJECTIVES {
+            let t0 = std::time::Instant::now();
+            let r = run_cell(objective, 0.05, 4, 42, "probe").unwrap();
+            println!(
+                "{name}: {:?} for {} sessions / {} segments",
+                t0.elapsed(),
+                r.sessions,
+                r.segments
+            );
+        }
+    }
+
+    #[test]
+    fn pod_topology_is_multi_hop() {
+        let topo = pod_topology().unwrap();
+        assert_eq!(topo.n_links(), 4);
+        assert_eq!(topo.n_routes(), 3);
+        assert!(!topo.is_single_link());
+    }
+}

@@ -1,0 +1,77 @@
+//! Golden regression for the fairness scenario: pins the bit-exact
+//! output of every `experiments -- fairness --scale 0.05` cell — all
+//! three objectives at 1, 4 and 8 shards — to a committed fingerprint.
+//!
+//! Two distinct contracts are enforced:
+//!
+//! 1. **Shard invariance** — within an objective, the 1/4/8-shard runs
+//!    must be bit-identical to each other (the allocator and the metric
+//!    merge are pure functions of the flow set and the seed).
+//! 2. **Pinned history** — the common fingerprint must equal the
+//!    committed constant, so *any* change to the solver, the topology
+//!    rescaling, the RTT composition or the metric pipeline that moves a
+//!    single bit of this scenario shows up as a diff of this file.
+//!
+//! CI runs this test in both event-queue lanes (default timer wheel and
+//! `--features reference-heap`); the constants are lane-independent
+//! because the queue swap is behaviourally exact. The fingerprints are
+//! taken over `Debug`-formatted merged metrics and sketches, which print
+//! floats in shortest-roundtrip form — injective on the underlying bits.
+//! They assume one platform's libm (CI and the dev container are both
+//! x86-64 Linux); to deliberately re-baseline, run with
+//! `REGEN=1 ... -- --nocapture` and copy the printed table.
+
+use lingxi_exp::fairness::{run_cell, OBJECTIVES};
+use lingxi_fleet::FleetReport;
+
+/// FNV-1a over the report's bit-identity-relevant payload.
+fn fingerprint(r: &FleetReport) -> u64 {
+    let payload = format!(
+        "{:?}|{:?}|{}|{}",
+        r.merged_metrics(),
+        r.merged_sketches(),
+        r.sessions,
+        r.segments
+    );
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in payload.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Committed per-objective fingerprints of the scale-0.05, seed-42 cell
+/// (identical across 1/4/8 shards by contract 1).
+const GOLDEN: [(&str, u64); 3] = [
+    ("maxmin", 0x5c356dac2071f249),
+    ("proportional", 0x3c717e4e7457f10b),
+    ("alpha2", 0xc523b879b2e89989),
+];
+
+#[test]
+fn fairness_cells_are_shard_invariant_and_pinned() {
+    for ((name, objective), (gname, golden)) in OBJECTIVES.iter().zip(GOLDEN) {
+        assert_eq!(*name, gname, "objective table drifted from GOLDEN");
+        let mut fps = Vec::new();
+        for shards in [1usize, 4, 8] {
+            let r = run_cell(*objective, 0.05, shards, 42, &format!("golden_{name}")).unwrap();
+            fps.push((shards, fingerprint(&r)));
+        }
+        assert!(
+            fps.iter().all(|&(_, f)| f == fps[0].1),
+            "shard variance under {name}: {fps:x?}"
+        );
+        println!("(\"{name}\", {:#018x}),", fps[0].1);
+        // `REGEN=1 cargo test ... -- --nocapture` prints the full table
+        // without tripping the pin, for deliberate re-baselining.
+        if std::env::var("REGEN").is_ok() {
+            continue;
+        }
+        assert_eq!(
+            fps[0].1, golden,
+            "pinned fairness output drifted under {name}: got {:#018x}",
+            fps[0].1
+        );
+    }
+}

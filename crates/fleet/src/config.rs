@@ -5,7 +5,7 @@ use std::path::PathBuf;
 
 use lingxi_abr::{Abr, Bola, Hyb, ThroughputRule};
 use lingxi_core::{CacheConfig, LingXiConfig};
-use lingxi_net::ProductionMixture;
+use lingxi_net::{FairnessObjective, ProductionMixture, Topology};
 use lingxi_player::PlayerConfig;
 use lingxi_workload::{ArrivalKind, ArrivalProcess, ClassRegistry};
 
@@ -183,6 +183,35 @@ impl ContentionConfig {
     }
 }
 
+/// Fairness/topology mode for the contention kernel: each link group
+/// becomes an instance of a multi-hop [`Topology`] template, flows hash
+/// onto its routes, and capacity splits under a configurable
+/// [`FairnessObjective`] instead of the implicit single-link max-min.
+/// Session RTT and jitter stop being constants: they become the per-path
+/// Kleinrock-composed delay under the group's static offered load.
+///
+/// Determinism: a user's route depends only on (seed, user id); the
+/// α-fair allocator is a fixed-budget deterministic iteration (see
+/// `lingxi_net::fairness`); and a shard owns *all* links of a path group
+/// (the group is the unit hashed onto shards), so merged metrics keep
+/// the bit-identical shard-invariance contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairnessConfig {
+    /// How each group's links split capacity among concurrent flows.
+    pub objective: FairnessObjective,
+    /// Topology template instantiated per link group. In dynamics mode
+    /// its capacities scale by `link class capacity / contention
+    /// capacity`, preserving link heterogeneity.
+    pub topology: Topology,
+}
+
+impl FairnessConfig {
+    /// Validate the configuration (topologies are valid by construction).
+    pub fn validate(&self) -> Result<()> {
+        self.objective.validate().map_err(crate::sub)
+    }
+}
+
 /// Population-dynamics mode: instead of a fixed cohort that all plays
 /// every epoch, users *arrive* according to an [`ArrivalKind`] schedule,
 /// belong to heterogeneous [`ClassRegistry`] classes (device/access caps,
@@ -257,6 +286,10 @@ pub struct FleetConfig {
     /// Population-dynamics mode (arrivals/churn/heterogeneity); requires
     /// `contention`. `None` replays the fixed scenario cohort each epoch.
     pub dynamics: Option<PopulationDynamics>,
+    /// Fairness/topology mode (multi-hop routes, α-fair sharing,
+    /// emergent RTT); requires `contention`. `None` keeps the degenerate
+    /// single max-min link per group.
+    pub fairness: Option<FairnessConfig>,
 }
 
 impl Default for FleetConfig {
@@ -271,6 +304,7 @@ impl Default for FleetConfig {
             ab: None,
             contention: None,
             dynamics: None,
+            fairness: None,
         }
     }
 }
@@ -296,6 +330,14 @@ impl FleetConfig {
                 ));
             }
             dynamics.validate()?;
+        }
+        if let Some(fairness) = &self.fairness {
+            if self.contention.is_none() {
+                return Err(FleetError::InvalidConfig(
+                    "fairness mode requires contention mode (routes live on shared links)".into(),
+                ));
+            }
+            fairness.validate()?;
         }
         if let Some(ab) = &self.ab {
             if ab.intervention_epoch < 2 || self.epochs.saturating_sub(ab.intervention_epoch) < 2 {

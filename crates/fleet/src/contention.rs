@@ -20,6 +20,16 @@
 //! and a departing agent simply stops issuing requests — the bottleneck
 //! re-shares its capacity over the survivors on the next event.
 //!
+//! Fairness mode ([`crate::FairnessConfig`]) generalizes each group's
+//! single link into a multi-hop [`lingxi_net::Topology`] instance: flows
+//! hash onto routes (a pure function of seed and user id), capacity
+//! splits under the configured [`lingxi_net::FairnessObjective`], and
+//! each member's session RTT/jitter become the Kleinrock-composed
+//! per-path delay under the group's static offered load instead of a
+//! constant. A shard still owns the whole group — and with it every link
+//! of every path — so the event order and merged metrics remain pure
+//! functions of (seed, group members, epoch).
+//!
 //! # Fast-path layout
 //!
 //! The kernel keeps its hot lookup state in struct-of-arrays owned by
@@ -45,7 +55,7 @@ use lingxi_media::{BitrateLadder, Catalog, Video};
 use lingxi_net::BinaryHeapQueue;
 #[cfg(not(feature = "reference-heap"))]
 use lingxi_net::TimerWheel;
-use lingxi_net::{Download, EventQueue, FlowEnd, SharedBottleneck};
+use lingxi_net::{Download, EventQueue, FlowEnd, RttModel, SharedBottleneck};
 use lingxi_player::{ExitDecision, PlayerConfig, SessionStream};
 use lingxi_user::{ExitModel, QosExitModel, SegmentView, ToleranceDrift, UserRecord};
 use rand::rngs::{BlockRng, StdRng};
@@ -87,6 +97,12 @@ pub(crate) struct ContentionScratch {
     uids: Vec<u64>,
     /// Per-agent flow caps, parallel to `uids` (struct-of-arrays).
     caps: Vec<f64>,
+    /// Per-agent route indices, parallel to `uids` (always 0 outside
+    /// fairness mode — the degenerate topology's one route).
+    routes: Vec<u16>,
+    /// Per-link utilization estimates for the Kleinrock RTT (fairness
+    /// mode), rebuilt per link group.
+    rho: Vec<f64>,
 }
 
 /// LingXi state carried by a managed agent across its epoch sessions.
@@ -357,6 +373,8 @@ pub(crate) fn run_shard_epoch_contended(
         queue,
         uids,
         caps,
+        routes,
+        rho,
     } = scratch;
     // Flat sorted link index: one reusable buffer and one sort give the
     // same (ascending link, ascending user id) iteration the old
@@ -404,6 +422,8 @@ pub(crate) fn run_shard_epoch_contended(
             queue,
             uids,
             caps,
+            routes,
+            rho,
         )?;
         start = end;
     }
@@ -429,12 +449,52 @@ fn run_link_epoch(
     queue: &mut ArrivalQueue,
     uids: &mut Vec<u64>,
     caps: &mut Vec<f64>,
+    routes: &mut Vec<u16>,
+    rho: &mut Vec<f64>,
 ) -> Result<()> {
-    let link = SharedBottleneck::new(capacity_kbps).map_err(sub)?;
+    let fairness = engine.config().fairness.as_ref();
+    let link = match fairness {
+        // One topology instance per link group; in dynamics mode the
+        // template's capacities scale with the group's link class
+        // (capacity ratio 1.0 outside dynamics — a bit-exact no-op).
+        Some(f) => {
+            let scale = capacity_kbps / contention.capacity_kbps;
+            SharedBottleneck::with_topology(f.topology.scaled(scale).map_err(sub)?, f.objective)
+                .map_err(sub)?
+        }
+        None => SharedBottleneck::new(capacity_kbps).map_err(sub)?,
+    };
     let drift = ToleranceDrift::default();
     let ladder = catalog.ladder();
     let player = engine.config().player;
     let registry = engine.config().dynamics.as_ref().map(|d| &d.registry);
+
+    // Fairness mode: per-link utilization from the group's static
+    // offered load — Σ min(mean bandwidth, flow cap) of the members
+    // routed across each link, accumulated in ascending user-id order.
+    // A pure function of (seed, group members), hence shard-invariant;
+    // it feeds the Kleinrock per-path RTT below.
+    rho.clear();
+    if fairness.is_some() {
+        let topo = link.topology();
+        rho.resize(topo.n_links(), 0.0);
+        for &(_, user_idx) in members {
+            let member = &users[user_idx as usize];
+            let user = &member.record;
+            let mut cap_kbps = contention.flow_cap_kbps(user.net.mean_kbps);
+            if let (Some(reg), Some(class)) = (registry, member.class) {
+                cap_kbps = cap_kbps.min(reg.users[class as usize].access_cap_kbps);
+            }
+            let route = engine.route_of(user.id, topo.n_routes());
+            let demand = user.net.mean_kbps.min(cap_kbps);
+            for &l in topo.route(route) {
+                rho[l as usize] += demand;
+            }
+        }
+        for (r, l) in rho.iter_mut().zip(topo.links()) {
+            *r /= l.capacity_kbps;
+        }
+    }
 
     // Build agents in ascending user-id order. First sessions arrive at
     // the workload schedule's times (dynamics mode) or across the legacy
@@ -443,6 +503,7 @@ fn run_link_epoch(
     queue.clear();
     uids.clear();
     caps.clear();
+    routes.clear();
     for &(_, user_idx) in members {
         let member = &users[user_idx as usize];
         let user = &member.record;
@@ -479,11 +540,28 @@ fn run_link_epoch(
         if let (Some(reg), Some(class)) = (registry, member.class) {
             cap_kbps = cap_kbps.min(reg.users[class as usize].access_cap_kbps);
         }
+        // Fairness mode: hash the user onto a route and replace the
+        // constant RTT model with the route's Kleinrock-composed delay
+        // and jitter (exponential jitter with the per-path mean).
+        let (route, agent_player) = match fairness {
+            Some(_) => {
+                let topo = link.topology();
+                let route = engine.route_of(user.id, topo.n_routes());
+                let (delay, jitter) = topo.path_delay_jitter(route, rho);
+                let mut p = player;
+                p.rtt = RttModel {
+                    base_seconds: 2.0 * delay,
+                    jitter_mean: jitter,
+                };
+                (route, p)
+            }
+            None => (0u16, player),
+        };
         let mut agent = LinkAgent {
             user,
             class: member.class,
             ladder,
-            player,
+            player: agent_player,
             rng,
             abr: policy.build(),
             exit_model,
@@ -499,6 +577,7 @@ fn run_link_epoch(
             Some((at, size_kbits)) => {
                 uids.push(user.id);
                 caps.push(cap_kbps);
+                routes.push(route);
                 queue.push(at, user.id, ArrivalPayload { size_kbits });
                 agents.push(Some(agent));
             }
@@ -559,7 +638,7 @@ fn run_link_epoch(
         } else {
             let (at, uid, payload) = queue.pop().expect("peeked arrival exists");
             let idx = index_of(uids, uid)?;
-            link.begin_flow(uid, at, payload.size_kbits, caps[idx])
+            link.begin_flow_on(uid, routes[idx], at, payload.size_kbits, caps[idx])
                 .map_err(sub)?;
         }
     }
@@ -570,7 +649,11 @@ fn run_link_epoch(
 
 #[cfg(test)]
 mod tests {
-    use crate::{ContentionConfig, FleetConfig, FleetEngine, FleetScenario, PopulationDynamics};
+    use crate::{
+        ContentionConfig, FairnessConfig, FleetConfig, FleetEngine, FleetScenario,
+        PopulationDynamics,
+    };
+    use lingxi_net::{FairnessObjective, TopoLink, Topology};
     use lingxi_workload::{ArrivalKind, ClassRegistry, FlashRamp};
     use std::path::PathBuf;
 
@@ -648,6 +731,89 @@ mod tests {
         assert_eq!(a.merged_metrics(), b.merged_metrics());
         assert_eq!(a.merged_sketches(), b.merged_sketches());
         assert_eq!(a.sessions, b.sessions);
+    }
+
+    fn pod_topology() -> Topology {
+        Topology::new(
+            vec![
+                TopoLink {
+                    capacity_kbps: 12_000.0,
+                    prop_delay_s: 0.004,
+                },
+                TopoLink {
+                    capacity_kbps: 20_000.0,
+                    prop_delay_s: 0.008,
+                },
+                TopoLink {
+                    capacity_kbps: 45_000.0,
+                    prop_delay_s: 0.012,
+                },
+            ],
+            vec![vec![0, 1, 2], vec![1, 2], vec![2]],
+        )
+        .unwrap()
+    }
+
+    fn run_fair(shards: usize, objective: FairnessObjective, tag: &str) -> crate::FleetReport {
+        let dir = temp_dir(tag);
+        let config = FleetConfig {
+            shards,
+            epochs: 2,
+            seed: 7,
+            state_dir: dir.clone(),
+            contention: Some(ContentionConfig {
+                links: 4,
+                capacity_kbps: 20_000.0,
+                arrival_window: 10.0,
+                access_cap_factor: 1.5,
+            }),
+            fairness: Some(FairnessConfig {
+                objective,
+                topology: pod_topology(),
+            }),
+            ..FleetConfig::default()
+        };
+        let report = FleetEngine::new(config).unwrap().run(&scenario()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        report
+    }
+
+    #[test]
+    fn fairness_metrics_identical_across_shard_counts() {
+        // The whole point of the path-group ownership design: a multi-hop
+        // topology with a non-trivial objective is still bit-identical for
+        // any shard count.
+        for objective in [
+            FairnessObjective::MaxMin,
+            FairnessObjective::ProportionalFair,
+            FairnessObjective::AlphaFair(2.0),
+        ] {
+            let one = run_fair(1, objective, "fair1");
+            let four = run_fair(4, objective, "fair4");
+            let eight = run_fair(8, objective, "fair8");
+            assert_eq!(one.merged_metrics(), four.merged_metrics(), "{objective:?}");
+            assert_eq!(
+                one.merged_metrics(),
+                eight.merged_metrics(),
+                "{objective:?}"
+            );
+            assert_eq!(
+                one.merged_sketches(),
+                eight.merged_sketches(),
+                "{objective:?}"
+            );
+            assert_eq!(one.sessions, eight.sessions, "{objective:?}");
+            assert!(one.sessions >= 24, "every user plays >= 1 session");
+        }
+    }
+
+    #[test]
+    fn fairness_objectives_diverge() {
+        // Different objectives allocate the shared pod differently, so the
+        // merged QoE metrics must not be byte-for-byte the same run.
+        let mm = run_fair(2, FairnessObjective::MaxMin, "div_mm");
+        let pf = run_fair(2, FairnessObjective::ProportionalFair, "div_pf");
+        assert_ne!(mm.merged_metrics(), pf.merged_metrics());
     }
 
     #[test]

@@ -105,6 +105,12 @@ impl FleetEngine {
         mix64(self.config.seed ^ mix64(user_id ^ 0x11AC_C355_71E0_2BB7)) % links
     }
 
+    /// The topology route a user's flows take in fairness mode. Derived
+    /// from (seed, user id) only — never from the shard count.
+    pub(crate) fn route_of(&self, user_id: u64, n_routes: usize) -> u16 {
+        (mix64(self.config.seed ^ mix64(user_id ^ 0xFA1C_0DE5_0F4A_11CE)) % n_routes as u64) as u16
+    }
+
     /// Per-(user, epoch) RNG stream, independent of shard count.
     pub(crate) fn stream_seed(&self, user_id: u64, epoch: usize) -> u64 {
         mix64(self.config.seed ^ mix64(user_id) ^ mix64((epoch as u64) << 17 | 0x5EED))

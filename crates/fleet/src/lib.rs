@@ -32,7 +32,8 @@ pub mod engine;
 pub mod report;
 
 pub use config::{
-    AbSplit, AbrMix, AbrPolicy, ContentionConfig, FleetConfig, FleetScenario, PopulationDynamics,
+    AbSplit, AbrMix, AbrPolicy, ContentionConfig, FairnessConfig, FleetConfig, FleetScenario,
+    PopulationDynamics,
 };
 pub use engine::FleetEngine;
 pub use report::{EpochMetrics, EpochSketches, FleetReport};

@@ -1,0 +1,168 @@
+//! Bit-identity against the pre-topology-refactor contention kernel.
+//!
+//! The fairness/topology generalization folded the single-link
+//! `SharedBottleneck` into the degenerate 1-hop [`lingxi_net::Topology`]
+//! code path: every contended fleet run now goes through the topology
+//! allocator, with max-min on a single link dispatching to the exact
+//! pre-refactor water-fill walk. These fingerprints were captured on the
+//! commit *before* the refactor (PR 7 head); if any of them moves, the
+//! degenerate path is no longer bit-identical to the old kernel.
+//!
+//! Regenerate (only after an intentional simulation change) with:
+//! `cargo test -p lingxi-fleet --test prerefactor_identity -- --ignored --nocapture`
+
+use lingxi_fleet::{
+    ContentionConfig, FleetConfig, FleetEngine, FleetReport, FleetScenario, PopulationDynamics,
+};
+use lingxi_workload::{ArrivalKind, ClassRegistry, FlashRamp};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lingxi_prerefactor_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The legacy contended cell (static cohort hashing onto shared links).
+fn run_contended() -> FleetReport {
+    let dir = temp_dir("contended");
+    let config = FleetConfig {
+        shards: 2,
+        epochs: 2,
+        seed: 17,
+        state_dir: dir.clone(),
+        contention: Some(ContentionConfig {
+            links: 5,
+            capacity_kbps: 18_000.0,
+            arrival_window: 12.0,
+            access_cap_factor: 1.5,
+        }),
+        ..FleetConfig::default()
+    };
+    let scenario = FleetScenario {
+        name: "prerefactor_contended".into(),
+        n_users: 24,
+        n_videos: 8,
+        mean_sessions_per_epoch: 2.0,
+        ..FleetScenario::default()
+    };
+    let report = FleetEngine::new(config).unwrap().run(&scenario).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+/// The legacy flash-crowd cell (population dynamics onto shared links) —
+/// the `flashcrowd`/`population` call-site shape.
+fn run_dynamics() -> FleetReport {
+    let dir = temp_dir("dynamics");
+    let config = FleetConfig {
+        shards: 2,
+        epochs: 1,
+        seed: 23,
+        state_dir: dir.clone(),
+        contention: Some(ContentionConfig {
+            links: 3,
+            capacity_kbps: 22_000.0,
+            arrival_window: 15.0,
+            access_cap_factor: 1.5,
+        }),
+        dynamics: Some(PopulationDynamics {
+            arrivals: ArrivalKind::FlashRamp(FlashRamp::uniform(40, 15.0)),
+            registry: ClassRegistry::default_heterogeneous(),
+            day_seconds: 900.0,
+        }),
+        ..FleetConfig::default()
+    };
+    let scenario = FleetScenario {
+        name: "prerefactor_dynamics".into(),
+        n_users: 40,
+        n_videos: 8,
+        mean_sessions_per_epoch: 2.0,
+        ..FleetScenario::default()
+    };
+    let report = FleetEngine::new(config).unwrap().run(&scenario).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+/// Flatten a report into a bit-exact fingerprint: per-epoch merged floats
+/// as IEEE-754 bit patterns plus the integer counters.
+fn fingerprint(report: &FleetReport) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for m in report.merged_metrics() {
+        bits.push(m.watch_time.to_bits());
+        bits.push(m.stall_time.to_bits());
+        bits.push(m.mean_bitrate.to_bits());
+        bits.push(m.sessions as u64);
+        bits.push(m.completions as u64);
+        bits.push(m.stall_count as u64);
+        bits.push(m.switches as u64);
+    }
+    bits.push(report.sessions as u64);
+    bits.push(report.segments as u64);
+    bits
+}
+
+/// Captured on the pre-refactor kernel; see module docs.
+const CONTENDED_FINGERPRINT: &[u64] = &[
+    4655877589770960896,
+    0,
+    4659225787509234865,
+    46,
+    38,
+    0,
+    126,
+    4654989184375717888,
+    4603903880908171796,
+    4659409513613401726,
+    51,
+    30,
+    3,
+    98,
+    97,
+    1755,
+];
+
+/// Captured on the pre-refactor kernel; see module docs.
+const DYNAMICS_FINGERPRINT: &[u64] = &[
+    4659593939072843776,
+    4621462916202313255,
+    4657779177101044590,
+    97,
+    61,
+    13,
+    380,
+    97,
+    1677,
+];
+
+#[test]
+#[ignore = "regeneration helper: prints the fingerprint constants"]
+fn regenerate_fingerprints() {
+    println!(
+        "CONTENDED_FINGERPRINT: &[u64] = &{:?};",
+        fingerprint(&run_contended())
+    );
+    println!(
+        "DYNAMICS_FINGERPRINT: &[u64] = &{:?};",
+        fingerprint(&run_dynamics())
+    );
+}
+
+#[test]
+fn contended_cell_is_bit_identical_to_prerefactor() {
+    assert_eq!(
+        fingerprint(&run_contended()),
+        CONTENDED_FINGERPRINT,
+        "degenerate 1-hop topology diverged from the pre-refactor kernel"
+    );
+}
+
+#[test]
+fn dynamics_cell_is_bit_identical_to_prerefactor() {
+    assert_eq!(
+        fingerprint(&run_dynamics()),
+        DYNAMICS_FINGERPRINT,
+        "dynamics path diverged from the pre-refactor kernel"
+    );
+}

@@ -1,0 +1,806 @@
+//! Fairness objectives and the deterministic α-fair rate allocator.
+//!
+//! A [`FairnessObjective`] selects how a [`crate::Topology`] splits link
+//! capacity among concurrent flows:
+//!
+//! - **Max-min** — progressive water-filling: rates rise together until a
+//!   cap or a link saturates; the classic single-bottleneck special case
+//!   is the exact legacy `SharedBottleneck` walk (bit-identical).
+//! - **Proportional fair** — α = 1, maximizing Σ log xᵢ.
+//! - **α-fair** — the general family `Uα(x) = x^(1−α)/(1−α)` (α ≥ 0,
+//!   α = ∞ dispatches to max-min).
+//!
+//! The finite-α allocator solves the Low–Lapsley dual (per-link prices
+//! p_l ≥ 0, per-flow price q_i = Σ_{l∈route(i)} p_l, demand
+//! x_i(q) = min(cap_i, q^(−1/α))) by cyclic per-link exact price updates:
+//! each Gauss–Seidel sweep bisects every link's price to clear that link
+//! given the others, and the sweep loop stops at a fixed budget
+//! ([`MAX_SWEEPS`]) or when every link's complementary-slackness residual
+//! falls below [`SOLVER_TOL`]. Every operation is straight-line IEEE
+//! arithmetic over the flow set in a canonical order — no time, no
+//! randomness, no hashing — so the allocation is a pure function of
+//! (flow set, caps, capacities) and bit-identical across shard counts.
+//!
+//! ```
+//! use lingxi_net::{allocate, FairnessObjective, FlowDemand, Topology};
+//!
+//! let topo = Topology::single_link(12_000.0).unwrap();
+//! let flows = [
+//!     FlowDemand::new(2000.0, 0),
+//!     FlowDemand::new(f64::INFINITY, 0),
+//!     FlowDemand::new(f64::INFINITY, 0),
+//! ];
+//! let a = allocate(&topo, FairnessObjective::MaxMin, &flows).unwrap();
+//! assert_eq!(a.rates, vec![2000.0, 5000.0, 5000.0]);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::Topology;
+use crate::{NetError, Result};
+
+/// Fixed Gauss–Seidel sweep budget for the finite-α dual solver.
+pub const MAX_SWEEPS: usize = 64;
+
+/// Bisection steps per per-link price update (each halves the bracket;
+/// only links crossed by two or more routes bisect — single-route links
+/// clear in closed form).
+const BISECT_STEPS: usize = 48;
+
+/// Convergence tolerance: maximum relative per-link complementary-
+/// slackness residual at which the sweep loop stops early.
+pub const SOLVER_TOL: f64 = 1e-9;
+
+/// Prices below this are treated as zero in the residual (an inactive
+/// dual constraint only requires feasibility, not tightness).
+const PRICE_TINY: f64 = 1e-12;
+
+/// The dual solver floor on α: utilities flatter than this (α → 0 is
+/// throughput maximization) make the dual ill-conditioned, so smaller
+/// finite values are evaluated at the floor.
+pub const ALPHA_FLOOR: f64 = 0.125;
+
+/// How a topology splits capacity among concurrent flows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FairnessObjective {
+    /// Progressive water-filling (the α → ∞ limit).
+    MaxMin,
+    /// Proportional fairness, Σ log xᵢ (α = 1).
+    ProportionalFair,
+    /// General α-fairness, `Uα(x) = x^(1−α)/(1−α)`. `f64::INFINITY`
+    /// dispatches to the max-min code path; finite values below
+    /// [`ALPHA_FLOOR`] are evaluated at the floor.
+    AlphaFair(f64),
+}
+
+impl FairnessObjective {
+    /// Reject NaN or negative α.
+    pub fn validate(&self) -> Result<()> {
+        if let FairnessObjective::AlphaFair(a) = self {
+            if a.is_nan() || *a < 0.0 {
+                return Err(NetError::InvalidConfig(
+                    "alpha must be non-negative (infinity = max-min)".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the objective dispatches to the max-min code path
+    /// (`MaxMin` itself, or `AlphaFair(∞)` — the equivalence is exact by
+    /// construction, not approximate).
+    pub fn is_max_min(&self) -> bool {
+        match self {
+            FairnessObjective::MaxMin => true,
+            FairnessObjective::AlphaFair(a) => a.is_infinite(),
+            FairnessObjective::ProportionalFair => false,
+        }
+    }
+
+    /// The finite α the dual solver runs at (callers must rule out the
+    /// max-min dispatch first).
+    fn alpha_finite(&self) -> f64 {
+        match self {
+            FairnessObjective::MaxMin => unreachable!("max-min has no finite alpha"),
+            FairnessObjective::ProportionalFair => 1.0,
+            FairnessObjective::AlphaFair(a) => a.max(ALPHA_FLOOR),
+        }
+    }
+}
+
+/// One flow's demand as the allocator sees it: an access cap and a route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowDemand {
+    /// Access-link rate cap (kbps); `f64::INFINITY` when uncapped.
+    pub cap_kbps: f64,
+    /// Route index into the topology.
+    pub route: u16,
+}
+
+impl FlowDemand {
+    /// Construct a demand.
+    pub fn new(cap_kbps: f64, route: u16) -> Self {
+        Self { cap_kbps, route }
+    }
+}
+
+/// Result of a standalone [`allocate`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Allocated rate per flow (kbps), in the input flow order.
+    pub rates: Vec<f64>,
+    /// Gauss–Seidel sweeps the dual solver used (0 on max-min paths).
+    pub sweeps: usize,
+    /// Maximum relative per-link KKT residual of the dual solution
+    /// (complementary slackness + primal feasibility; primal stationarity
+    /// and dual feasibility hold exactly by construction). 0 on max-min
+    /// paths, whose exactness is structural.
+    pub kkt_residual: f64,
+}
+
+/// Reusable solver workspace (kept on the link state so the event kernel
+/// allocates nothing per event).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct FairScratch {
+    /// Per-flow rate ceiling, normalized: min(cap, min capacity on route).
+    clamp: Vec<f64>,
+    /// Per-flow normalized rate.
+    x: Vec<f64>,
+    /// Per-link price p_l.
+    prices: Vec<f64>,
+    /// Per-link normalized capacity.
+    chat: Vec<f64>,
+    /// Flat per-link member lists (`member_off[l]..member_off[l+1]`),
+    /// each segment sorted by (route, clamp, flow index).
+    member_idx: Vec<u32>,
+    member_off: Vec<usize>,
+    /// Same-route runs inside the member lists, `(route, start, end)`
+    /// (`group_off[l]..group_off[l+1]` are link `l`'s runs): every member
+    /// of a run shares one path price, so a bisection step needs one
+    /// power evaluation per run, not per member.
+    groups: Vec<(u16, u32, u32)>,
+    group_off: Vec<usize>,
+    /// Clamps in member-list order, with within-run running sums: the
+    /// run's demand at price `q` is a binary search plus two lookups.
+    clamp_sorted: Vec<f64>,
+    prefix: Vec<f64>,
+    /// Per-run path price excluding the link currently being solved.
+    qbase: Vec<f64>,
+    /// Max-min: frozen flags, per-link frozen consumption, active counts.
+    frozen: Vec<bool>,
+    used: Vec<f64>,
+    counts: Vec<usize>,
+}
+
+/// Outcome stats of [`allocate_into`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SolveStats {
+    pub sweeps: usize,
+    pub kkt_residual: f64,
+}
+
+/// Allocate rates for `flows` on `topo` under `objective`, writing one
+/// rate per flow (in flow order) into `rates`.
+///
+/// Contract: the allocation is computed in the *given* flow order; the
+/// event kernel passes its `(cap, id)`-sorted flow list so the result is
+/// independent of arrival order. The single-link max-min case runs the
+/// exact legacy `SharedBottleneck` water-fill walk, operation for
+/// operation, so the degenerate topology is bit-identical to the
+/// pre-topology kernel.
+pub(crate) fn allocate_into(
+    topo: &Topology,
+    objective: FairnessObjective,
+    flows: &[FlowDemand],
+    scratch: &mut FairScratch,
+    rates: &mut Vec<f64>,
+) -> SolveStats {
+    let exact = SolveStats {
+        sweeps: 0,
+        kkt_residual: 0.0,
+    };
+    rates.clear();
+    if flows.is_empty() {
+        return exact;
+    }
+    if objective.is_max_min() {
+        if topo.is_single_link() {
+            single_link_water_fill(topo.links()[0].capacity_kbps, flows, rates);
+        } else {
+            max_min_fill(topo, flows, scratch, rates);
+        }
+        exact
+    } else {
+        alpha_fair_fill(topo, objective.alpha_finite(), flows, scratch, rates)
+    }
+}
+
+/// The legacy `SharedBottleneck` max-min walk, preserved operation for
+/// operation: every flow gets an equal share of what is left, except
+/// flows whose cap is below their share, which get their cap. Callers
+/// present flows in ascending `(cap, id)` order.
+fn single_link_water_fill(capacity: f64, flows: &[FlowDemand], rates: &mut Vec<f64>) {
+    let n = flows.len();
+    rates.reserve(n);
+    let mut remaining_cap = capacity;
+    let mut remaining_flows = n;
+    for flow in flows {
+        let share = remaining_cap / remaining_flows as f64;
+        let rate = flow.cap_kbps.min(share);
+        rates.push(rate);
+        remaining_cap -= rate;
+        remaining_flows -= 1;
+    }
+}
+
+/// Relative tolerance for the progressive-fill freeze decisions.
+const FILL_EPS: f64 = 1e-9;
+
+/// Multi-link max-min by progressive filling: all unfrozen flows share a
+/// common level `t` that rises until either a flow's cap binds (freeze at
+/// the cap) or a link saturates (freeze every unfrozen flow crossing it
+/// at `t`). Each round freezes at least one flow, so the loop is bounded
+/// by the flow count; all iteration is in flow/link index order.
+fn max_min_fill(topo: &Topology, flows: &[FlowDemand], s: &mut FairScratch, rates: &mut Vec<f64>) {
+    let n = flows.len();
+    let nl = topo.n_links();
+    rates.clear();
+    rates.resize(n, 0.0);
+    s.frozen.clear();
+    s.frozen.resize(n, false);
+    s.used.clear();
+    s.used.resize(nl, 0.0);
+    let mut t = 0.0_f64;
+    for _round in 0..n + nl + 2 {
+        // Active membership per link.
+        s.counts.clear();
+        s.counts.resize(nl, 0);
+        let mut n_active = 0usize;
+        for (i, f) in flows.iter().enumerate() {
+            if s.frozen[i] {
+                continue;
+            }
+            n_active += 1;
+            for &l in topo.route(f.route) {
+                s.counts[l as usize] += 1;
+            }
+        }
+        if n_active == 0 {
+            break;
+        }
+        // Largest uniform increment before a cap or a link binds.
+        let mut delta = f64::INFINITY;
+        for l in 0..nl {
+            if s.counts[l] > 0 {
+                let headroom = topo.links()[l].capacity_kbps - s.used[l] - s.counts[l] as f64 * t;
+                delta = delta.min(headroom / s.counts[l] as f64);
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if !s.frozen[i] {
+                delta = delta.min(f.cap_kbps - t);
+            }
+        }
+        let t_new = t + delta.max(0.0);
+        let mut froze = false;
+        // Cap freezes (flow order).
+        for (i, f) in flows.iter().enumerate() {
+            if s.frozen[i] || f.cap_kbps > t_new + FILL_EPS * t_new.max(1.0) {
+                continue;
+            }
+            let rate = f.cap_kbps.min(t_new);
+            rates[i] = rate;
+            s.frozen[i] = true;
+            froze = true;
+            for &l in topo.route(f.route) {
+                s.used[l as usize] += rate;
+                s.counts[l as usize] -= 1;
+            }
+        }
+        // Link freezes (link order): a saturated link pins every
+        // remaining flow that crosses it at the common level.
+        for l in 0..nl {
+            if s.counts[l] == 0 {
+                continue;
+            }
+            let cap_l = topo.links()[l].capacity_kbps;
+            let headroom = cap_l - s.used[l] - s.counts[l] as f64 * t_new;
+            if headroom > FILL_EPS * cap_l {
+                continue;
+            }
+            for (i, f) in flows.iter().enumerate() {
+                if s.frozen[i] || !topo.route(f.route).contains(&(l as u16)) {
+                    continue;
+                }
+                rates[i] = t_new;
+                s.frozen[i] = true;
+                froze = true;
+                for &k in topo.route(f.route) {
+                    s.used[k as usize] += t_new;
+                    s.counts[k as usize] -= 1;
+                }
+            }
+        }
+        if !froze {
+            // Numerical stall (can only happen on float dust): pin every
+            // remaining flow at the current level and stop.
+            for (i, f) in flows.iter().enumerate() {
+                if !s.frozen[i] {
+                    rates[i] = f.cap_kbps.min(t_new);
+                    s.frozen[i] = true;
+                }
+            }
+            break;
+        }
+        t = t_new;
+    }
+}
+
+/// The finite-α dual solver (see module docs). Rates come back in flow
+/// order, normalized back to kbps.
+fn alpha_fair_fill(
+    topo: &Topology,
+    alpha: f64,
+    flows: &[FlowDemand],
+    s: &mut FairScratch,
+    rates: &mut Vec<f64>,
+) -> SolveStats {
+    let n = flows.len();
+    let nl = topo.n_links();
+    let inv_alpha = 1.0 / alpha;
+
+    // Normalize by the largest capacity so bisection brackets and
+    // tolerances are scale-free.
+    let mut cscale = 0.0_f64;
+    for l in topo.links() {
+        cscale = cscale.max(l.capacity_kbps);
+    }
+    s.chat.clear();
+    for l in topo.links() {
+        s.chat.push(l.capacity_kbps / cscale);
+    }
+    s.clamp.clear();
+    for f in flows {
+        let ceiling = f.cap_kbps.min(topo.min_capacity_on(f.route));
+        s.clamp.push(ceiling / cscale);
+    }
+
+    // Complementary slackness precomputed: a link whose members cannot
+    // saturate it even at their clamps (Σ clamp ≤ ĉ) has price 0 at the
+    // optimum whatever the other prices do (demand only shrinks as q
+    // grows), so it never needs a bisection. `frozen` doubles as that
+    // per-link "saturable" mask here; it is max-min scratch otherwise.
+    s.used.clear();
+    s.used.resize(nl, 0.0);
+    for (i, f) in flows.iter().enumerate() {
+        for &l in topo.route(f.route) {
+            s.used[l as usize] += s.clamp[i];
+        }
+    }
+    s.frozen.clear();
+    for l in 0..nl {
+        s.frozen.push(s.used[l] > s.chat[l]);
+    }
+    if s.frozen.iter().all(|&sat| !sat) {
+        // No link can bind: every objective hands each flow its clamp,
+        // and that is the exact optimum (zero KKT residual).
+        rates.clear();
+        rates.reserve(n);
+        for &c in &s.clamp {
+            rates.push(c * cscale);
+        }
+        return SolveStats {
+            sweeps: 0,
+            kkt_residual: 0.0,
+        };
+    }
+
+    // Flat per-link member lists, sorted by (route, clamp, flow index),
+    // with same-route runs and within-run clamp running sums: all the
+    // members of a run see the same path price, so evaluating a run's
+    // aggregate demand at a candidate price is one power, one binary
+    // search and two lookups — the bisection cost is per *route*, not
+    // per flow, which is what keeps the solver linear-ish when a busy
+    // period piles hundreds of flows onto the pod.
+    {
+        let FairScratch {
+            member_idx,
+            member_off,
+            clamp,
+            groups,
+            group_off,
+            clamp_sorted,
+            prefix,
+            counts,
+            ..
+        } = &mut *s;
+        // Count members per (link, route), lay out runs, then scatter in
+        // flow order: a stable counting sort. Callers present flows in
+        // ascending (cap, ...) order and clamp = min(cap, const-per-route)
+        // is monotone in cap, so each run comes out clamp-sorted without
+        // a comparator sort.
+        let nr = topo.n_routes();
+        counts.clear();
+        counts.resize(nl * nr, 0);
+        for f in flows {
+            for &l in topo.route(f.route) {
+                counts[l as usize * nr + f.route as usize] += 1;
+            }
+        }
+        member_off.clear();
+        groups.clear();
+        group_off.clear();
+        let mut off = 0usize;
+        for l in 0..nl {
+            member_off.push(off);
+            group_off.push(groups.len());
+            for r in 0..nr {
+                let c = counts[l * nr + r];
+                if c > 0 {
+                    groups.push((r as u16, off as u32, (off + c) as u32));
+                    // Repurpose the slot as the run's write cursor.
+                    counts[l * nr + r] = off;
+                    off += c;
+                }
+            }
+        }
+        member_off.push(off);
+        group_off.push(groups.len());
+        member_idx.clear();
+        member_idx.resize(off, 0);
+        clamp_sorted.clear();
+        clamp_sorted.resize(off, 0.0);
+        for (i, f) in flows.iter().enumerate() {
+            for &l in topo.route(f.route) {
+                let cursor = &mut counts[l as usize * nr + f.route as usize];
+                member_idx[*cursor] = i as u32;
+                clamp_sorted[*cursor] = clamp[i];
+                *cursor += 1;
+            }
+        }
+        prefix.clear();
+        prefix.resize(off, 0.0);
+        for &(_, gs, ge) in groups.iter() {
+            let mut sum = 0.0;
+            for j in gs as usize..ge as usize {
+                debug_assert!(
+                    j == gs as usize || clamp_sorted[j] >= clamp_sorted[j - 1],
+                    "flows must arrive clamp-sorted within a route"
+                );
+                sum += clamp_sorted[j];
+                prefix[j] = sum;
+            }
+        }
+    }
+
+    s.prices.clear();
+    s.prices.resize(nl, 0.0);
+    s.x.clear();
+    s.x.resize(n, 0.0);
+
+    let mut sweeps = 0usize;
+    let mut residual = f64::INFINITY;
+    for sweep in 0..MAX_SWEEPS {
+        // One Gauss–Seidel sweep: clear each link exactly, holding the
+        // other prices fixed.
+        for l in 0..nl {
+            let members = &s.member_idx[s.member_off[l]..s.member_off[l + 1]];
+            if members.is_empty() || !s.frozen[l] {
+                s.prices[l] = 0.0;
+                continue;
+            }
+            // Path price of each same-route run excluding this link.
+            let (g0, g1) = (s.group_off[l], s.group_off[l + 1]);
+            s.qbase.clear();
+            for gi in g0..g1 {
+                let mut qb = 0.0;
+                for &k in topo.route(s.groups[gi].0) {
+                    if k as usize != l {
+                        qb += s.prices[k as usize];
+                    }
+                }
+                s.qbase.push(qb);
+            }
+            let chat_l = s.chat[l];
+            let y_at = |p: f64, s: &FairScratch| -> f64 {
+                let mut y = 0.0;
+                for (j, &(_, gs, ge)) in s.groups[g0..g1].iter().enumerate() {
+                    let (gs, ge) = (gs as usize, ge as usize);
+                    let q = s.qbase[j] + p;
+                    if q > 0.0 {
+                        let v = q.powf(-inv_alpha);
+                        // Members below their clamp contribute v; members
+                        // clamped below v contribute their clamp sum.
+                        let k = s.clamp_sorted[gs..ge].partition_point(|&c| c <= v);
+                        let below = if k == 0 { 0.0 } else { s.prefix[gs + k - 1] };
+                        y += below + v * (ge - gs - k) as f64;
+                    } else {
+                        y += s.prefix[ge - 1];
+                    }
+                }
+                y
+            };
+            if y_at(0.0, s) <= chat_l {
+                s.prices[l] = 0.0;
+                continue;
+            }
+            if g1 - g0 == 1 {
+                // Single same-route run: every member sees one path
+                // price, so Σ min(clamp, v) = ĉ is a plain water-fill
+                // over the sorted clamps — solve the level exactly and
+                // price the link with one power. This is every link
+                // crossed by a single route (the common case away from
+                // the shared core), where the bisection below would
+                // spend BISECT_STEPS powers for the same answer.
+                let (gs, ge) = (s.groups[g0].1 as usize, s.groups[g0].2 as usize);
+                let mut v = f64::INFINITY;
+                for k in gs..ge {
+                    // With the clamps below `level` pinned, the rest
+                    // share evenly; the first consistent level wins.
+                    let below = if k == gs { 0.0 } else { s.prefix[k - 1] };
+                    let level = (chat_l - below) / (ge - k) as f64;
+                    if level <= s.clamp_sorted[k] {
+                        v = level;
+                        break;
+                    }
+                }
+                // y(0) > ĉ guarantees a consistent level exists and sits
+                // below the uncapped zero-price demand, so the cleared
+                // price v^(−α) − qbase is strictly positive.
+                s.prices[l] = v.powf(-alpha) - s.qbase[0];
+                continue;
+            }
+            // Upper bracket: at p = (m/ĉ)^α every member's demand is at
+            // most ĉ/m, so y(p) ≤ ĉ. Guard overflow and double if the
+            // closed form ever lands infeasible.
+            let m = members.len() as f64;
+            let mut hi = (m / chat_l).powf(alpha).clamp(1.0, 1e300);
+            let mut guard = 0;
+            while y_at(hi, s) > chat_l && guard < 60 {
+                hi = (hi * 2.0).min(f64::MAX / 4.0);
+                guard += 1;
+            }
+            let mut lo = 0.0_f64;
+            for _ in 0..BISECT_STEPS {
+                let mid = 0.5 * (lo + hi);
+                if y_at(mid, s) > chat_l {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            // Keep the feasible side of the bracket.
+            s.prices[l] = hi;
+        }
+        sweeps = sweep + 1;
+
+        // Residual: with prices fixed, recompute q, x and per-link loads;
+        // an active link must be cleared, an inactive one merely feasible.
+        // One power per route (every flow on a route shares its path
+        // price), then a per-flow min against the clamp.
+        s.qbase.clear();
+        for r in 0..topo.n_routes() {
+            let mut q = 0.0;
+            for &l in topo.route(r as u16) {
+                q += s.prices[l as usize];
+            }
+            s.qbase.push(if q > 0.0 {
+                q.powf(-inv_alpha)
+            } else {
+                f64::INFINITY
+            });
+        }
+        for (i, f) in flows.iter().enumerate() {
+            s.x[i] = s.clamp[i].min(s.qbase[f.route as usize]);
+        }
+        residual = 0.0_f64;
+        for l in 0..nl {
+            let members = &s.member_idx[s.member_off[l]..s.member_off[l + 1]];
+            let mut y = 0.0;
+            for &i in members {
+                y += s.x[i as usize];
+            }
+            let r = if s.prices[l] > PRICE_TINY {
+                (y - s.chat[l]).abs() / s.chat[l]
+            } else {
+                (y - s.chat[l]).max(0.0) / s.chat[l]
+            };
+            residual = residual.max(r);
+        }
+        if residual < SOLVER_TOL {
+            break;
+        }
+    }
+
+    // Final feasibility projection: if any link is (ULP-level) oversold,
+    // scale every flow crossing it down by the worst overload on its
+    // path. This preserves per-link conservation exactly up to rounding.
+    s.used.clear();
+    s.used.resize(nl, 0.0);
+    for l in 0..nl {
+        let members = &s.member_idx[s.member_off[l]..s.member_off[l + 1]];
+        let mut y = 0.0;
+        for &i in members {
+            y += s.x[i as usize];
+        }
+        s.used[l] = y / s.chat[l];
+    }
+    rates.clear();
+    rates.reserve(n);
+    for (i, f) in flows.iter().enumerate() {
+        let mut over = 1.0_f64;
+        for &l in topo.route(f.route) {
+            over = over.max(s.used[l as usize]);
+        }
+        let x = if over > 1.0 { s.x[i] / over } else { s.x[i] };
+        rates.push(x * cscale);
+    }
+    SolveStats {
+        sweeps,
+        kkt_residual: residual,
+    }
+}
+
+/// Standalone allocation with validation and a KKT report.
+///
+/// Flows are ranked by ascending `(cap, route)` internally (the canonical
+/// order the event kernel maintains), so the result is invariant under
+/// permutation of the input flows; rates come back in the input order.
+pub fn allocate(
+    topo: &Topology,
+    objective: FairnessObjective,
+    flows: &[FlowDemand],
+) -> Result<Allocation> {
+    objective.validate()?;
+    for (i, f) in flows.iter().enumerate() {
+        if !(f.cap_kbps > 0.0) {
+            return Err(NetError::InvalidConfig(format!(
+                "flow {i}: cap must be positive"
+            )));
+        }
+        if f.route as usize >= topo.n_routes() {
+            return Err(NetError::InvalidConfig(format!(
+                "flow {i}: route {} out of range",
+                f.route
+            )));
+        }
+    }
+    let mut order: Vec<usize> = (0..flows.len()).collect();
+    order.sort_by(|&a, &b| {
+        flows[a]
+            .cap_kbps
+            .total_cmp(&flows[b].cap_kbps)
+            .then(flows[a].route.cmp(&flows[b].route))
+    });
+    let sorted: Vec<FlowDemand> = order.iter().map(|&i| flows[i]).collect();
+    let mut scratch = FairScratch::default();
+    let mut sorted_rates = Vec::new();
+    let stats = allocate_into(topo, objective, &sorted, &mut scratch, &mut sorted_rates);
+    let mut rates = vec![0.0; flows.len()];
+    for (pos, &i) in order.iter().enumerate() {
+        rates[i] = sorted_rates[pos];
+    }
+    Ok(Allocation {
+        rates,
+        sweeps: stats.sweeps,
+        kkt_residual: stats.kkt_residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopoLink;
+
+    fn two_hop_topo() -> Topology {
+        Topology::new(
+            vec![TopoLink::new(10_000.0, 0.0), TopoLink::new(6_000.0, 0.0)],
+            vec![vec![0, 1], vec![1]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn objective_validation() {
+        assert!(FairnessObjective::AlphaFair(-1.0).validate().is_err());
+        assert!(FairnessObjective::AlphaFair(f64::NAN).validate().is_err());
+        assert!(FairnessObjective::AlphaFair(0.0).validate().is_ok());
+        assert!(FairnessObjective::AlphaFair(f64::INFINITY).is_max_min());
+        assert!(FairnessObjective::MaxMin.is_max_min());
+        assert!(!FairnessObjective::ProportionalFair.is_max_min());
+    }
+
+    #[test]
+    fn single_link_max_min_matches_legacy_walk_bitwise() {
+        // The golden `access_caps_water_fill` fixture: 12 Mbps link, caps
+        // (2 Mbps, ∞, ∞) → (2000, 5000, 5000), exactly.
+        let topo = Topology::single_link(12_000.0).unwrap();
+        let flows = [
+            FlowDemand::new(2000.0, 0),
+            FlowDemand::new(f64::INFINITY, 0),
+            FlowDemand::new(f64::INFINITY, 0),
+        ];
+        let a = allocate(&topo, FairnessObjective::MaxMin, &flows).unwrap();
+        assert_eq!(a.rates, vec![2000.0, 5000.0, 5000.0]);
+        assert_eq!(a.sweeps, 0);
+        assert_eq!(a.kkt_residual, 0.0);
+        // α = ∞ dispatches to the identical code path: bit-exact.
+        let inf = allocate(&topo, FairnessObjective::AlphaFair(f64::INFINITY), &flows).unwrap();
+        assert_eq!(inf.rates, a.rates);
+    }
+
+    #[test]
+    fn multi_hop_max_min_respects_every_link() {
+        // Route 0 crosses both links, route 1 only the 6 Mbps link. The
+        // shared link saturates at a common level of 3 Mbps each.
+        let topo = two_hop_topo();
+        let flows = [
+            FlowDemand::new(f64::INFINITY, 0),
+            FlowDemand::new(f64::INFINITY, 1),
+        ];
+        let a = allocate(&topo, FairnessObjective::MaxMin, &flows).unwrap();
+        assert!((a.rates[0] - 3000.0).abs() < 1e-6, "rates {:?}", a.rates);
+        assert!((a.rates[1] - 3000.0).abs() < 1e-6);
+        // A third flow on the wide link only: max-min lets the route-1
+        // flows keep splitting link 1 while it takes the leftover of
+        // link 0.
+        let flows = [
+            FlowDemand::new(f64::INFINITY, 0),
+            FlowDemand::new(f64::INFINITY, 1),
+            FlowDemand::new(f64::INFINITY, 1),
+        ];
+        let a = allocate(&topo, FairnessObjective::MaxMin, &flows).unwrap();
+        // Link 1 (6 Mbps, 3 flows) binds first at level 2000.
+        for r in &a.rates {
+            assert!((r - 2000.0).abs() < 1e-6, "rates {:?}", a.rates);
+        }
+    }
+
+    #[test]
+    fn proportional_fair_favors_short_routes() {
+        // Classic PF on a line network: the long flow crosses both links,
+        // each short flow one. PF gives the long flow less than max-min
+        // would (it consumes resources on two links).
+        let topo = Topology::new(
+            vec![TopoLink::new(10_000.0, 0.0), TopoLink::new(10_000.0, 0.0)],
+            vec![vec![0, 1], vec![0], vec![1]],
+        )
+        .unwrap();
+        let flows = [
+            FlowDemand::new(f64::INFINITY, 0),
+            FlowDemand::new(f64::INFINITY, 1),
+            FlowDemand::new(f64::INFINITY, 2),
+        ];
+        let a = allocate(&topo, FairnessObjective::ProportionalFair, &flows).unwrap();
+        // Analytic PF optimum: long flow c/3, short flows 2c/3.
+        assert!(
+            (a.rates[0] - 10_000.0 / 3.0).abs() < 5.0,
+            "long flow {:?}",
+            a.rates
+        );
+        assert!((a.rates[1] - 20_000.0 / 3.0).abs() < 5.0);
+        assert!((a.rates[2] - 20_000.0 / 3.0).abs() < 5.0);
+        assert!(a.kkt_residual < 1e-8, "residual {}", a.kkt_residual);
+    }
+
+    #[test]
+    fn allocate_rejects_bad_flows() {
+        let topo = Topology::single_link(1000.0).unwrap();
+        assert!(allocate(&topo, FairnessObjective::MaxMin, &[FlowDemand::new(0.0, 0)]).is_err());
+        assert!(allocate(&topo, FairnessObjective::MaxMin, &[FlowDemand::new(1.0, 3)]).is_err());
+        assert!(allocate(&topo, FairnessObjective::AlphaFair(-2.0), &[]).is_err());
+    }
+
+    #[test]
+    fn empty_flow_set_allocates_nothing() {
+        let topo = two_hop_topo();
+        for obj in [
+            FairnessObjective::MaxMin,
+            FairnessObjective::ProportionalFair,
+            FairnessObjective::AlphaFair(2.0),
+        ] {
+            let a = allocate(&topo, obj, &[]).unwrap();
+            assert!(a.rates.is_empty());
+        }
+    }
+}

@@ -23,18 +23,22 @@
 
 pub mod estimator;
 pub mod events;
+pub mod fairness;
 pub mod gen;
 pub mod mixture;
 pub mod process;
 pub mod rtt;
+pub mod topology;
 pub mod trace;
 
 pub use estimator::{BandwidthEstimator, EwmaEstimator, HarmonicMeanEstimator, WindowEstimator};
 pub use events::{BinaryHeapQueue, EventQueue, TimerWheel};
+pub use fairness::{allocate, Allocation, FairnessObjective, FlowDemand, MAX_SWEEPS, SOLVER_TOL};
 pub use gen::{LogNormalFadeGen, MarkovGen, RandomWalkGen, StationaryGaussGen, TraceGenerator};
 pub use mixture::{NetClass, ProductionMixture, UserNetProfile};
 pub use process::{BandwidthProcess, Download, FlowEnd, ModelProcess, SharedBottleneck};
 pub use rtt::RttModel;
+pub use topology::{TopoLink, Topology};
 pub use trace::BandwidthTrace;
 
 /// Errors from network-model construction.

@@ -14,10 +14,15 @@
 //! client-side predictor and the simulator can never drift apart.
 //!
 //! [`SharedBottleneck`] is the contention-aware implementation: a
-//! deterministic discrete-event link that splits its capacity max-min
-//! fair among concurrently-active downloads, re-sharing on every flow
-//! arrival and departure. It powers the fleet engine's contention mode
-//! and the `flashcrowd` experiment.
+//! deterministic discrete-event network that splits link capacity among
+//! concurrently-active downloads under a configurable
+//! [`FairnessObjective`], re-sharing on every flow arrival and departure.
+//! [`SharedBottleneck::new`] builds the classic degenerate case — a
+//! single max-min link — as a 1-hop [`Topology`], bit-identical to the
+//! historical single-link kernel; [`SharedBottleneck::with_topology`]
+//! generalizes to multi-hop routes and α-fair sharing. It powers the
+//! fleet engine's contention mode and the `flashcrowd`, `population` and
+//! `fairness` experiments.
 //!
 //! ```
 //! use lingxi_net::{BandwidthProcess, BandwidthTrace, SharedBottleneck};
@@ -40,6 +45,8 @@ use rand::Rng;
 
 use lingxi_stats::NormalDist;
 
+use crate::fairness::{self, FairScratch, FairnessObjective, FlowDemand};
+use crate::topology::Topology;
 use crate::trace::BandwidthTrace;
 use crate::{NetError, Result};
 
@@ -155,7 +162,7 @@ pub struct FlowEnd {
     pub kbps: f64,
 }
 
-/// An active flow on the link.
+/// An active flow on the network.
 #[derive(Debug, Clone, Copy)]
 struct Flow {
     id: u64,
@@ -164,6 +171,8 @@ struct Flow {
     remaining_kbits: f64,
     /// Access-link rate cap (kbps); `f64::INFINITY` when uncapped.
     cap_kbps: f64,
+    /// Route index into the topology (always 0 on the degenerate link).
+    route: u16,
 }
 
 #[derive(Debug, Default)]
@@ -171,18 +180,23 @@ struct LinkState {
     /// Virtual time of the last processed event.
     now: f64,
     /// Active flows, kept sorted ascending by `(cap_kbps, id)` — the
-    /// water-fill visitation order. Sorted insertion on arrival makes
-    /// [`LinkState::refresh_rates`] a single allocation-free walk instead
-    /// of a per-event sort.
+    /// allocator's canonical visitation order. Sorted insertion on
+    /// arrival makes [`LinkState::refresh_rates`] a single
+    /// allocation-free walk instead of a per-event sort, and makes the
+    /// allocation independent of arrival order.
     flows: Vec<Flow>,
     /// Completions not yet consumed, ordered by (time, id).
     done: VecDeque<FlowEnd>,
-    /// Cached max-min shares, parallel to `flows`. The water-fill depends
-    /// only on the flow *set* (caps and ids), never on residuals, so the
-    /// shares stay valid across fluid drains and are recomputed only when
-    /// a flow arrives or departs.
+    /// Cached allocated rates, parallel to `flows`. Every objective's
+    /// allocation depends only on the flow *set* (caps, routes and ids),
+    /// never on residuals, so the shares stay valid across fluid drains
+    /// and are recomputed only when a flow arrives or departs.
     rates: Vec<f64>,
     rates_fresh: bool,
+    /// Scratch mirror of `flows` as the allocator's demand view.
+    demands: Vec<FlowDemand>,
+    /// Reusable allocator workspace.
+    fair: FairScratch,
     /// Cached earliest projected completion under the current shares
     /// (`INFINITY` when idle). Goes stale whenever `now`, a residual, or
     /// the flow set changes — the projection mixes all three.
@@ -193,38 +207,37 @@ struct LinkState {
 }
 
 impl LinkState {
-    /// Max-min water-filling into the `rates` cache: every flow gets an
-    /// equal share of what is left, except flows whose access cap is below
-    /// their share, which get their cap (freeing the difference for the
-    /// others). `flows` is already in `(cap_kbps, id)` order, so the walk
-    /// visits flows in exactly the order the former per-event sort
-    /// produced — the share arithmetic is bit-identical.
-    fn refresh_rates(&mut self, capacity: f64) {
+    /// Run the fairness allocator into the `rates` cache. `flows` is
+    /// already in `(cap_kbps, id)` order, so the single-link max-min case
+    /// visits flows in exactly the order the legacy per-event water-fill
+    /// produced — the share arithmetic is bit-identical — and every other
+    /// objective sees a canonical, arrival-order-independent flow list.
+    fn refresh_rates(&mut self, topo: &Topology, objective: FairnessObjective) {
         if self.rates_fresh {
             return;
         }
-        let n = self.flows.len();
-        self.rates.clear();
-        self.rates.reserve(n);
-        let mut remaining_cap = capacity;
-        let mut remaining_flows = n;
+        self.demands.clear();
         for flow in &self.flows {
-            let share = remaining_cap / remaining_flows as f64;
-            let rate = flow.cap_kbps.min(share);
-            self.rates.push(rate);
-            remaining_cap -= rate;
-            remaining_flows -= 1;
+            self.demands
+                .push(FlowDemand::new(flow.cap_kbps, flow.route));
         }
+        fairness::allocate_into(
+            topo,
+            objective,
+            &self.demands,
+            &mut self.fair,
+            &mut self.rates,
+        );
         self.rates_fresh = true;
     }
 
     /// Earliest projected completion under the current shares, into the
     /// `earliest` cache.
-    fn refresh_earliest(&mut self, capacity: f64) {
+    fn refresh_earliest(&mut self, topo: &Topology, objective: FairnessObjective) {
         if self.earliest_fresh {
             return;
         }
-        self.refresh_rates(capacity);
+        self.refresh_rates(topo, objective);
         let mut t = f64::INFINITY;
         for (flow, &rate) in self.flows.iter().zip(&self.rates) {
             t = t.min(self.now + flow.remaining_kbits / rate);
@@ -238,12 +251,16 @@ impl LinkState {
 /// floating-point dust of repeated fluid advances).
 const FLOW_EPS_KBITS: f64 = 1e-9;
 
-/// A deterministic discrete-event shared link.
+/// A deterministic discrete-event shared network.
 ///
-/// Capacity is split **max-min fair** among concurrently-active flows:
-/// each flow is rate-limited by its own access cap, and the water-filling
-/// allocation recomputes on every flow arrival and departure. With `k`
-/// concurrent uncapped flows each receives exactly `capacity / k`.
+/// Capacity is split among concurrently-active flows under the
+/// configured [`FairnessObjective`] over the configured [`Topology`]:
+/// each flow is rate-limited by its own access cap and by every link on
+/// its route, and the allocation recomputes on every flow arrival and
+/// departure. The [`SharedBottleneck::new`] default is the degenerate
+/// 1-hop max-min link — with `k` concurrent uncapped flows each receives
+/// exactly `capacity / k` — bit-identical to the historical single-link
+/// kernel.
 ///
 /// Two usage modes:
 ///
@@ -260,7 +277,8 @@ const FLOW_EPS_KBITS: f64 = 1e-9;
 /// share the link between sessions through `&SharedBottleneck`.
 #[derive(Debug)]
 pub struct SharedBottleneck {
-    capacity_kbps: f64,
+    topology: Topology,
+    objective: FairnessObjective,
     state: RefCell<LinkState>,
 }
 
@@ -268,22 +286,40 @@ impl SharedBottleneck {
     /// Flow id reserved for the pull-mode [`BandwidthProcess`] path.
     const PULL_ID: u64 = u64::MAX;
 
-    /// Create a link; `capacity_kbps` must be positive and finite.
+    /// Create the degenerate single max-min link; `capacity_kbps` must be
+    /// positive and finite. Equivalent to
+    /// `with_topology(Topology::single_link(..), FairnessObjective::MaxMin)`.
     pub fn new(capacity_kbps: f64) -> Result<Self> {
-        if !(capacity_kbps > 0.0) || !capacity_kbps.is_finite() {
-            return Err(NetError::InvalidConfig(
-                "link capacity must be positive and finite".into(),
-            ));
-        }
+        Self::with_topology(
+            Topology::single_link(capacity_kbps)?,
+            FairnessObjective::MaxMin,
+        )
+    }
+
+    /// Create a network over an explicit topology and fairness objective.
+    pub fn with_topology(topology: Topology, objective: FairnessObjective) -> Result<Self> {
+        objective.validate()?;
         Ok(Self {
-            capacity_kbps,
+            topology,
+            objective,
             state: RefCell::new(LinkState::default()),
         })
     }
 
-    /// Link capacity (kbps).
+    /// Capacity of the first link (kbps) — *the* capacity on the
+    /// degenerate single-link topology.
     pub fn capacity_kbps(&self) -> f64 {
-        self.capacity_kbps
+        self.topology.links()[0].capacity_kbps
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The fairness objective splitting capacity among flows.
+    pub fn objective(&self) -> FairnessObjective {
+        self.objective
     }
 
     /// Virtual time of the last processed event (seconds).
@@ -308,9 +344,9 @@ impl SharedBottleneck {
 
     /// Advance the fluid simulation to absolute time `to`, queueing every
     /// completion on the way (ties resolved in ascending flow-id order).
-    fn advance(capacity: f64, state: &mut LinkState, to: f64) {
+    fn advance(topo: &Topology, objective: FairnessObjective, state: &mut LinkState, to: f64) {
         while !state.flows.is_empty() && state.now < to {
-            state.refresh_earliest(capacity);
+            state.refresh_earliest(topo, objective);
             let t_end = state.earliest;
             let t_stop = t_end.min(to);
             let dt = t_stop - state.now;
@@ -368,11 +404,25 @@ impl SharedBottleneck {
         state.now = state.now.max(to);
     }
 
-    /// Admit a flow of `size_kbits` at absolute time `at` with an access
-    /// cap of `cap_kbps` (`f64::INFINITY` for uncapped). `at` earlier than
-    /// the link clock is clamped forward — the event kernel admits flows
-    /// in event order, so this only absorbs sub-ULP drift.
+    /// Admit a flow on route 0 — the one route of the degenerate
+    /// single-link topology. See [`SharedBottleneck::begin_flow_on`].
     pub fn begin_flow(&self, id: u64, at: f64, size_kbits: f64, cap_kbps: f64) -> Result<()> {
+        self.begin_flow_on(id, 0, at, size_kbits, cap_kbps)
+    }
+
+    /// Admit a flow of `size_kbits` on route `route` at absolute time
+    /// `at` with an access cap of `cap_kbps` (`f64::INFINITY` for
+    /// uncapped). `at` earlier than the network clock is clamped forward
+    /// — the event kernel admits flows in event order, so this only
+    /// absorbs sub-ULP drift.
+    pub fn begin_flow_on(
+        &self,
+        id: u64,
+        route: u16,
+        at: f64,
+        size_kbits: f64,
+        cap_kbps: f64,
+    ) -> Result<()> {
         if !(size_kbits > 0.0) || !size_kbits.is_finite() {
             return Err(NetError::InvalidConfig(
                 "flow size must be positive and finite".into(),
@@ -381,15 +431,20 @@ impl SharedBottleneck {
         if !(cap_kbps > 0.0) {
             return Err(NetError::InvalidConfig("flow cap must be positive".into()));
         }
+        if route as usize >= self.topology.n_routes() {
+            return Err(NetError::InvalidConfig(format!(
+                "route {route} out of range"
+            )));
+        }
         let mut state = self.state.borrow_mut();
         if state.flows.iter().any(|f| f.id == id) {
             return Err(NetError::InvalidConfig(format!(
-                "flow {id} is already active on this link"
+                "flow {id} is already active on this network"
             )));
         }
-        Self::advance(self.capacity_kbps, &mut state, at);
+        Self::advance(&self.topology, self.objective, &mut state, at);
         let started = state.now;
-        // Sorted insert: keep `flows` in the water-fill's `(cap, id)`
+        // Sorted insert: keep `flows` in the allocator's `(cap, id)`
         // visitation order (keys are unique — ids are).
         let pos = state
             .flows
@@ -402,6 +457,7 @@ impl SharedBottleneck {
                 size_kbits,
                 remaining_kbits: size_kbits,
                 cap_kbps,
+                route,
             },
         );
         state.rates_fresh = false;
@@ -420,7 +476,7 @@ impl SharedBottleneck {
         if state.flows.is_empty() {
             return None;
         }
-        state.refresh_earliest(self.capacity_kbps);
+        state.refresh_earliest(&self.topology, self.objective);
         Some(state.earliest)
     }
 
@@ -431,9 +487,9 @@ impl SharedBottleneck {
             if state.flows.is_empty() {
                 return None;
             }
-            state.refresh_earliest(self.capacity_kbps);
+            state.refresh_earliest(&self.topology, self.objective);
             let t = state.earliest;
-            Self::advance(self.capacity_kbps, &mut state, t);
+            Self::advance(&self.topology, self.objective, &mut state, t);
         }
         state.done.pop_front()
     }
@@ -442,7 +498,7 @@ impl SharedBottleneck {
     /// (they remain readable through [`SharedBottleneck::pop_completion`]).
     pub fn advance_to(&self, t: f64) {
         let mut state = self.state.borrow_mut();
-        Self::advance(self.capacity_kbps, &mut state, t);
+        Self::advance(&self.topology, self.objective, &mut state, t);
     }
 
     /// Run the link until flow `id` completes and return its record;
@@ -457,9 +513,9 @@ impl SharedBottleneck {
                 !state.flows.is_empty(),
                 "flow is active, so a completion exists"
             );
-            state.refresh_earliest(self.capacity_kbps);
+            state.refresh_earliest(&self.topology, self.objective);
             let t = state.earliest;
-            Self::advance(self.capacity_kbps, &mut state, t);
+            Self::advance(&self.topology, self.objective, &mut state, t);
         }
     }
 }
@@ -482,14 +538,17 @@ impl BandwidthProcess for SharedBottleneck {
     }
 
     fn rate_at(&self, _at: f64) -> f64 {
-        // The equal share a new uncapped flow would start at.
-        self.capacity_kbps / (self.active_flows() + 1) as f64
+        // The equal share a new uncapped flow would start at (on the
+        // degenerate link exact; multi-hop uses the first link as the
+        // nominal bottleneck for this estimate).
+        self.capacity_kbps() / (self.active_flows() + 1) as f64
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::TopoLink;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -660,6 +719,83 @@ mod tests {
         assert!(link.begin_flow(1, 0.0, 100.0, 0.0).is_err());
         link.begin_flow(1, 0.0, 100.0, f64::INFINITY).unwrap();
         assert!(link.begin_flow(1, 0.1, 100.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn degenerate_topology_is_bit_identical_to_new() {
+        // `with_topology(single_link, MaxMin)` must be the same machine,
+        // bit for bit, as `new(capacity)` — run the golden water-fill and
+        // late-arrival fixtures on both and compare raw completion bits.
+        type Fixture<'a> = &'a dyn Fn(&SharedBottleneck) -> Vec<FlowEnd>;
+        let fixtures: [Fixture<'_>; 2] = [
+            &|link| {
+                link.begin_flow(1, 0.0, 2_000.0, 2000.0).unwrap();
+                link.begin_flow(2, 0.0, 50_000.0, f64::INFINITY).unwrap();
+                link.begin_flow(3, 0.0, 50_000.0, f64::INFINITY).unwrap();
+                (0..3).map(|_| link.pop_completion().unwrap()).collect()
+            },
+            &|link| {
+                link.begin_flow(1, 0.0, 15_000.0, f64::INFINITY).unwrap();
+                link.begin_flow(2, 1.0, 10_000.0, f64::INFINITY).unwrap();
+                (0..2).map(|_| link.pop_completion().unwrap()).collect()
+            },
+        ];
+        for (i, fixture) in fixtures.iter().enumerate() {
+            let legacy = SharedBottleneck::new(12_000.0).unwrap();
+            let topo = SharedBottleneck::with_topology(
+                Topology::single_link(12_000.0).unwrap(),
+                FairnessObjective::MaxMin,
+            )
+            .unwrap();
+            let a = fixture(&legacy);
+            let b = fixture(&topo);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id, "fixture {i}");
+                assert_eq!(x.at.to_bits(), y.at.to_bits(), "fixture {i}");
+                assert_eq!(x.duration.to_bits(), y.duration.to_bits(), "fixture {i}");
+                assert_eq!(x.kbps.to_bits(), y.kbps.to_bits(), "fixture {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_hop_flow_is_constrained_by_every_link() {
+        // Route 0 = [wide 20 Mbps, narrow 5 Mbps]: a solo flow runs at
+        // the narrow link's rate, not the wide one's.
+        let topo = Topology::new(
+            vec![TopoLink::new(20_000.0, 0.0), TopoLink::new(5_000.0, 0.0)],
+            vec![vec![0, 1]],
+        )
+        .unwrap();
+        let net = SharedBottleneck::with_topology(topo, FairnessObjective::MaxMin).unwrap();
+        net.begin_flow_on(1, 0, 0.0, 5_000.0, f64::INFINITY)
+            .unwrap();
+        let end = net.pop_completion().unwrap();
+        assert!((end.kbps - 5_000.0).abs() < 1e-6, "kbps {}", end.kbps);
+        assert!((end.at - 1.0).abs() < 1e-6);
+        // An out-of-range route is rejected.
+        assert!(net.begin_flow_on(2, 7, 0.0, 100.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn proportional_fair_link_still_conserves_capacity() {
+        let topo = Topology::single_link(8_000.0).unwrap();
+        let net =
+            SharedBottleneck::with_topology(topo, FairnessObjective::ProportionalFair).unwrap();
+        let mut begun = 0.0;
+        for id in 0..5u64 {
+            let size = 4000.0 + 250.0 * id as f64;
+            net.begin_flow_on(id, 0, 0.1 * id as f64, size, f64::INFINITY)
+                .unwrap();
+            begun += size;
+        }
+        let horizon = 1.5;
+        net.advance_to(horizon);
+        let delivered = begun - net.remaining_kbits();
+        assert!(
+            delivered <= 8_000.0 * horizon + 1e-4,
+            "delivered {delivered}"
+        );
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Property-based invariants for the fairness-parametric allocator and
+//! the Kleinrock topology layer.
+//!
+//! The allocator properties pin the α-fair dual solver to its contract on
+//! random multi-hop topologies and flow sets: no link is ever
+//! oversubscribed, no flow exceeds its access cap or its path's tightest
+//! link, the result is a pure function of the flow *set* (deterministic
+//! and invariant under permutation of the input order), the α → ∞ family
+//! limit lands on the max-min water-fill (bit-exactly at α = ∞, within
+//! tolerance at large finite α), and proportional fairness leaves a
+//! bounded KKT stationarity residual. The topology property pins the
+//! Kleinrock composition: end-to-end delay is monotone in utilization.
+//!
+//! The vendored `proptest` stand-in has no `prop_map`/`prop_flat_map`,
+//! so instances are drawn as raw primitives and assembled by the
+//! deterministic builders below.
+
+use lingxi_net::{allocate, FairnessObjective, FlowDemand, TopoLink, Topology, MAX_SWEEPS};
+use proptest::prelude::*;
+
+/// Relative slack for feasibility checks: the solver's scaling round
+/// trips through a capacity normalization, so sums can sit a few ULP
+/// above the exact bound.
+const FEAS_SLACK: f64 = 1e-6;
+
+/// Build a 2–4 link topology from raw draws: `nl_pick` selects the link
+/// count, `links_raw` supplies `(capacity, prop delay)` pairs, and each
+/// route seed's low bits select which links its route crosses (ascending,
+/// truncated to 3 hops, with a 1-hop fallback when no bit is set).
+fn build_topo(nl_pick: usize, links_raw: &[(f64, f64)], route_seeds: &[u64]) -> Topology {
+    let nl = 2 + nl_pick % 3;
+    let links: Vec<TopoLink> = links_raw[..nl]
+        .iter()
+        .map(|&(c, d)| TopoLink::new(c, d))
+        .collect();
+    let routes: Vec<Vec<u16>> = route_seeds
+        .iter()
+        .map(|&seed| {
+            let hops: Vec<u16> = (0..nl as u16)
+                .filter(|&l| (seed >> l) & 1 == 1)
+                .take(3)
+                .collect();
+            if hops.is_empty() {
+                vec![(seed % nl as u64) as u16]
+            } else {
+                hops
+            }
+        })
+        .collect();
+    Topology::new(links, routes).expect("builder emits valid topologies")
+}
+
+/// Build 1–12 flows with pairwise-distinct caps (so flow identity is
+/// never ambiguous under reordering) and uniformly random routes.
+fn build_flows(caps_raw: &[u32], routes_raw: &[u16], n_routes: usize) -> Vec<FlowDemand> {
+    let mut caps = caps_raw.to_vec();
+    caps.sort_unstable();
+    caps.dedup();
+    caps.iter()
+        .zip(routes_raw)
+        .map(|(&c, &r)| FlowDemand::new(c as f64 / 100.0, r % n_routes as u16))
+        .collect()
+}
+
+/// Select one of the three objective families; `alpha` feeds the
+/// `AlphaFair` arm so finite α sweeps `[0.25, 8)`.
+fn pick_objective(sel: usize, alpha: f64) -> FairnessObjective {
+    match sel % 3 {
+        0 => FairnessObjective::MaxMin,
+        1 => FairnessObjective::ProportionalFair,
+        _ => FairnessObjective::AlphaFair(alpha),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Per-link conservation: for every link, the rates of the flows
+    /// whose route crosses it sum to at most its capacity.
+    #[test]
+    fn per_link_conservation(
+        nl_pick in 0usize..3,
+        links_raw in collection::vec((2_000.0f64..40_000.0, 0.0005f64..0.02), 4..5),
+        route_seeds in collection::vec(0u64..10_000, 1..5),
+        caps_raw in collection::vec(1_000u32..8_000_000, 1..13),
+        routes_raw in collection::vec(0u16..1024, 12..13),
+        sel in 0usize..3,
+        alpha in 0.25f64..8.0,
+    ) {
+        let topo = build_topo(nl_pick, &links_raw, &route_seeds);
+        let flows = build_flows(&caps_raw, &routes_raw, topo.n_routes());
+        let objective = pick_objective(sel, alpha);
+        let alloc = allocate(&topo, objective, &flows).unwrap();
+        for l in 0..topo.n_links() as u16 {
+            let mut load = 0.0;
+            for (f, &rate) in flows.iter().zip(&alloc.rates) {
+                if topo.route(f.route).contains(&l) {
+                    load += rate;
+                }
+            }
+            let cap = topo.links()[l as usize].capacity_kbps;
+            prop_assert!(
+                load <= cap * (1.0 + FEAS_SLACK),
+                "link {l} oversubscribed: {load} > {cap} under {objective:?}"
+            );
+        }
+    }
+
+    /// Cap respect: every rate is positive, at most the flow's access
+    /// cap, and at most the tightest link capacity on its route.
+    #[test]
+    fn rates_respect_caps_and_paths(
+        nl_pick in 0usize..3,
+        links_raw in collection::vec((2_000.0f64..40_000.0, 0.0005f64..0.02), 4..5),
+        route_seeds in collection::vec(0u64..10_000, 1..5),
+        caps_raw in collection::vec(1_000u32..8_000_000, 1..13),
+        routes_raw in collection::vec(0u16..1024, 12..13),
+        sel in 0usize..3,
+        alpha in 0.25f64..8.0,
+    ) {
+        let topo = build_topo(nl_pick, &links_raw, &route_seeds);
+        let flows = build_flows(&caps_raw, &routes_raw, topo.n_routes());
+        let objective = pick_objective(sel, alpha);
+        let alloc = allocate(&topo, objective, &flows).unwrap();
+        for (i, (f, &rate)) in flows.iter().zip(&alloc.rates).enumerate() {
+            let ceil = f.cap_kbps.min(topo.min_capacity_on(f.route));
+            prop_assert!(
+                rate > 0.0 && rate <= ceil * (1.0 + FEAS_SLACK),
+                "flow {i}: rate {rate} outside (0, {ceil}] under {objective:?}"
+            );
+        }
+    }
+
+    /// Determinism: the same instance solved twice gives bit-identical
+    /// rates and identical solver statistics.
+    #[test]
+    fn allocation_is_deterministic(
+        nl_pick in 0usize..3,
+        links_raw in collection::vec((2_000.0f64..40_000.0, 0.0005f64..0.02), 4..5),
+        route_seeds in collection::vec(0u64..10_000, 1..5),
+        caps_raw in collection::vec(1_000u32..8_000_000, 1..13),
+        routes_raw in collection::vec(0u16..1024, 12..13),
+        sel in 0usize..3,
+        alpha in 0.25f64..8.0,
+    ) {
+        let topo = build_topo(nl_pick, &links_raw, &route_seeds);
+        let flows = build_flows(&caps_raw, &routes_raw, topo.n_routes());
+        let objective = pick_objective(sel, alpha);
+        let a = allocate(&topo, objective, &flows).unwrap();
+        let b = allocate(&topo, objective, &flows).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Permutation invariance: the allocation is a function of the flow
+    /// *set* — reversing or rotating the input order moves each flow's
+    /// bit-identical rate along with it.
+    #[test]
+    fn allocation_is_permutation_invariant(
+        nl_pick in 0usize..3,
+        links_raw in collection::vec((2_000.0f64..40_000.0, 0.0005f64..0.02), 4..5),
+        route_seeds in collection::vec(0u64..10_000, 1..5),
+        caps_raw in collection::vec(1_000u32..8_000_000, 1..13),
+        routes_raw in collection::vec(0u16..1024, 12..13),
+        sel in 0usize..3,
+        alpha in 0.25f64..8.0,
+        rot in 0usize..12,
+    ) {
+        let topo = build_topo(nl_pick, &links_raw, &route_seeds);
+        let flows = build_flows(&caps_raw, &routes_raw, topo.n_routes());
+        let objective = pick_objective(sel, alpha);
+        let base = allocate(&topo, objective, &flows).unwrap();
+
+        let reversed: Vec<FlowDemand> = flows.iter().rev().copied().collect();
+        let rev = allocate(&topo, objective, &reversed).unwrap();
+        for (i, &rate) in base.rates.iter().enumerate() {
+            let j = flows.len() - 1 - i;
+            prop_assert!(
+                rate.to_bits() == rev.rates[j].to_bits(),
+                "flow {i}: {rate} != {} after reversal",
+                rev.rates[j]
+            );
+        }
+
+        let rot = rot % flows.len();
+        let rotated: Vec<FlowDemand> = flows[rot..]
+            .iter()
+            .chain(&flows[..rot])
+            .copied()
+            .collect();
+        let rtd = allocate(&topo, objective, &rotated).unwrap();
+        for (i, &rate) in base.rates.iter().enumerate() {
+            let j = (i + flows.len() - rot) % flows.len();
+            prop_assert!(
+                rate.to_bits() == rtd.rates[j].to_bits(),
+                "flow {i}: {rate} != {} after rotation by {rot}",
+                rtd.rates[j]
+            );
+        }
+    }
+
+    /// The α → ∞ limit: `AlphaFair(∞)` dispatches to the max-min
+    /// water-fill bit-exactly, and large finite α lands near it on every
+    /// flow. The deterministic solver trades exactness for a fixed
+    /// budget, so the tight bound is conditioned on its own convergence
+    /// report: whenever the α = 16 dual closes inside [`MAX_SWEEPS`]
+    /// (~98% of random instances), every rate is within a few percent of
+    /// the water-fill; exhausted instances still stay within a loose
+    /// same-ballpark bound. Demands have elasticity 1/α, so far larger α
+    /// leaves Gauss–Seidel too stiff to make the budget meaningful.
+    #[test]
+    fn large_alpha_approaches_max_min(
+        nl_pick in 0usize..3,
+        links_raw in collection::vec((2_000.0f64..40_000.0, 0.0005f64..0.02), 4..5),
+        route_seeds in collection::vec(0u64..10_000, 1..5),
+        caps_raw in collection::vec(1_000u32..8_000_000, 1..13),
+        routes_raw in collection::vec(0u16..1024, 12..13),
+    ) {
+        let topo = build_topo(nl_pick, &links_raw, &route_seeds);
+        let flows = build_flows(&caps_raw, &routes_raw, topo.n_routes());
+        let mm = allocate(&topo, FairnessObjective::MaxMin, &flows).unwrap();
+
+        let inf = allocate(&topo, FairnessObjective::AlphaFair(f64::INFINITY), &flows).unwrap();
+        prop_assert_eq!(&mm, &inf, "alpha = inf must be the max-min code path, bit-exactly");
+
+        let big = allocate(&topo, FairnessObjective::AlphaFair(16.0), &flows).unwrap();
+        let tol = if big.sweeps < MAX_SWEEPS { 0.08 } else { 0.50 };
+        for (i, (&x_mm, &x_a)) in mm.rates.iter().zip(&big.rates).enumerate() {
+            let rel = (x_a - x_mm).abs() / x_mm;
+            prop_assert!(
+                rel < tol,
+                "flow {i}: alpha=16 rate {x_a} vs max-min {x_mm} (rel {rel}, {} sweeps)",
+                big.sweeps
+            );
+        }
+    }
+
+    /// Proportional fairness leaves a bounded KKT stationarity residual
+    /// on random instances: whenever the dual closes inside its fixed
+    /// budget (the overwhelmingly common case) the residual sits at the
+    /// solver tolerance, and even budget-exhausted instances report a
+    /// small residual rather than a wrong-looking allocation.
+    #[test]
+    fn pf_kkt_residual_bounded(
+        nl_pick in 0usize..3,
+        links_raw in collection::vec((2_000.0f64..40_000.0, 0.0005f64..0.02), 4..5),
+        route_seeds in collection::vec(0u64..10_000, 1..5),
+        caps_raw in collection::vec(1_000u32..8_000_000, 1..13),
+        routes_raw in collection::vec(0u16..1024, 12..13),
+    ) {
+        let topo = build_topo(nl_pick, &links_raw, &route_seeds);
+        let flows = build_flows(&caps_raw, &routes_raw, topo.n_routes());
+        let alloc = allocate(&topo, FairnessObjective::ProportionalFair, &flows).unwrap();
+        let bound = if alloc.sweeps < MAX_SWEEPS { 1e-8 } else { 5e-2 };
+        prop_assert!(
+            alloc.kkt_residual < bound,
+            "PF KKT residual {} over bound {bound} ({} sweeps)",
+            alloc.kkt_residual,
+            alloc.sweeps
+        );
+    }
+
+    /// Kleinrock composition: end-to-end path delay is monotone
+    /// non-decreasing in utilization — scaling every link's ρ up never
+    /// reduces the delay (and never reduces the jitter).
+    #[test]
+    fn kleinrock_delay_monotone_in_utilization(
+        nl_pick in 0usize..3,
+        links_raw in collection::vec((2_000.0f64..40_000.0, 0.0005f64..0.02), 4..5),
+        route_seeds in collection::vec(0u64..10_000, 1..5),
+        route_sel in 0usize..4,
+        rho in collection::vec(0.0f64..1.2, 4..5),
+        f_lo in 0.0f64..1.0,
+        f_hi in 0.0f64..1.0,
+    ) {
+        let topo = build_topo(nl_pick, &links_raw, &route_seeds);
+        let route = (route_sel % topo.n_routes()) as u16;
+        let (lo, hi) = if f_lo <= f_hi { (f_lo, f_hi) } else { (f_hi, f_lo) };
+        let rho_lo: Vec<f64> = rho.iter().map(|r| r * lo).collect();
+        let rho_hi: Vec<f64> = rho.iter().map(|r| r * hi).collect();
+        let (d_lo, j_lo) = topo.path_delay_jitter(route, &rho_lo);
+        let (d_hi, j_hi) = topo.path_delay_jitter(route, &rho_hi);
+        prop_assert!(
+            d_lo <= d_hi * (1.0 + 1e-12),
+            "delay not monotone: {d_lo} at x{lo} > {d_hi} at x{hi}"
+        );
+        prop_assert!(j_lo <= j_hi * (1.0 + 1e-12) + 1e-15);
+    }
+}

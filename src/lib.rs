@@ -16,7 +16,7 @@
 //! | [`stats`] | distributions, ECDFs, t-tests, DiD, correlations |
 //! | [`nn`] | minimal NN library (dense/conv1d/softmax/Adam) |
 //! | [`media`] | bitrate ladders, quality maps, VBR sizes, catalogs |
-//! | [`net`] | bandwidth traces, generators, estimators, RTT |
+//! | [`net`] | bandwidth traces, generators, estimators, RTT, α-fair multi-hop topologies |
 //! | [`player`] | the Eq. 3 playback simulator and session logs |
 //! | [`abr`] | ThroughputRule, BBA, BOLA, HYB, RobustMPC, Pensieve |
 //! | [`user`] | exit models, stall-sensitivity profiles, populations |
@@ -93,16 +93,17 @@ pub mod prelude {
         UserStateTracker,
     };
     pub use lingxi_fleet::{
-        AbSplit, AbrMix, AbrPolicy, ContentionConfig, FleetConfig, FleetEngine, FleetReport,
-        FleetScenario, PopulationDynamics,
+        AbSplit, AbrMix, AbrPolicy, ContentionConfig, FairnessConfig, FleetConfig, FleetEngine,
+        FleetReport, FleetScenario, PopulationDynamics,
     };
     pub use lingxi_media::{
         BitrateLadder, Catalog, CatalogConfig, QualityMap, QualityTier, SegmentSizes, VbrModel,
         Video,
     };
     pub use lingxi_net::{
-        BandwidthEstimator, BandwidthProcess, BandwidthTrace, Download, NetClass,
-        ProductionMixture, RttModel, SharedBottleneck, UserNetProfile,
+        allocate, BandwidthEstimator, BandwidthProcess, BandwidthTrace, Download,
+        FairnessObjective, FlowDemand, NetClass, ProductionMixture, RttModel, SharedBottleneck,
+        TopoLink, Topology, UserNetProfile,
     };
     pub use lingxi_player::{
         run_session, BmaxPolicy, ExitDecision, PlayerConfig, PlayerEnv, SessionLog, SessionSetup,
