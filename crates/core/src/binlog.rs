@@ -1,0 +1,1272 @@
+//! Sharded append-only binary state log with compacting snapshots — the
+//! fleet-scale persistence backend that retires file-per-user JSON.
+//!
+//! The legacy [`StateStore`] writes one `user_<id>.json` per churning
+//! user, so a fleet flush costs O(users) file creations plus a JSON serde
+//! round-trip each. [`BinaryStateLog`] replaces that with per-shard
+//! append-only log files and a compact hand-rolled binary record encoding
+//! (length-prefixed, CRC-32-checksummed, schema-versioned): a flush is a
+//! handful of sequential buffered writes however many users churned.
+//!
+//! On-disk layout of a log directory:
+//!
+//! ```text
+//! dir/
+//!   manifest.json   # { schema, shards } — written once at creation
+//!   shard_<k>.log   # header + records appended since the last snapshot
+//!   shard_<k>.snap  # header + records (ascending user id) + index + footer
+//! ```
+//!
+//! Record framing (all integers little-endian):
+//!
+//! ```text
+//! u32 payload_len | u32 crc32(payload) | payload
+//! payload: u8 op (1 = put, 2 = delete) | u64 user_id | [state if put]
+//! ```
+//!
+//! The snapshot's sorted `(user_id, offset, len)` index block is binary
+//! searched *on disk*, so point loads of cold users cost O(log n) reads
+//! and the resident footprint stays O(tail) — only users written since
+//! the last snapshot hold an in-memory index entry.
+//!
+//! **Recovery invariant:** the store's contents are a pure function of
+//! (snapshot, log tail). Snapshots are written to a temp file and
+//! renamed, so a crash never exposes a partial snapshot; a crash between
+//! the snapshot rename and the log truncation merely replays records the
+//! snapshot already contains (replay applies records in order, so it
+//! converges to the same latest-value-per-user state); and a torn or
+//! truncated final log record fails its length/CRC check, is reported as
+//! a recovery warning, and the log is truncated back to the last whole
+//! record. Appends are acknowledged durable only by [`flush`]
+//! ([`StateBackend::flush`]) — dropping the log loses buffered appends,
+//! which is exactly the crash model the property tests exercise.
+//!
+//! [`flush`]: StateBackend::flush
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::state::{LongTermState, StateBackend, StateScan, StateStore};
+use crate::{CoreError, Result};
+use lingxi_exit::{TrackerParts, UserStateTracker};
+
+/// Version of the record encoding and file layout (`u16` in file headers).
+pub const BINLOG_FORMAT_VERSION: u16 = 1;
+
+/// Version of the `manifest.json` schema.
+pub const BINLOG_MANIFEST_SCHEMA: u32 = 1;
+
+const MAGIC: &[u8; 4] = b"LXSL";
+const INDEX_MAGIC: &[u8; 4] = b"LXIX";
+const KIND_LOG: u16 = 1;
+const KIND_SNAP: u16 = 2;
+const HEADER_LEN: u64 = 16;
+const FRAME_OVERHEAD: usize = 8; // u32 len + u32 crc
+const FOOTER_LEN: u64 = 24; // u64 index_off + u64 count + u32 crc + magic
+const INDEX_ENTRY_LEN: usize = 20; // u64 user_id + u64 offset + u32 len
+const OP_PUT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+/// Sizing and policy of a [`BinaryStateLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinLogConfig {
+    /// Number of log shards (files). User ids hash onto shards; any count
+    /// works functionally, more shards mean smaller per-file compactions.
+    pub shards: usize,
+    /// Appends gather in a per-shard memory buffer of this many bytes
+    /// before being written to the file (a [`StateBackend::flush`] always
+    /// drains it).
+    pub buffer_bytes: usize,
+    /// When a shard's log file exceeds this many bytes at flush time, the
+    /// shard is compacted into its snapshot automatically; `0` compacts
+    /// only on explicit [`StateBackend::checkpoint`] calls.
+    pub auto_compact_bytes: u64,
+}
+
+impl Default for BinLogConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            buffer_bytes: 256 * 1024,
+            auto_compact_bytes: 0,
+        }
+    }
+}
+
+impl BinLogConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 || self.shards > u32::MAX as usize {
+            return Err(CoreError::InvalidConfig(
+                "binary log needs 1..=u32::MAX shards".into(),
+            ));
+        }
+        if self.buffer_bytes == 0 {
+            return Err(CoreError::InvalidConfig(
+                "binary log buffer must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// `manifest.json`: the layout facts recovery must not guess.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Manifest {
+    schema: u32,
+    format: u16,
+    shards: usize,
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven, hand-rolled — no vendored dep carries
+// one and the determinism contract forbids reaching for ambient hashers.
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Record codec
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, x: f64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_f64_vec(out: &mut Vec<u8>, v: &[f64]) -> Result<()> {
+    let n = u8::try_from(v.len()).map_err(|_| {
+        CoreError::Persistence(format!("tracker window of {} exceeds u8 length", v.len()))
+    })?;
+    out.push(n);
+    for &x in v {
+        put_f64(out, x);
+    }
+    Ok(())
+}
+
+/// A bounds-checked little-endian reader over one record payload.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(CoreError::Persistence("record payload truncated".into()));
+        };
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64_vec(&mut self) -> Result<Vec<f64>> {
+        let n = self.u8()? as usize;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.f64()?);
+        }
+        Ok(v)
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(CoreError::Persistence(format!(
+                "record payload has {} trailing bytes",
+                self.bytes.len() - self.at
+            )))
+        }
+    }
+}
+
+/// Encode one state as a put-record payload (op + user id + state).
+fn encode_put_payload(state: &LongTermState, out: &mut Vec<u8>) -> Result<()> {
+    out.push(OP_PUT);
+    put_u64(out, state.user_id);
+    let t = state.tracker.to_parts();
+    put_f64_vec(out, &t.bitrates)?;
+    put_f64_vec(out, &t.throughputs)?;
+    put_f64_vec(out, &t.stall_times)?;
+    put_f64_vec(out, &t.stall_intervals)?;
+    put_f64_vec(out, &t.stall_exit_intervals)?;
+    match t.last_stall_at {
+        Some(at) => {
+            out.push(1);
+            put_f64(out, at);
+        }
+        None => out.push(0),
+    }
+    put_f64(out, t.clock);
+    put_f64(out, state.params.stall_weight);
+    put_f64(out, state.params.switch_weight);
+    put_f64(out, state.params.beta);
+    put_u64(out, state.optimizations as u64);
+    Ok(())
+}
+
+/// Decode a put-record payload back into the state it encoded,
+/// bit-exactly (every `f64` round-trips through its raw bits).
+fn decode_put_payload(payload: &[u8]) -> Result<LongTermState> {
+    let mut c = Cursor::new(payload);
+    let op = c.u8()?;
+    if op != OP_PUT {
+        return Err(CoreError::Persistence(format!(
+            "expected put record, found op {op}"
+        )));
+    }
+    let user_id = c.u64()?;
+    let parts = TrackerParts {
+        bitrates: c.f64_vec()?,
+        throughputs: c.f64_vec()?,
+        stall_times: c.f64_vec()?,
+        stall_intervals: c.f64_vec()?,
+        stall_exit_intervals: c.f64_vec()?,
+        last_stall_at: match c.u8()? {
+            0 => None,
+            1 => Some(c.f64()?),
+            t => {
+                return Err(CoreError::Persistence(format!(
+                    "bad option tag {t} in record"
+                )))
+            }
+        },
+        clock: c.f64()?,
+    };
+    let mut state = LongTermState::new(user_id);
+    state.tracker = UserStateTracker::from_parts(parts);
+    state.params.stall_weight = c.f64()?;
+    state.params.switch_weight = c.f64()?;
+    state.params.beta = c.f64()?;
+    state.optimizations = c.u64()? as usize;
+    c.done()?;
+    Ok(state)
+}
+
+/// Frame a payload (length prefix + CRC) onto `out`; returns frame length.
+fn append_frame(out: &mut Vec<u8>, payload: &[u8]) -> u32 {
+    put_u32(out, payload.len() as u32);
+    put_u32(out, crc32(payload));
+    out.extend_from_slice(payload);
+    (payload.len() + FRAME_OVERHEAD) as u32
+}
+
+fn file_header(kind: u16, shard: u32, shard_count: u32) -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[0..4].copy_from_slice(MAGIC);
+    h[4..6].copy_from_slice(&BINLOG_FORMAT_VERSION.to_le_bytes());
+    h[6..8].copy_from_slice(&kind.to_le_bytes());
+    h[8..12].copy_from_slice(&shard.to_le_bytes());
+    h[12..16].copy_from_slice(&shard_count.to_le_bytes());
+    h
+}
+
+fn check_header(h: &[u8], kind: u16, path: &Path) -> Result<()> {
+    let fail = |why: &str| {
+        Err(CoreError::Persistence(format!(
+            "{path:?}: not a valid state-log file ({why})"
+        )))
+    };
+    if h.len() < HEADER_LEN as usize || &h[0..4] != MAGIC {
+        return fail("bad magic");
+    }
+    let version = u16::from_le_bytes(h[4..6].try_into().expect("2"));
+    if version > BINLOG_FORMAT_VERSION {
+        return fail(&format!("format v{version} is newer than supported"));
+    }
+    if u16::from_le_bytes(h[6..8].try_into().expect("2")) != kind {
+        return fail("wrong file kind");
+    }
+    Ok(())
+}
+
+fn perr(path: &Path, what: &str, e: std::io::Error) -> CoreError {
+    CoreError::Persistence(format!("{what} {path:?}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Shard state
+// ---------------------------------------------------------------------------
+
+/// Where a shard's live value for a user is, in log-file coordinates
+/// (offsets may point into the not-yet-written append buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TailLoc {
+    Put { off: u64, len: u32 },
+    Tombstone,
+}
+
+#[derive(Debug)]
+struct Snap {
+    file: File,
+    index_off: u64,
+    count: u64,
+}
+
+#[derive(Debug)]
+struct Shard {
+    log_path: PathBuf,
+    snap_path: PathBuf,
+    /// Append handle, positioned at the end of the durable log.
+    log_write: File,
+    /// Seeking read handle over the same file.
+    log_read: File,
+    /// Bytes of log durable on disk (including the header).
+    committed: u64,
+    /// Pending appends; log coordinates `committed..committed+buf.len()`.
+    buf: Vec<u8>,
+    /// Users written since the last snapshot → latest record location.
+    tail: BTreeMap<u64, TailLoc>,
+    snap: Option<Snap>,
+}
+
+impl Shard {
+    /// Drain the append buffer to the file.
+    fn write_buf(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.log_write
+            .write_all(&self.buf)
+            .map_err(|e| perr(&self.log_path, "append to", e))?;
+        self.committed += self.buf.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Read one whole frame (header + payload) at log offset `off`.
+    fn read_frame(&mut self, off: u64, len: u32) -> Result<Vec<u8>> {
+        let len = len as usize;
+        if off >= self.committed {
+            let start = (off - self.committed) as usize;
+            let end = start.checked_add(len).filter(|&e| e <= self.buf.len());
+            let Some(end) = end else {
+                return Err(CoreError::Persistence(
+                    "buffered record out of range".into(),
+                ));
+            };
+            return Ok(self.buf[start..end].to_vec());
+        }
+        let mut bytes = vec![0u8; len];
+        self.log_read
+            .seek(SeekFrom::Start(off))
+            .and_then(|_| self.log_read.read_exact(&mut bytes))
+            .map_err(|e| perr(&self.log_path, "read record from", e))?;
+        Ok(bytes)
+    }
+
+    /// Decode the payload of a frame previously located by the tail index.
+    fn decode_frame(frame: &[u8]) -> Result<LongTermState> {
+        if frame.len() < FRAME_OVERHEAD {
+            return Err(CoreError::Persistence("frame shorter than header".into()));
+        }
+        let payload = &frame[FRAME_OVERHEAD..];
+        let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4"));
+        if crc32(payload) != crc {
+            return Err(CoreError::Persistence(
+                "record checksum mismatch (corrupt log)".into(),
+            ));
+        }
+        decode_put_payload(payload)
+    }
+
+    /// Binary-search the on-disk snapshot index for `user_id`.
+    fn snap_lookup(&mut self, user_id: u64) -> Result<Option<LongTermState>> {
+        let Some(snap) = &mut self.snap else {
+            return Ok(None);
+        };
+        let (mut lo, mut hi) = (0u64, snap.count);
+        let mut entry = [0u8; INDEX_ENTRY_LEN];
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            snap.file
+                .seek(SeekFrom::Start(
+                    snap.index_off + mid * INDEX_ENTRY_LEN as u64,
+                ))
+                .and_then(|_| snap.file.read_exact(&mut entry))
+                .map_err(|e| perr(&self.snap_path, "read index of", e))?;
+            let id = u64::from_le_bytes(entry[0..8].try_into().expect("8"));
+            match id.cmp(&user_id) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    let off = u64::from_le_bytes(entry[8..16].try_into().expect("8"));
+                    let len = u32::from_le_bytes(entry[16..20].try_into().expect("4"));
+                    let mut frame = vec![0u8; len as usize];
+                    snap.file
+                        .seek(SeekFrom::Start(off))
+                        .and_then(|_| snap.file.read_exact(&mut frame))
+                        .map_err(|e| perr(&self.snap_path, "read record of", e))?;
+                    return Shard::decode_frame(&frame).map(Some);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// All user ids in the snapshot, ascending (reads the index block).
+    fn snap_ids(&mut self) -> Result<Vec<(u64, u64, u32)>> {
+        let Some(snap) = &mut self.snap else {
+            return Ok(Vec::new());
+        };
+        let mut raw = vec![0u8; snap.count as usize * INDEX_ENTRY_LEN];
+        snap.file
+            .seek(SeekFrom::Start(snap.index_off))
+            .and_then(|_| snap.file.read_exact(&mut raw))
+            .map_err(|e| perr(&self.snap_path, "read index of", e))?;
+        Ok(raw
+            .chunks_exact(INDEX_ENTRY_LEN)
+            .map(|e| {
+                (
+                    u64::from_le_bytes(e[0..8].try_into().expect("8")),
+                    u64::from_le_bytes(e[8..16].try_into().expect("8")),
+                    u32::from_le_bytes(e[16..20].try_into().expect("4")),
+                )
+            })
+            .collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The log itself
+// ---------------------------------------------------------------------------
+
+/// Sharded append-only binary state log with compacting snapshots.
+///
+/// Implements [`StateBackend`]; see the module docs for the on-disk
+/// format and the recovery invariant. All methods take `&self` (per-shard
+/// `parking_lot` mutexes), so one log is shared by all fleet workers.
+#[derive(Debug)]
+pub struct BinaryStateLog {
+    dir: PathBuf,
+    config: BinLogConfig,
+    shards: Vec<Mutex<Shard>>,
+    /// Warnings produced by crash recovery at open (torn/truncated tail
+    /// records), surfaced through [`StateBackend::scan`].
+    recovery_warnings: Vec<String>,
+}
+
+impl BinaryStateLog {
+    /// Open (creating if absent) a log rooted at `dir`.
+    ///
+    /// Reopening an existing directory recovers its contents: each
+    /// shard's snapshot is validated and its log tail replayed; a torn or
+    /// truncated final record is truncated away with a warning (see
+    /// [`StateBackend::scan`]). The shard count is fixed at creation by
+    /// `manifest.json` — reopening with a different `config.shards`
+    /// adopts the manifest's count.
+    pub fn open<P: AsRef<Path>>(dir: P, config: BinLogConfig) -> Result<Self> {
+        config.validate()?;
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| perr(&dir, "create", e))?;
+
+        // The manifest pins the shard layout; recovery must not guess it.
+        let manifest_path = dir.join("manifest.json");
+        let mut config = config;
+        match std::fs::read_to_string(&manifest_path) {
+            Ok(raw) => {
+                let m: Manifest = serde_json::from_str(&raw)
+                    .map_err(|e| CoreError::Persistence(format!("parse {manifest_path:?}: {e}")))?;
+                if m.schema != BINLOG_MANIFEST_SCHEMA || m.format > BINLOG_FORMAT_VERSION {
+                    return Err(CoreError::Persistence(format!(
+                        "{manifest_path:?}: schema v{}/format v{} newer than supported",
+                        m.schema, m.format
+                    )));
+                }
+                config.shards = m.shards;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let m = Manifest {
+                    schema: BINLOG_MANIFEST_SCHEMA,
+                    format: BINLOG_FORMAT_VERSION,
+                    shards: config.shards,
+                };
+                let json = serde_json::to_string(&m)
+                    .map_err(|e| CoreError::Persistence(format!("serialize manifest: {e}")))?;
+                let tmp = dir.join("manifest.json.tmp");
+                std::fs::write(&tmp, json).map_err(|e| perr(&tmp, "write", e))?;
+                std::fs::rename(&tmp, &manifest_path)
+                    .map_err(|e| perr(&manifest_path, "rename to", e))?;
+            }
+            Err(e) => return Err(perr(&manifest_path, "read", e)),
+        }
+
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut recovery_warnings = Vec::new();
+        for k in 0..config.shards {
+            let shard = Self::open_shard(&dir, k, config.shards, &mut recovery_warnings)?;
+            shards.push(Mutex::new(shard));
+        }
+        recovery_warnings.sort_unstable();
+        Ok(Self {
+            dir,
+            config,
+            shards,
+            recovery_warnings,
+        })
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The effective configuration (shard count may come from the
+    /// on-disk manifest rather than the one passed to [`open`]).
+    ///
+    /// [`open`]: BinaryStateLog::open
+    pub fn config(&self) -> &BinLogConfig {
+        &self.config
+    }
+
+    /// Warnings produced by crash recovery at open time.
+    pub fn recovery_warnings(&self) -> &[String] {
+        &self.recovery_warnings
+    }
+
+    fn open_shard(
+        dir: &Path,
+        k: usize,
+        shard_count: usize,
+        warnings: &mut Vec<String>,
+    ) -> Result<Shard> {
+        let log_path = dir.join(format!("shard_{k}.log"));
+        let snap_path = dir.join(format!("shard_{k}.snap"));
+
+        let mut log_write = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&log_path)
+            .map_err(|e| perr(&log_path, "open", e))?;
+        let log_read = File::open(&log_path).map_err(|e| perr(&log_path, "open", e))?;
+        let log_len = log_write
+            .metadata()
+            .map_err(|e| perr(&log_path, "stat", e))?
+            .len();
+        if log_len == 0 {
+            log_write
+                .write_all(&file_header(KIND_LOG, k as u32, shard_count as u32))
+                .map_err(|e| perr(&log_path, "write header of", e))?;
+        } else {
+            let mut h = [0u8; HEADER_LEN as usize];
+            log_write
+                .seek(SeekFrom::Start(0))
+                .and_then(|_| log_write.read_exact(&mut h))
+                .map_err(|e| perr(&log_path, "read header of", e))?;
+            check_header(&h, KIND_LOG, &log_path)?;
+        }
+
+        let snap = match File::open(&snap_path) {
+            Ok(file) => Some(Self::open_snapshot(file, &snap_path)?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(perr(&snap_path, "open", e)),
+        };
+
+        let mut shard = Shard {
+            log_path,
+            snap_path,
+            log_write,
+            log_read,
+            committed: HEADER_LEN,
+            buf: Vec::new(),
+            tail: BTreeMap::new(),
+            snap,
+        };
+        Self::replay_log(&mut shard, log_len.max(HEADER_LEN), warnings)?;
+        Ok(shard)
+    }
+
+    /// Validate a snapshot's footer and index checksum.
+    fn open_snapshot(mut file: File, path: &Path) -> Result<Snap> {
+        let len = file.metadata().map_err(|e| perr(path, "stat", e))?.len();
+        if len < HEADER_LEN + FOOTER_LEN {
+            return Err(CoreError::Persistence(format!(
+                "{path:?}: snapshot shorter than header + footer"
+            )));
+        }
+        let mut h = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut h)
+            .map_err(|e| perr(path, "read header of", e))?;
+        check_header(&h, KIND_SNAP, path)?;
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        file.seek(SeekFrom::Start(len - FOOTER_LEN))
+            .and_then(|_| file.read_exact(&mut footer))
+            .map_err(|e| perr(path, "read footer of", e))?;
+        if &footer[20..24] != INDEX_MAGIC {
+            return Err(CoreError::Persistence(format!(
+                "{path:?}: snapshot footer magic missing"
+            )));
+        }
+        let index_off = u64::from_le_bytes(footer[0..8].try_into().expect("8"));
+        let count = u64::from_le_bytes(footer[8..16].try_into().expect("8"));
+        let crc = u32::from_le_bytes(footer[16..20].try_into().expect("4"));
+        let index_len = count
+            .checked_mul(INDEX_ENTRY_LEN as u64)
+            .filter(|l| index_off >= HEADER_LEN && index_off + l == len - FOOTER_LEN);
+        let Some(index_len) = index_len else {
+            return Err(CoreError::Persistence(format!(
+                "{path:?}: snapshot index geometry is inconsistent"
+            )));
+        };
+        let mut index = vec![0u8; index_len as usize];
+        file.seek(SeekFrom::Start(index_off))
+            .and_then(|_| file.read_exact(&mut index))
+            .map_err(|e| perr(path, "read index of", e))?;
+        if crc32(&index) != crc {
+            return Err(CoreError::Persistence(format!(
+                "{path:?}: snapshot index checksum mismatch"
+            )));
+        }
+        Ok(Snap {
+            file,
+            index_off,
+            count,
+        })
+    }
+
+    /// Rebuild a shard's tail index by replaying its log; truncates a
+    /// torn/truncated final record with a warning.
+    fn replay_log(shard: &mut Shard, log_len: u64, warnings: &mut Vec<String>) -> Result<()> {
+        let mut off = HEADER_LEN;
+        let mut frame_head = [0u8; FRAME_OVERHEAD];
+        let mut payload = Vec::new();
+        while off < log_len {
+            let whole = off + FRAME_OVERHEAD as u64 <= log_len;
+            let mut good = false;
+            if whole {
+                shard
+                    .log_read
+                    .seek(SeekFrom::Start(off))
+                    .and_then(|_| shard.log_read.read_exact(&mut frame_head))
+                    .map_err(|e| perr(&shard.log_path, "replay", e))?;
+                let len = u32::from_le_bytes(frame_head[0..4].try_into().expect("4")) as u64;
+                let crc = u32::from_le_bytes(frame_head[4..8].try_into().expect("4"));
+                if off + FRAME_OVERHEAD as u64 + len <= log_len {
+                    payload.resize(len as usize, 0);
+                    shard
+                        .log_read
+                        .read_exact(&mut payload)
+                        .map_err(|e| perr(&shard.log_path, "replay", e))?;
+                    if crc32(&payload) == crc {
+                        let mut c = Cursor::new(&payload);
+                        let op = c.u8()?;
+                        let user_id = c.u64()?;
+                        let frame_len = (len + FRAME_OVERHEAD as u64) as u32;
+                        match op {
+                            OP_PUT => {
+                                shard.tail.insert(
+                                    user_id,
+                                    TailLoc::Put {
+                                        off,
+                                        len: frame_len,
+                                    },
+                                );
+                            }
+                            OP_DELETE => {
+                                shard.tail.insert(user_id, TailLoc::Tombstone);
+                            }
+                            other => {
+                                return Err(CoreError::Persistence(format!(
+                                    "{:?}: unknown record op {other} at offset {off}",
+                                    shard.log_path
+                                )))
+                            }
+                        }
+                        off += frame_len as u64;
+                        good = true;
+                    }
+                }
+            }
+            if !good {
+                warnings.push(format!(
+                    "{:?}: torn or truncated record at offset {off} ({} byte tail dropped)",
+                    shard.log_path,
+                    log_len - off
+                ));
+                shard
+                    .log_write
+                    .set_len(off)
+                    .map_err(|e| perr(&shard.log_path, "truncate", e))?;
+                break;
+            }
+        }
+        shard.committed = off.min(log_len);
+        shard
+            .log_write
+            .seek(SeekFrom::Start(shard.committed))
+            .map_err(|e| perr(&shard.log_path, "seek", e))?;
+        Ok(())
+    }
+
+    fn shard_of(&self, user_id: u64) -> &Mutex<Shard> {
+        // Fibonacci hashing, as in the state cache: spreads sequential ids.
+        let h = user_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
+    }
+
+    /// Append one framed record to a shard, updating its tail index.
+    fn append(&self, shard: &mut Shard, user_id: u64, loc_for: u8, payload: &[u8]) -> Result<()> {
+        let off = shard.committed + shard.buf.len() as u64;
+        let len = append_frame(&mut shard.buf, payload);
+        let loc = if loc_for == OP_PUT {
+            TailLoc::Put { off, len }
+        } else {
+            TailLoc::Tombstone
+        };
+        shard.tail.insert(user_id, loc);
+        if shard.buf.len() >= self.config.buffer_bytes {
+            shard.write_buf()?;
+        }
+        Ok(())
+    }
+
+    /// Compact one shard: merge (snapshot, tail) into a fresh snapshot,
+    /// then truncate the log. No-op when the tail is empty.
+    fn compact_shard(&self, shard: &mut Shard, k: usize) -> Result<()> {
+        shard.write_buf()?;
+        if shard.tail.is_empty() {
+            return Ok(());
+        }
+
+        // Stream-merge snapshot records (ascending user id) with the tail
+        // (a BTreeMap, also ascending) into the new snapshot.
+        let snap_entries = shard.snap_ids()?;
+        let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
+        out.extend_from_slice(&file_header(KIND_SNAP, k as u32, self.shards.len() as u32));
+        let mut index: Vec<(u64, u64, u32)> = Vec::new();
+
+        let mut write_frame = |frame: Vec<u8>, user_id: u64, out: &mut Vec<u8>| {
+            index.push((user_id, out.len() as u64, frame.len() as u32));
+            out.extend_from_slice(&frame);
+        };
+
+        let tail = std::mem::take(&mut shard.tail);
+        let mut tail_iter = tail.iter().peekable();
+        for (id, off, len) in snap_entries {
+            // Tail users at or below this snapshot id go first / instead.
+            while let Some((&tid, &loc)) = tail_iter.peek() {
+                if tid >= id {
+                    break;
+                }
+                tail_iter.next();
+                if let TailLoc::Put { off, len } = loc {
+                    let frame = shard.read_frame(off, len)?;
+                    write_frame(frame, tid, &mut out);
+                }
+            }
+            match tail_iter.peek() {
+                Some((&tid, &loc)) if tid == id => {
+                    tail_iter.next();
+                    if let TailLoc::Put { off, len } = loc {
+                        let frame = shard.read_frame(off, len)?;
+                        write_frame(frame, tid, &mut out);
+                    }
+                    // Tombstone: the snapshot copy is dropped too.
+                }
+                _ => {
+                    let snap = shard.snap.as_mut().expect("entries imply snapshot");
+                    let mut frame = vec![0u8; len as usize];
+                    snap.file
+                        .seek(SeekFrom::Start(off))
+                        .and_then(|_| snap.file.read_exact(&mut frame))
+                        .map_err(|e| perr(&shard.snap_path, "compact read of", e))?;
+                    write_frame(frame, id, &mut out);
+                }
+            }
+        }
+        for (&tid, &loc) in tail_iter {
+            if let TailLoc::Put { off, len } = loc {
+                let frame = shard.read_frame(off, len)?;
+                write_frame(frame, tid, &mut out);
+            }
+        }
+
+        // Index block + footer.
+        let index_off = out.len() as u64;
+        let index_start = out.len();
+        for (id, off, len) in &index {
+            put_u64(&mut out, *id);
+            put_u64(&mut out, *off);
+            put_u32(&mut out, *len);
+        }
+        let crc = crc32(&out[index_start..]);
+        put_u64(&mut out, index_off);
+        put_u64(&mut out, index.len() as u64);
+        put_u32(&mut out, crc);
+        out.extend_from_slice(INDEX_MAGIC);
+
+        // Atomic install: temp + rename, then truncate the log. A crash
+        // in between merely leaves log records the snapshot already
+        // holds; replay re-converges to the same state.
+        let tmp = shard.snap_path.with_extension("snap.tmp");
+        std::fs::write(&tmp, &out).map_err(|e| perr(&tmp, "write", e))?;
+        std::fs::rename(&tmp, &shard.snap_path)
+            .map_err(|e| perr(&shard.snap_path, "rename to", e))?;
+        shard
+            .log_write
+            .set_len(HEADER_LEN)
+            .and_then(|_| shard.log_write.seek(SeekFrom::Start(HEADER_LEN)))
+            .map_err(|e| perr(&shard.log_path, "truncate", e))?;
+        shard.committed = HEADER_LEN;
+
+        let file = File::open(&shard.snap_path).map_err(|e| perr(&shard.snap_path, "open", e))?;
+        shard.snap = Some(Snap {
+            file,
+            index_off,
+            count: index.len() as u64,
+        });
+        Ok(())
+    }
+}
+
+impl StateBackend for BinaryStateLog {
+    fn save(&self, state: &LongTermState) -> Result<()> {
+        let mut payload = Vec::with_capacity(256);
+        encode_put_payload(state, &mut payload)?;
+        let mut shard = self.shard_of(state.user_id).lock();
+        self.append(&mut shard, state.user_id, OP_PUT, &payload)
+    }
+
+    fn save_batch(&self, batch: &[&LongTermState]) -> Result<usize> {
+        let mut payload = Vec::with_capacity(256);
+        for state in batch {
+            payload.clear();
+            encode_put_payload(state, &mut payload)?;
+            let mut shard = self.shard_of(state.user_id).lock();
+            self.append(&mut shard, state.user_id, OP_PUT, &payload)?;
+        }
+        Ok(batch.len())
+    }
+
+    fn load(&self, user_id: u64) -> Result<Option<LongTermState>> {
+        let mut shard = self.shard_of(user_id).lock();
+        match shard.tail.get(&user_id).copied() {
+            Some(TailLoc::Put { off, len }) => {
+                let frame = shard.read_frame(off, len)?;
+                Shard::decode_frame(&frame).map(Some)
+            }
+            Some(TailLoc::Tombstone) => Ok(None),
+            None => shard.snap_lookup(user_id),
+        }
+    }
+
+    fn delete(&self, user_id: u64) -> Result<bool> {
+        let mut shard = self.shard_of(user_id).lock();
+        let existed = match shard.tail.get(&user_id).copied() {
+            Some(TailLoc::Put { .. }) => true,
+            Some(TailLoc::Tombstone) => false,
+            None => shard.snap_lookup(user_id)?.is_some(),
+        };
+        if existed {
+            let mut payload = Vec::with_capacity(16);
+            payload.push(OP_DELETE);
+            put_u64(&mut payload, user_id);
+            self.append(&mut shard, user_id, OP_DELETE, &payload)?;
+        }
+        Ok(existed)
+    }
+
+    fn scan(&self) -> Result<StateScan> {
+        let mut scan = StateScan {
+            ids: Vec::new(),
+            warnings: self.recovery_warnings.clone(),
+        };
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let snap_entries = shard.snap_ids()?;
+            for (id, _, _) in snap_entries {
+                if !shard.tail.contains_key(&id) {
+                    scan.ids.push(id);
+                }
+            }
+            scan.ids.extend(
+                shard
+                    .tail
+                    .iter()
+                    .filter(|(_, loc)| matches!(loc, TailLoc::Put { .. }))
+                    .map(|(&id, _)| id),
+            );
+        }
+        scan.ids.sort_unstable();
+        Ok(scan)
+    }
+
+    fn flush(&self) -> Result<()> {
+        for shard in &self.shards {
+            shard.lock().write_buf()?;
+        }
+        if self.config.auto_compact_bytes > 0 {
+            for (k, shard) in self.shards.iter().enumerate() {
+                let mut shard = shard.lock();
+                if shard.committed > self.config.auto_compact_bytes {
+                    self.compact_shard(&mut shard, k)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn checkpoint(&self) -> Result<()> {
+        for (k, shard) in self.shards.iter().enumerate() {
+            let mut shard = shard.lock();
+            self.compact_shard(&mut shard, k)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Migration from the legacy file-per-user store
+// ---------------------------------------------------------------------------
+
+/// Outcome of [`migrate_file_store`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Users copied into the log.
+    pub migrated: usize,
+    /// Warnings from [`StateStore::scan`]: malformed filenames in the
+    /// source directory that could not be attributed to a user. Surfaced
+    /// instead of silently skipped — each is a user whose history would
+    /// otherwise vanish without a trace.
+    pub warnings: Vec<String>,
+}
+
+/// Convert a legacy file-per-user [`StateStore`] directory into a
+/// [`BinaryStateLog`], checkpointing at the end so the result is a single
+/// compact snapshot per shard. Returns how many users were migrated plus
+/// the source scan's malformed-filename warnings.
+pub fn migrate_file_store(store: &StateStore, log: &BinaryStateLog) -> Result<MigrationReport> {
+    let scan = store.scan()?;
+    for &id in &scan.ids {
+        let state = store.load(id)?.ok_or_else(|| {
+            CoreError::Persistence(format!(
+                "user {id} vanished from source store mid-migration"
+            ))
+        })?;
+        log.save(&state)?;
+    }
+    log.checkpoint()?;
+    Ok(MigrationReport {
+        migrated: scan.ids.len(),
+        warnings: scan.warnings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateBackend;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lingxi_binlog_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn state(user_id: u64, stamp: u64) -> LongTermState {
+        let mut s = LongTermState::new(user_id);
+        s.optimizations = stamp as usize;
+        s.params.beta = 0.3 + (stamp % 64) as f64 / 128.0;
+        s.tracker.push_segment(800.0 + stamp as f64, 1500.0, 2.0);
+        s.tracker.push_stall(0.25 * (1 + stamp % 4) as f64);
+        s
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn codec_round_trips_bit_exactly() {
+        let mut s = state(7, 3);
+        s.params.stall_weight = -0.0; // signed zero must survive
+        s.params.switch_weight = f64::MIN_POSITIVE / 2.0; // subnormal
+        s.tracker.push_segment(f64::MAX, 1e-300, 2.0);
+        let mut payload = Vec::new();
+        encode_put_payload(&s, &mut payload).unwrap();
+        let back = decode_put_payload(&payload).unwrap();
+        assert_eq!(back, s);
+        assert!(back.params.stall_weight.is_sign_negative());
+    }
+
+    #[test]
+    fn save_load_delete_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let log = BinaryStateLog::open(&dir, BinLogConfig::default()).unwrap();
+        assert!(log.load(1).unwrap().is_none());
+        for id in [3u64, 1, 2] {
+            log.save(&state(id, id * 10)).unwrap();
+        }
+        assert_eq!(log.load(2).unwrap().unwrap(), state(2, 20));
+        // Overwrite wins.
+        log.save(&state(2, 99)).unwrap();
+        assert_eq!(log.load(2).unwrap().unwrap(), state(2, 99));
+        assert_eq!(log.list().unwrap(), vec![1, 2, 3]);
+        assert!(log.delete(2).unwrap());
+        assert!(!log.delete(2).unwrap());
+        assert!(log.load(2).unwrap().is_none());
+        assert_eq!(log.list().unwrap(), vec![1, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_recovers_flushed_state_and_drops_buffered() {
+        let dir = temp_dir("reopen");
+        {
+            let log = BinaryStateLog::open(&dir, BinLogConfig::default()).unwrap();
+            log.save(&state(1, 1)).unwrap();
+            log.save(&state(2, 2)).unwrap();
+            log.flush().unwrap();
+            // Acknowledged by flush; this one is lost with the buffer.
+            log.save(&state(3, 3)).unwrap();
+        }
+        let log = BinaryStateLog::open(&dir, BinLogConfig::default()).unwrap();
+        assert!(log.recovery_warnings().is_empty());
+        assert_eq!(log.list().unwrap(), vec![1, 2]);
+        assert_eq!(log.load(1).unwrap().unwrap(), state(1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_survives_reopen() {
+        let dir = temp_dir("ckpt");
+        let cfg = BinLogConfig {
+            shards: 2,
+            ..BinLogConfig::default()
+        };
+        {
+            let log = BinaryStateLog::open(&dir, cfg).unwrap();
+            for id in 0..50u64 {
+                log.save(&state(id, id)).unwrap();
+            }
+            for id in 0..50u64 {
+                // Overwrites: compaction must keep only the latest.
+                log.save(&state(id, id + 1000)).unwrap();
+            }
+            log.delete(7).unwrap();
+            log.checkpoint().unwrap();
+            // Logs are truncated back to their headers.
+            for k in 0..2 {
+                let len = std::fs::metadata(dir.join(format!("shard_{k}.log")))
+                    .unwrap()
+                    .len();
+                assert_eq!(len, HEADER_LEN);
+            }
+        }
+        let log = BinaryStateLog::open(&dir, cfg).unwrap();
+        let ids = log.list().unwrap();
+        assert_eq!(ids.len(), 49);
+        assert!(!ids.contains(&7));
+        for &id in &ids {
+            assert_eq!(log.load(id).unwrap().unwrap(), state(id, id + 1000));
+        }
+        // Post-checkpoint writes land in the (empty) tail and win again.
+        log.save(&state(3, 7777)).unwrap();
+        assert_eq!(log.load(3).unwrap().unwrap(), state(3, 7777));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_record_is_dropped_with_warning() {
+        let dir = temp_dir("trunc");
+        let cfg = BinLogConfig {
+            shards: 1,
+            ..BinLogConfig::default()
+        };
+        {
+            let log = BinaryStateLog::open(&dir, cfg).unwrap();
+            log.save(&state(1, 1)).unwrap();
+            log.save(&state(2, 2)).unwrap();
+            log.flush().unwrap();
+        }
+        // Crash mid-append: the final record loses its last 5 bytes.
+        let path = dir.join("shard_0.log");
+        let len = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+        let log = BinaryStateLog::open(&dir, cfg).unwrap();
+        assert_eq!(log.recovery_warnings().len(), 1);
+        assert!(log.recovery_warnings()[0].contains("torn or truncated"));
+        assert_eq!(log.list().unwrap(), vec![1]);
+        // The truncated file is writable again and appends cleanly.
+        log.save(&state(9, 9)).unwrap();
+        log.flush().unwrap();
+        let log2 = BinaryStateLog::open(&dir, cfg).unwrap();
+        assert!(log2.recovery_warnings().is_empty());
+        assert_eq!(log2.list().unwrap(), vec![1, 9]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_fails_checksum_and_is_dropped() {
+        let dir = temp_dir("torn");
+        let cfg = BinLogConfig {
+            shards: 1,
+            ..BinLogConfig::default()
+        };
+        {
+            let log = BinaryStateLog::open(&dir, cfg).unwrap();
+            log.save(&state(1, 1)).unwrap();
+            log.save(&state(2, 2)).unwrap();
+            log.flush().unwrap();
+        }
+        // Torn write: the final record's bytes are garbage of the right
+        // length — only the CRC can catch it.
+        let path = dir.join("shard_0.log");
+        let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+        let len = f.metadata().unwrap().len();
+        f.seek(SeekFrom::Start(len - 12)).unwrap();
+        f.write_all(&[0xAB; 12]).unwrap();
+        drop(f);
+        let log = BinaryStateLog::open(&dir, cfg).unwrap();
+        assert_eq!(log.recovery_warnings().len(), 1);
+        assert_eq!(log.list().unwrap(), vec![1]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_pins_shard_count() {
+        let dir = temp_dir("manifest");
+        {
+            let log = BinaryStateLog::open(
+                &dir,
+                BinLogConfig {
+                    shards: 4,
+                    ..BinLogConfig::default()
+                },
+            )
+            .unwrap();
+            for id in 0..32u64 {
+                log.save(&state(id, id)).unwrap();
+            }
+            log.flush().unwrap();
+        }
+        // Reopening with a different shard count adopts the manifest's.
+        let log = BinaryStateLog::open(
+            &dir,
+            BinLogConfig {
+                shards: 16,
+                ..BinLogConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(log.config().shards, 4);
+        assert_eq!(log.list().unwrap().len(), 32);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_flush() {
+        let dir = temp_dir("auto");
+        let cfg = BinLogConfig {
+            shards: 1,
+            buffer_bytes: 64,
+            auto_compact_bytes: 512,
+        };
+        let log = BinaryStateLog::open(&dir, cfg).unwrap();
+        for id in 0..64u64 {
+            log.save(&state(id, id)).unwrap();
+        }
+        log.flush().unwrap();
+        let log_len = std::fs::metadata(dir.join("shard_0.log")).unwrap().len();
+        assert_eq!(log_len, HEADER_LEN, "flush compacted the oversized log");
+        assert!(dir.join("shard_0.snap").exists());
+        assert_eq!(log.list().unwrap().len(), 64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn migration_copies_store_and_surfaces_warnings() {
+        let src = temp_dir("mig_src");
+        let dst = temp_dir("mig_dst");
+        let store = StateStore::open(&src).unwrap();
+        for id in [5u64, 1, 9] {
+            store.save(&state(id, id * 3)).unwrap();
+        }
+        std::fs::write(src.join("user_oops.json"), "{").unwrap();
+        std::fs::write(src.join("README.txt"), "hi").unwrap();
+        let log = BinaryStateLog::open(&dst, BinLogConfig::default()).unwrap();
+        let report = migrate_file_store(&store, &log).unwrap();
+        assert_eq!(report.migrated, 3);
+        assert_eq!(report.warnings.len(), 2);
+        assert_eq!(log.list().unwrap(), vec![1, 5, 9]);
+        for id in [1u64, 5, 9] {
+            assert_eq!(
+                log.load(id).unwrap().unwrap(),
+                store.load(id).unwrap().unwrap()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&src);
+        let _ = std::fs::remove_dir_all(&dst);
+    }
+}

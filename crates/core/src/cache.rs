@@ -1,26 +1,33 @@
-//! Sharded, write-behind cache over the durable [`StateStore`].
+//! Sharded, write-behind cache over a durable [`StateBackend`].
 //!
-//! The file-per-user JSON store is the right *durability* layer (paper §4:
-//! long-term state survives app termination), but a fleet simulation that
-//! touches tens of thousands of users per epoch cannot afford a filesystem
+//! The durable layer (paper §4: long-term state survives app termination)
+//! is the right place for persistence, but a fleet simulation that
+//! touches tens of thousands of users per epoch cannot afford a durable
 //! round-trip per session. [`ShardedStateCache`] interposes an in-memory
 //! layer: user ids hash onto lock shards (interior mutability via
 //! `parking_lot::Mutex`, so workers share one `&ShardedStateCache`), each
 //! shard holds an LRU-bounded map of [`LongTermState`], and writes are
-//! *write-behind* — they dirty the cached entry and only reach the store in
-//! batches ([`ShardedStateCache::flush`], called at fleet epoch barriers)
-//! or when an LRU eviction forces a single entry out.
+//! *write-behind* — they dirty the cached entry and only reach the
+//! backend in batches ([`ShardedStateCache::flush`], called at fleet
+//! epoch barriers) or when an LRU eviction forces a single entry out.
+//!
+//! The flush batch goes through [`StateBackend::save_batch`], so the
+//! backend picks its own strategy: the legacy file-per-user
+//! [`StateStore`] splits the batch across writer threads, while the
+//! [`BinaryStateLog`](crate::binlog::BinaryStateLog) turns it into a
+//! handful of sequential buffered appends.
 //!
 //! The observable contract is that the cache is transparent: any
 //! interleaving of `save`/`load`/`evict`/`flush` leaves the durable layer
-//! in the same state as calling [`StateStore`] directly once a final
+//! in the same state as calling the backend directly once a final
 //! `flush` lands (property-tested in `tests/cache_props.rs`).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::state::{LongTermState, StateStore};
+use crate::state::{LongTermState, StateBackend, StateStore};
 use crate::{CoreError, Result};
 
 /// Cache sizing and policy.
@@ -77,10 +84,6 @@ pub struct CacheStats {
     pub writes: u64,
 }
 
-/// Below this many dirty entries per writer thread, extra threads cost
-/// more in spawn overhead than they recover in I/O overlap.
-const FLUSH_CHUNK_MIN: usize = 64;
-
 #[derive(Debug)]
 struct Entry {
     state: LongTermState,
@@ -129,14 +132,14 @@ impl CacheShard {
     }
 
     /// Evict least-recently-used entries until `capacity` holds, writing
-    /// dirty victims through to `store`.
-    fn enforce_capacity(&mut self, capacity: usize, store: &StateStore) -> Result<()> {
+    /// dirty victims through to `backend`.
+    fn enforce_capacity(&mut self, capacity: usize, backend: &dyn StateBackend) -> Result<()> {
         while self.map.len() > capacity {
             let (_, victim) = *self.lru.first().expect("lru in lockstep with map");
             let entry = self.remove(victim).expect("victim present");
             self.stats.evictions += 1;
             if entry.dirty {
-                store.save(&entry.state)?;
+                backend.save(&entry.state)?;
                 self.stats.writes += 1;
             }
         }
@@ -144,24 +147,30 @@ impl CacheShard {
     }
 }
 
-/// A sharded in-memory cache in front of a [`StateStore`].
+/// A sharded in-memory cache in front of a durable [`StateBackend`].
 ///
 /// All methods take `&self`; the per-shard `parking_lot` mutexes make the
 /// cache shareable across worker threads without an outer lock.
 #[derive(Debug)]
 pub struct ShardedStateCache {
-    store: StateStore,
+    backend: Arc<dyn StateBackend>,
     shards: Vec<Mutex<CacheShard>>,
     capacity_per_shard: usize,
     write_through: bool,
 }
 
 impl ShardedStateCache {
-    /// Wrap `store` with a cache configured by `config`.
+    /// Wrap the legacy file-per-user `store` with a cache configured by
+    /// `config` (convenience for [`ShardedStateCache::with_backend`]).
     pub fn new(store: StateStore, config: CacheConfig) -> Result<Self> {
+        Self::with_backend(Arc::new(store), config)
+    }
+
+    /// Wrap any [`StateBackend`] with a cache configured by `config`.
+    pub fn with_backend(backend: Arc<dyn StateBackend>, config: CacheConfig) -> Result<Self> {
         config.validate()?;
         Ok(Self {
-            store,
+            backend,
             shards: (0..config.shards)
                 .map(|_| Mutex::new(CacheShard::default()))
                 .collect(),
@@ -171,8 +180,8 @@ impl ShardedStateCache {
     }
 
     /// The durable layer underneath.
-    pub fn store(&self) -> &StateStore {
-        &self.store
+    pub fn backend(&self) -> &dyn StateBackend {
+        self.backend.as_ref()
     }
 
     /// Number of lock shards.
@@ -201,10 +210,10 @@ impl ShardedStateCache {
             return Ok(Some(state));
         }
         shard.stats.misses += 1;
-        match self.store.load(user_id)? {
+        match self.backend.load(user_id)? {
             Some(state) => {
                 shard.upsert(user_id, state.clone(), false);
-                shard.enforce_capacity(self.capacity_per_shard, &self.store)?;
+                shard.enforce_capacity(self.capacity_per_shard, self.backend.as_ref())?;
                 Ok(Some(state))
             }
             None => Ok(None),
@@ -229,11 +238,11 @@ impl ShardedStateCache {
             // Persist while holding the shard lock: two racing saves of
             // the same user must leave cache and store agreeing on one of
             // the two values, never one each.
-            self.store.save(state)?;
+            self.backend.save(state)?;
             shard.stats.writes += 1;
         }
         shard.upsert(state.user_id, state.clone(), !self.write_through);
-        shard.enforce_capacity(self.capacity_per_shard, &self.store)
+        shard.enforce_capacity(self.capacity_per_shard, self.backend.as_ref())
     }
 
     /// Drop a user from the cache, persisting the entry first when dirty.
@@ -244,7 +253,7 @@ impl ShardedStateCache {
             Some(entry) => {
                 shard.stats.evictions += 1;
                 if entry.dirty {
-                    self.store.save(&entry.state)?;
+                    self.backend.save(&entry.state)?;
                     shard.stats.writes += 1;
                 }
                 Ok(true)
@@ -253,16 +262,18 @@ impl ShardedStateCache {
         }
     }
 
-    /// Write every dirty entry to the store and mark the cache clean.
-    /// Returns how many entries were written.
+    /// Write every dirty entry to the backend (durably — the backend is
+    /// flushed too) and mark the cache clean. Returns how many entries
+    /// were written.
     ///
-    /// The write batch is split across writer threads (the store is a
-    /// file-per-user layout, so saves to distinct users are independent):
-    /// dirty entries are snapshotted under the shard locks in ascending
-    /// `(shard, user_id)` order, saved in parallel without holding any
-    /// lock, then marked clean — but only when the cached state still
-    /// equals the snapshot that was written, so a save racing the flush
-    /// keeps its entry dirty for the next flush instead of being lost.
+    /// Dirty entries are snapshotted under the shard locks in ascending
+    /// `(shard, user_id)` order, handed to [`StateBackend::save_batch`]
+    /// in one call without holding any lock (the file-per-user backend
+    /// splits it across writer threads; the binary log turns it into
+    /// sequential appends), then marked clean — but only when the cached
+    /// state still equals the snapshot that was written, so a save racing
+    /// the flush keeps its entry dirty for the next flush instead of
+    /// being lost.
     pub fn flush(&self) -> Result<usize> {
         // Phase 1: snapshot dirty entries under the shard locks.
         let mut batch: Vec<(usize, LongTermState)> = Vec::new();
@@ -280,35 +291,12 @@ impl ShardedStateCache {
         }
         let written = batch.len();
 
-        // Phase 2: persist without holding any lock.
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(written.div_ceil(FLUSH_CHUNK_MIN).max(1));
-        if threads <= 1 {
-            for (_, state) in &batch {
-                self.store.save(state)?;
-            }
-        } else {
-            let chunk = written.div_ceil(threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = batch
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move || {
-                            for (_, state) in part {
-                                self.store.save(state)?;
-                            }
-                            Ok::<(), CoreError>(())
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    h.join().expect("flush writer panicked")?;
-                }
-                Ok::<(), CoreError>(())
-            })?;
-        }
+        // Phase 2: persist without holding any lock, then make the
+        // backend durable (drains any append buffers).
+        let refs: Vec<&LongTermState> = batch.iter().map(|(_, s)| s).collect();
+        self.backend.save_batch(&refs)?;
+        drop(refs);
+        self.backend.flush()?;
 
         // Phase 3: mark clean unless the entry moved on meanwhile.
         for (si, state) in &batch {

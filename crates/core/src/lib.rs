@@ -20,7 +20,9 @@
 //! trigger, and both pruning stages (virtual-playback early termination and
 //! the pre-playback `μ − 3σ > Q_max` skip). For fleet-scale workloads the
 //! [`cache`] module layers a sharded, write-behind [`ShardedStateCache`]
-//! over the durable [`StateStore`] (see ARCHITECTURE.md).
+//! over a durable [`StateBackend`] — either the legacy file-per-user
+//! [`StateStore`] or the sharded append-only [`BinaryStateLog`] (see
+//! ARCHITECTURE.md, "Persistence layer").
 //!
 //! ```
 //! use lingxi_core::{LingXiConfig, LingXiController};
@@ -35,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binlog;
 pub mod cache;
 pub mod controller;
 pub mod montecarlo;
@@ -42,6 +45,9 @@ pub mod predictor;
 pub mod session;
 pub mod state;
 
+pub use binlog::{
+    migrate_file_store, BinLogConfig, BinaryStateLog, MigrationReport, BINLOG_FORMAT_VERSION,
+};
 pub use cache::{CacheConfig, CacheStats, ShardedStateCache};
 pub use controller::{LingXiConfig, LingXiController, OptimizeOutcome, ParamDim, SearchStrategy};
 pub use montecarlo::{
@@ -52,7 +58,7 @@ pub use session::{
     run_managed_session, run_managed_session_in, ManagedHooks, ManagedOutcome, ManagedSession,
     SessionBuffers,
 };
-pub use state::{LongTermState, StateScan, StateStore};
+pub use state::{LongTermState, StateBackend, StateScan, StateStore};
 
 /// Errors from the LingXi control loop.
 #[derive(Debug, Clone, PartialEq)]

@@ -40,6 +40,70 @@ impl LongTermState {
     }
 }
 
+/// Below this many states per writer thread, extra threads cost more in
+/// spawn overhead than they recover in I/O overlap (used by the default
+/// file-per-user [`StateBackend::save_batch`]).
+const BATCH_CHUNK_MIN: usize = 64;
+
+/// A durable layer for per-user [`LongTermState`].
+///
+/// Two implementations exist: the legacy file-per-user [`StateStore`]
+/// (kept for single-session tooling and migration) and the sharded
+/// append-only [`BinaryStateLog`] (the fleet-scale default). The cache
+/// ([`ShardedStateCache`]) and the fleet engine are written against this
+/// trait, so the two are interchangeable; the property tests in
+/// `tests/cache_props.rs` assert they are observably equivalent.
+///
+/// Durability contract: `save`/`save_batch`/`delete` may buffer;
+/// [`flush`] makes every prior write durable (crash-recoverable), and
+/// [`checkpoint`] additionally compacts the on-disk representation.
+///
+/// [`BinaryStateLog`]: crate::binlog::BinaryStateLog
+/// [`ShardedStateCache`]: crate::cache::ShardedStateCache
+/// [`flush`]: StateBackend::flush
+/// [`checkpoint`]: StateBackend::checkpoint
+pub trait StateBackend: std::fmt::Debug + Send + Sync {
+    /// Persist one user's long-term state (latest write wins).
+    fn save(&self, state: &LongTermState) -> Result<()>;
+
+    /// Persist a batch of states; returns how many were written. The
+    /// batch is the fleet flush path — backends optimize it (sequential
+    /// appends, parallel writers) where a per-user loop would not.
+    fn save_batch(&self, batch: &[&LongTermState]) -> Result<usize> {
+        for state in batch {
+            self.save(state)?;
+        }
+        Ok(batch.len())
+    }
+
+    /// Load a user's state; `None` for first-time users.
+    fn load(&self, user_id: u64) -> Result<Option<LongTermState>>;
+
+    /// Delete a user's state (account removal / privacy request).
+    /// Returns whether the user existed.
+    fn delete(&self, user_id: u64) -> Result<bool>;
+
+    /// Enumerate the backend: all persisted user ids (ascending) plus
+    /// one warning per malformed / unrecoverable entry encountered.
+    fn scan(&self) -> Result<StateScan>;
+
+    /// User ids currently persisted, ascending (lossy: drops warnings).
+    fn list(&self) -> Result<Vec<u64>> {
+        Ok(self.scan()?.ids)
+    }
+
+    /// Make every prior write durable.
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Flush and compact the on-disk representation so recovery cost is
+    /// proportional to live users, not historical writes.
+    fn checkpoint(&self) -> Result<()> {
+        self.flush()
+    }
+}
+
 /// A directory-backed store of per-user long-term state.
 #[derive(Debug, Clone)]
 pub struct StateStore {
@@ -140,6 +204,66 @@ impl StateStore {
         scan.warnings.sort_unstable();
         Ok(scan)
     }
+}
+
+impl StateBackend for StateStore {
+    fn save(&self, state: &LongTermState) -> Result<()> {
+        StateStore::save(self, state)
+    }
+
+    /// The file-per-user layout makes saves to distinct users fully
+    /// independent, so the batch is split across writer threads to
+    /// overlap the per-file write+rename syscall pairs.
+    fn save_batch(&self, batch: &[&LongTermState]) -> Result<usize> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(batch.len().div_ceil(BATCH_CHUNK_MIN).max(1));
+        if threads <= 1 {
+            for state in batch {
+                StateStore::save(self, state)?;
+            }
+        } else {
+            let chunk = batch.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = batch
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            for state in part {
+                                StateStore::save(self, state)?;
+                            }
+                            Ok::<(), CoreError>(())
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("batch writer panicked")?;
+                }
+                Ok::<(), CoreError>(())
+            })?;
+        }
+        Ok(batch.len())
+    }
+
+    fn load(&self, user_id: u64) -> Result<Option<LongTermState>> {
+        StateStore::load(self, user_id)
+    }
+
+    fn delete(&self, user_id: u64) -> Result<bool> {
+        StateStore::delete(self, user_id)
+    }
+
+    fn scan(&self) -> Result<StateScan> {
+        StateStore::scan(self)
+    }
+
+    fn list(&self) -> Result<Vec<u64>> {
+        StateStore::list(self)
+    }
+
+    // `flush`/`checkpoint` are the defaults: every write-then-rename save
+    // is already durable on its own, and there is nothing to compact.
 }
 
 /// Result of [`StateStore::scan`]: the parseable user ids plus one warning

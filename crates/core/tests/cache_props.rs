@@ -1,5 +1,5 @@
 //! Property-based equivalence of the sharded write-behind cache and the
-//! direct [`StateStore`] path.
+//! direct [`StateStore`] path — for both durable backends.
 //!
 //! The contract under test (see `lingxi_core::cache`): for ANY interleaving
 //! of save/load/evict/flush — across any shard count and any LRU capacity,
@@ -7,11 +7,22 @@
 //! every `load` observes exactly what the direct store path would, and
 //! after a final `flush` the durable layer holds exactly the same
 //! [`LongTermState`] per user as a store written directly.
+//!
+//! The binary-log battery additionally interleaves *crash points*: the log
+//! is dropped and reopened mid-sequence (recovery replays snapshot + tail),
+//! optionally with its tail corrupted first — a truncated final record or a
+//! torn (checksum-failing) final write. Recovery must shed exactly the
+//! corrupt bytes, warn, and still agree with the direct file-per-user
+//! store, byte for byte of state.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use lingxi_core::{CacheConfig, LongTermState, ShardedStateCache, StateStore};
+use lingxi_core::{
+    BinLogConfig, BinaryStateLog, CacheConfig, LongTermState, ShardedStateCache, StateBackend,
+    StateStore,
+};
 use proptest::prelude::*;
 
 static CASE: AtomicUsize = AtomicUsize::new(0);
@@ -32,6 +43,30 @@ fn state_for(user: u64, stamp: u8) -> LongTermState {
     s.params.beta = 0.1 + stamp as f64 / 512.0;
     s.tracker.push_segment(800.0, 700.0 + stamp as f64, 2.0);
     s
+}
+
+/// Durable layers agree: same users, same state per user — and reads
+/// through the cache match a direct-store read for every user probed.
+fn assert_backends_agree(
+    cache: &ShardedStateCache,
+    direct: &StateStore,
+    users: std::ops::Range<u64>,
+) -> std::result::Result<(), TestCaseError> {
+    let behind = cache.backend().list().unwrap();
+    prop_assert_eq!(&behind, &StateBackend::list(direct).unwrap());
+    for id in behind {
+        prop_assert_eq!(
+            cache.backend().load(id).unwrap(),
+            StateBackend::load(direct, id).unwrap()
+        );
+    }
+    for user in users {
+        prop_assert_eq!(
+            cache.load(user).unwrap(),
+            StateBackend::load(direct, user).unwrap()
+        );
+    }
+    Ok(())
 }
 
 proptest! {
@@ -79,22 +114,119 @@ proptest! {
             }
         }
         cache.flush().unwrap();
-
-        // Durable layers now agree: same users, same state per user.
-        let behind = cache.store().list().unwrap();
-        prop_assert_eq!(&behind, &direct.list().unwrap());
-        for id in behind {
-            prop_assert_eq!(
-                cache.store().load(id).unwrap(),
-                direct.load(id).unwrap()
-            );
-        }
-        // And reads through the (now clean) cache still match.
-        for user in 0u64..12 {
-            prop_assert_eq!(cache.load(user).unwrap(), direct.load(user).unwrap());
-        }
+        assert_backends_agree(&cache, &direct, 0..12)?;
 
         let _ = std::fs::remove_dir_all(&cache_dir);
+        let _ = std::fs::remove_dir_all(&direct_dir);
+    }
+
+    /// The binary log behind the cache is observably the file-per-user
+    /// store — through any interleaving of save/load/evict/flush plus
+    /// compactions and crash-reopen points with tail corruption.
+    #[test]
+    fn binlog_recovery_matches_direct_store(
+        // (op, user, stamp):
+        //   0 = save, 1 = load, 2 = evict, 3 = flush, 4 = checkpoint,
+        //   5 = crash + clean reopen,
+        //   6 = crash + truncated tail record, 7 = crash + torn final write.
+        ops in proptest::collection::vec((0u8..8, 0u64..12, 0u8..=254), 1..50),
+        log_shards in 1usize..4,
+        cache_shards in 1usize..4,
+        capacity in 1usize..6,
+    ) {
+        let log_dir = fresh_dir("binlog");
+        let direct_dir = fresh_dir("binlog_direct");
+        let cache_cfg = CacheConfig {
+            shards: cache_shards,
+            capacity_per_shard: capacity,
+            write_through: false,
+        };
+        let log_cfg = BinLogConfig { shards: log_shards, ..BinLogConfig::default() };
+        let open_cache = || -> ShardedStateCache {
+            let log = BinaryStateLog::open(&log_dir, log_cfg).unwrap();
+            ShardedStateCache::with_backend(Arc::new(log), cache_cfg).unwrap()
+        };
+        let mut cache = open_cache();
+        let direct = StateStore::open(&direct_dir).unwrap();
+        let mut corruptions = 0usize;
+
+        for (op, user, stamp) in &ops {
+            match op {
+                0 => {
+                    let s = state_for(*user, *stamp);
+                    cache.save(&s).unwrap();
+                    direct.save(&s).unwrap();
+                }
+                1 => {
+                    prop_assert_eq!(
+                        cache.load(*user).unwrap(),
+                        StateBackend::load(&direct, *user).unwrap()
+                    );
+                }
+                2 => {
+                    cache.evict(*user).unwrap();
+                }
+                3 => {
+                    cache.flush().unwrap();
+                }
+                4 => {
+                    // Compaction must not change observable contents.
+                    cache.flush().unwrap();
+                    cache.backend().checkpoint().unwrap();
+                }
+                crash => {
+                    // Crash point. Flush first so the direct store and the
+                    // log agree on what is durable, then drop everything
+                    // mid-flight and (maybe) corrupt the tail of one shard
+                    // log before recovery reopens it.
+                    cache.flush().unwrap();
+                    drop(cache);
+                    let shard_log =
+                        log_dir.join(format!("shard_{}.log", *user as usize % log_shards));
+                    let tail_garbage: &[u8] = match crash {
+                        // Truncated tail: a record whose bytes stop short
+                        // of its own length prefix.
+                        6 => &[24, 0, 0, 0, 0xAA, 0xBB],
+                        // Torn write: a full-length frame whose payload
+                        // never matches its checksum.
+                        7 => &[4, 0, 0, 0, 0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4],
+                        _ => &[],
+                    };
+                    if !tail_garbage.is_empty() {
+                        use std::io::Write;
+                        let mut f = std::fs::OpenOptions::new()
+                            .append(true)
+                            .open(&shard_log)
+                            .unwrap();
+                        f.write_all(tail_garbage).unwrap();
+                        corruptions += 1;
+                    }
+                    cache = open_cache();
+                    if !tail_garbage.is_empty() {
+                        let scan = cache.backend().scan().unwrap();
+                        prop_assert!(
+                            scan.warnings.iter().any(|w| w.contains("torn or truncated")),
+                            "corruption must surface a recovery warning, got {:?}",
+                            scan.warnings
+                        );
+                    }
+                    // Recovery ≡ the direct file-per-user store.
+                    assert_backends_agree(&cache, &direct, 0..12)?;
+                }
+            }
+        }
+        cache.flush().unwrap();
+        assert_backends_agree(&cache, &direct, 0..12)?;
+        // Corruption never breaks a later checkpoint + reopen.
+        if corruptions > 0 {
+            cache.backend().checkpoint().unwrap();
+            drop(cache);
+            let cache = open_cache();
+            prop_assert!(cache.backend().scan().unwrap().warnings.is_empty());
+            assert_backends_agree(&cache, &direct, 0..12)?;
+        }
+
+        let _ = std::fs::remove_dir_all(&log_dir);
         let _ = std::fs::remove_dir_all(&direct_dir);
     }
 
@@ -129,8 +261,8 @@ proptest! {
         wb.flush().unwrap();
         wt.flush().unwrap();
         prop_assert_eq!(
-            wb.store().list().unwrap(),
-            wt.store().list().unwrap()
+            wb.backend().list().unwrap(),
+            wt.backend().list().unwrap()
         );
         let _ = std::fs::remove_dir_all(&wb_dir);
         let _ = std::fs::remove_dir_all(&wt_dir);

@@ -125,6 +125,57 @@ impl UserStateTracker {
     }
 }
 
+/// The raw persisted fields of a [`UserStateTracker`] — the wire view used
+/// by binary persistence codecs (`lingxi_core::binlog`), which cannot rely
+/// on serde and must round-trip every field bit-exactly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrackerParts {
+    /// Bitrates of the last played segments (kbps), oldest first.
+    pub bitrates: Vec<f64>,
+    /// Throughputs of the last played segments (kbps), oldest first.
+    pub throughputs: Vec<f64>,
+    /// Durations of the last stalls (seconds), oldest first.
+    pub stall_times: Vec<f64>,
+    /// Wall-clock gaps between consecutive stalls (seconds).
+    pub stall_intervals: Vec<f64>,
+    /// Gaps between a stall and the next stall-triggered exit (seconds).
+    pub stall_exit_intervals: Vec<f64>,
+    /// Wall time of the last stall (for interval computation).
+    pub last_stall_at: Option<f64>,
+    /// Global wall-clock across sessions (seconds).
+    pub clock: f64,
+}
+
+impl UserStateTracker {
+    /// Decompose into raw persisted fields (clones the windows).
+    pub fn to_parts(&self) -> TrackerParts {
+        TrackerParts {
+            bitrates: self.bitrates.clone(),
+            throughputs: self.throughputs.clone(),
+            stall_times: self.stall_times.clone(),
+            stall_intervals: self.stall_intervals.clone(),
+            stall_exit_intervals: self.stall_exit_intervals.clone(),
+            last_stall_at: self.last_stall_at,
+            clock: self.clock,
+        }
+    }
+
+    /// Rebuild a tracker from raw persisted fields. The inverse of
+    /// [`UserStateTracker::to_parts`]: `from_parts(t.to_parts()) == t`
+    /// bit-exactly, for any tracker.
+    pub fn from_parts(parts: TrackerParts) -> Self {
+        Self {
+            bitrates: parts.bitrates,
+            throughputs: parts.throughputs,
+            stall_times: parts.stall_times,
+            stall_intervals: parts.stall_intervals,
+            stall_exit_intervals: parts.stall_exit_intervals,
+            last_stall_at: parts.last_stall_at,
+            clock: parts.clock,
+        }
+    }
+}
+
 fn push_bounded(v: &mut Vec<f64>, x: f64, cap: usize) {
     if v.len() == cap {
         v.remove(0);

@@ -37,7 +37,7 @@ pub mod hybrid;
 pub mod model;
 
 pub use dataset::{DatasetFlavor, ExitDataset, ExitEntry};
-pub use features::{StateMatrix, UserStateTracker, MATRIX_LEN, N_DIMS};
+pub use features::{StateMatrix, TrackerParts, UserStateTracker, MATRIX_LEN, N_DIMS};
 pub use hybrid::{HybridPredictor, OsTable};
 pub use model::{EvalReport, ExitPredictor, PredictorConfig};
 

@@ -2,20 +2,25 @@
 //! CI job.
 //!
 //! Runs a fixed small-scale scenario matrix — a managed-session loop, an
-//! independent-trace fleet epoch, a shared-bottleneck fleet epoch, and a
-//! population-dynamics run — and writes `BENCH_CI.json`: sessions/sec and
-//! peak RSS per scenario (schema in `bench/README.md`). CI uploads the
-//! file as an artifact (the perf trajectory accumulates run over run) and
-//! gates it against the committed `bench/baseline.json` with a generous
-//! wall-clock tolerance, so only catastrophic regressions fail the build
-//! while every run still leaves a comparable record.
+//! independent-trace fleet epoch, a shared-bottleneck fleet epoch, a
+//! population-dynamics run, and a pair of state-churn persistence cells
+//! (binary log vs file-per-user) — and writes `BENCH_CI.json`:
+//! sessions/sec and peak RSS per scenario (schema in `bench/README.md`).
+//! CI uploads the file as an artifact (the perf trajectory accumulates
+//! run over run) and gates it against the committed `bench/baseline.json`
+//! with a generous wall-clock tolerance and a peak-RSS ceiling, so only
+//! catastrophic regressions fail the build while every run still leaves a
+//! comparable record.
 
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 use lingxi_abr::Hyb;
 use lingxi_core::{
-    run_managed_session_in, LingXiConfig, LingXiController, ProfilePredictor, SessionBuffers,
+    run_managed_session_in, BinLogConfig, BinaryStateLog, CacheConfig, LingXiConfig,
+    LingXiController, LongTermState, ProfilePredictor, SessionBuffers, ShardedStateCache,
+    StateBackend, StateStore,
 };
 use lingxi_fleet::{
     AbrMix, ContentionConfig, FairnessConfig, FleetConfig, FleetEngine, FleetScenario,
@@ -32,8 +37,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::{ExpError, Result};
 
-/// Version of the `BENCH_CI.json` schema (bump on field changes).
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+/// Version of the `BENCH_CI.json` schema (bump on field changes or when
+/// the scenario matrix itself changes shape). v2 added the
+/// `churn_binlog`/`churn_filestore` persistence cells and the peak-RSS
+/// gate.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// Wall-clock tolerance of the gate: a scenario fails only when it runs
 /// more than this factor slower than the committed baseline (plus the
@@ -44,6 +52,20 @@ pub const BENCH_TOLERANCE: f64 = 3.0;
 /// tolerance, so sub-second scenarios cannot trip the gate on scheduler
 /// noise. Only catastrophic regressions should fail CI.
 pub const BENCH_SLACK_S: f64 = 2.0;
+
+/// Peak-RSS tolerance of the gate: a scenario fails only when its
+/// high-water mark exceeds this factor of the committed baseline (plus
+/// the absolute slack below). Deliberately loose — `VmHWM` is
+/// process-cumulative and allocator-dependent, so the gate exists to
+/// catch memory blow-ups (an accidental O(users) buffer), not few-MB
+/// drift.
+pub const RSS_TOLERANCE: f64 = 2.0;
+
+/// Absolute peak-RSS slack (kB, = 64 MiB) added on top of the relative
+/// tolerance. Small-scale CI runs have single-digit-MB baselines where a
+/// relative bound alone would trip on allocator or libc noise; the slack
+/// keeps the gate meaningful only for genuine regressions.
+pub const RSS_SLACK_KB: u64 = 65_536;
 
 /// One benchmark scenario's record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -212,6 +234,95 @@ fn fleet_scenario(
     Ok(report.sessions)
 }
 
+/// Simulated days of the state-churn persistence cells.
+const CHURN_EPOCHS: usize = 4;
+
+/// A deterministic, non-trivial long-term state for the churn cells: a
+/// few segments of tracker history plus perturbed parameters, so each
+/// record costs what a real user's state costs rather than an empty
+/// struct.
+fn churn_state(user_id: u64, salt: u64) -> LongTermState {
+    let mut state = LongTermState::new(user_id);
+    for k in 0..8u64 {
+        let x = ((user_id ^ salt).wrapping_add(k) % 97) as f64;
+        state
+            .tracker
+            .push_segment(800.0 + 25.0 * x, 1200.0 + 40.0 * x, 4.0);
+    }
+    state.tracker.push_stall(0.5 + (user_id % 5) as f64 * 0.3);
+    state.tracker.advance_clock(3600.0);
+    state.params.stall_weight += (user_id % 11) as f64 * 0.01;
+    state.optimizations = (user_id % 7) as usize;
+    state
+}
+
+/// The state-churn persistence microbench: `CHURN_EPOCHS` simulated days
+/// of fresh-user arrivals saving long-term state through the shard cache,
+/// with a quarter of the previous day's cohort returning each day to
+/// overwrite its record, and a barrier flush per day. Reopens the backend
+/// afterwards and sample-verifies recovery. `sessions` = state saves.
+///
+/// Each backend runs at its intended operating point (documented in
+/// `bench/README.md`): the binary log under a *small* write-through cache
+/// plus a per-day checkpoint (appends are cheap, so residency buys
+/// nothing), the file-per-user store under the default write-behind cache
+/// (it needs batching to amortize per-file syscalls).
+fn churn_scenario(
+    seed: u64,
+    scale: f64,
+    tag: &str,
+    open_backend: impl Fn(&Path) -> Result<Arc<dyn StateBackend>>,
+    cache_config: CacheConfig,
+    checkpoint_each_epoch: bool,
+) -> Result<usize> {
+    let dir = state_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let users_per_epoch = ((15_000.0 * scale) as usize).max(400);
+    let backend = open_backend(&dir)?;
+    let cache =
+        ShardedStateCache::with_backend(Arc::clone(&backend), cache_config).map_err(crate::sub)?;
+    let mut saves = 0usize;
+    for epoch in 0..CHURN_EPOCHS {
+        let base = (epoch * users_per_epoch) as u64;
+        for i in 0..users_per_epoch as u64 {
+            let id = base + i;
+            cache.save(&churn_state(id, seed)).map_err(crate::sub)?;
+            saves += 1;
+            if epoch > 0 && i % 4 == 0 {
+                // Returning user: overwrite yesterday's record (the update
+                // churn an append-only log absorbs as one new record and a
+                // file-per-user store pays a full rewrite for).
+                let mut back = churn_state(id - users_per_epoch as u64, seed ^ 1);
+                back.optimizations += epoch;
+                cache.save(&back).map_err(crate::sub)?;
+                saves += 1;
+            }
+        }
+        cache.flush().map_err(crate::sub)?;
+        if checkpoint_each_epoch {
+            backend.checkpoint().map_err(crate::sub)?;
+        }
+    }
+    drop(cache);
+    drop(backend);
+    // Recovery is part of the cell: reopen and sample-load to prove the
+    // just-written state survives a process boundary.
+    let reopened = open_backend(&dir)?;
+    let total = (CHURN_EPOCHS * users_per_epoch) as u64;
+    let mut id = 0u64;
+    while id < total {
+        if reopened.load(id).map_err(crate::sub)?.is_none() {
+            return Err(ExpError::Subsystem(format!(
+                "churn cell {tag}: user {id} lost across reopen"
+            )));
+        }
+        id += 251;
+    }
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(saves)
+}
+
 /// Run the full benchmark matrix.
 pub fn run(seed: u64, scale: f64) -> Result<BenchReport> {
     let contention = ContentionConfig {
@@ -261,6 +372,40 @@ pub fn run(seed: u64, scale: f64) -> Result<BenchReport> {
                     objective: lingxi_net::FairnessObjective::AlphaFair(2.0),
                     topology: crate::fairness::pod_topology()?,
                 }),
+            )
+        })?,
+        // The persistence cells run LAST, binary log first: `VmHWM` is a
+        // process-cumulative high-water mark, so a cell can only report a
+        // value >= every earlier cell's. Running the lean backend first
+        // means "churn_filestore rss > churn_binlog rss" is a genuine
+        // measurement of the file store's extra footprint, not an artifact
+        // of ordering (see bench/README.md).
+        record("churn_binlog", || {
+            churn_scenario(
+                seed,
+                scale,
+                "churn_binlog",
+                |dir| {
+                    Ok(Arc::new(
+                        BinaryStateLog::open(dir, BinLogConfig::default()).map_err(crate::sub)?,
+                    ))
+                },
+                CacheConfig {
+                    shards: 8,
+                    capacity_per_shard: 512,
+                    write_through: true,
+                },
+                true,
+            )
+        })?,
+        record("churn_filestore", || {
+            churn_scenario(
+                seed,
+                scale,
+                "churn_filestore",
+                |dir| Ok(Arc::new(StateStore::open(dir).map_err(crate::sub)?)),
+                CacheConfig::default(),
+                false,
             )
         })?,
     ];
@@ -325,8 +470,69 @@ pub fn gate(current: &BenchReport, baseline: &BenchReport, tolerance: f64) -> Re
                 cur.name, cur.wall_s, base.wall_s
             )));
         }
+        // Peak-RSS ceiling: catches memory blow-ups, not drift. A zero on
+        // either side means /proc was unavailable there — skip rather than
+        // gate Linux against a non-Linux record.
+        let rss_cap = (RSS_TOLERANCE * base.peak_rss_kb as f64) as u64 + RSS_SLACK_KB;
+        if base.peak_rss_kb > 0 && cur.peak_rss_kb > 0 && cur.peak_rss_kb > rss_cap {
+            return Err(ExpError::Subsystem(format!(
+                "perf gate: {:?} peaked at {} kB RSS vs baseline {} kB (allowed {RSS_TOLERANCE}x + {RSS_SLACK_KB} kB slack)",
+                cur.name, cur.peak_rss_kb, base.peak_rss_kb
+            )));
+        }
     }
     Ok(lines)
+}
+
+/// Compare two cells of the *same* report (`benchjson --compare-cells
+/// FILE A B`): B's throughput speedup over A and the peak-RSS delta. This
+/// is how the churn pair is read — `--compare-cells BENCH_CI.json
+/// churn_filestore churn_binlog` prints how much faster and leaner the
+/// binary log is than the retired file-per-user store.
+pub fn compare_cells(report: &BenchReport, a: &str, b: &str) -> Result<String> {
+    let find = |name: &str| {
+        report
+            .scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| ExpError::Subsystem(format!("scenario {name:?} not in report")))
+    };
+    let sa = find(a)?;
+    let sb = find(b)?;
+    let speedup = if sa.sessions_per_sec > 0.0 {
+        sb.sessions_per_sec / sa.sessions_per_sec
+    } else {
+        f64::NAN
+    };
+    let mut out = format!(
+        "{:<18} {:>8} sessions  {:>10.1} sessions/s  rss {} kB\n\
+         {:<18} {:>8} sessions  {:>10.1} sessions/s  rss {} kB\n\
+         {b} vs {a}: {speedup:.2}x sessions/s, {:+} kB peak RSS\n",
+        sa.name,
+        sa.sessions,
+        sa.sessions_per_sec,
+        sa.peak_rss_kb,
+        sb.name,
+        sb.sessions,
+        sb.sessions_per_sec,
+        sb.peak_rss_kb,
+        sb.peak_rss_kb as i64 - sa.peak_rss_kb as i64,
+    );
+    if sa.peak_rss_kb == 0 || sb.peak_rss_kb == 0 {
+        out.push_str("note: peak RSS unavailable (/proc not readable); rss delta is meaningless\n");
+    }
+    Ok(out)
+}
+
+/// `benchjson --compare-cells`: load one report file and compare two of
+/// its cells.
+pub fn compare_cells_file(path: &Path, a: &str, b: &str) -> Result<String> {
+    let report = read_json(path)?;
+    Ok(format!(
+        "benchjson compare-cells: {}\n{}",
+        path.display(),
+        compare_cells(&report, a, b)?
+    ))
 }
 
 /// Compare two bench reports (`benchjson --compare A.json B.json`): for
@@ -435,15 +641,26 @@ mod tests {
     fn matrix_runs_and_round_trips() {
         let report = run(9, 0.02).unwrap();
         assert_eq!(report.schema, BENCH_SCHEMA_VERSION);
-        assert_eq!(report.scenarios.len(), 5);
+        assert_eq!(report.scenarios.len(), 7);
         for s in &report.scenarios {
             assert!(s.sessions > 0, "{}: no sessions", s.name);
             assert!(s.wall_s > 0.0 && s.sessions_per_sec > 0.0, "{}", s.name);
         }
+        // The persistence pair closes the matrix, binary log first (VmHWM
+        // ordering contract), and both cells save the same churn schedule.
+        let n = report.scenarios.len();
+        assert_eq!(report.scenarios[n - 2].name, "churn_binlog");
+        assert_eq!(report.scenarios[n - 1].name, "churn_filestore");
+        assert_eq!(
+            report.scenarios[n - 2].sessions,
+            report.scenarios[n - 1].sessions
+        );
         let path = std::env::temp_dir().join(format!("bench_test_{}.json", std::process::id()));
         write_json(&report, &path).unwrap();
         let back = read_json(&path).unwrap();
         assert_eq!(back, report);
+        let text = compare_cells_file(&path, "churn_filestore", "churn_binlog").unwrap();
+        assert!(text.contains("churn_binlog vs churn_filestore"), "{text}");
         let _ = std::fs::remove_file(&path);
     }
 
@@ -483,6 +700,30 @@ mod tests {
     }
 
     #[test]
+    fn compare_cells_reads_the_churn_pair() {
+        let cell = |name: &str, wall: f64, rss: u64| BenchScenario {
+            name: name.into(),
+            sessions: 1000,
+            wall_s: wall,
+            sessions_per_sec: 1000.0 / wall,
+            peak_rss_kb: rss,
+        };
+        let report = BenchReport {
+            schema: BENCH_SCHEMA_VERSION,
+            seed: 1,
+            scale: 0.05,
+            scenarios: vec![
+                cell("churn_binlog", 0.5, 8_000),
+                cell("churn_filestore", 2.0, 20_000),
+            ],
+        };
+        let text = compare_cells(&report, "churn_filestore", "churn_binlog").unwrap();
+        assert!(text.contains("4.00x"), "{text}");
+        assert!(text.contains("-12000 kB"), "{text}");
+        assert!(compare_cells(&report, "nope", "churn_binlog").is_err());
+    }
+
+    #[test]
     fn gate_passes_self_and_fails_on_regression() {
         let mk = |wall: f64| BenchReport {
             schema: BENCH_SCHEMA_VERSION,
@@ -514,5 +755,30 @@ mod tests {
             ..mk(1.0)
         };
         assert!(gate(&drifted, &base, BENCH_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn gate_catches_rss_blowups_and_skips_unavailable_proc() {
+        let mk = |rss: u64| BenchReport {
+            schema: BENCH_SCHEMA_VERSION,
+            seed: 1,
+            scale: 0.05,
+            scenarios: vec![BenchScenario {
+                name: "churn_binlog".into(),
+                sessions: 100,
+                wall_s: 1.0,
+                sessions_per_sec: 100.0,
+                peak_rss_kb: rss,
+            }],
+        };
+        let base = mk(10_000);
+        // Within 2x + 64 MiB slack passes.
+        assert!(gate(&mk(10_000), &base, BENCH_TOLERANCE).is_ok());
+        assert!(gate(&mk(2 * 10_000 + RSS_SLACK_KB), &base, BENCH_TOLERANCE).is_ok());
+        // Beyond the ceiling fails.
+        assert!(gate(&mk(2 * 10_000 + RSS_SLACK_KB + 1), &base, BENCH_TOLERANCE).is_err());
+        // A zero on either side (non-Linux /proc) skips the RSS check.
+        assert!(gate(&mk(0), &base, BENCH_TOLERANCE).is_ok());
+        assert!(gate(&mk(u64::MAX / 4), &mk(0), BENCH_TOLERANCE).is_ok());
     }
 }

@@ -3,46 +3,115 @@
 //!
 //! Usage:
 //! ```text
-//! experiments <fig01|...|fig15|fleet|flashcrowd|population|fairness|all> \
-//!     [--seed N] [--scale F] [--out DIR] [--days D]
+//! experiments <fig01|...|fig15|fleet|flashcrowd|population|fairness|checkpoint|all> \
+//!     [--seed N] [--scale F] [--out DIR] [--days D] \
+//!     [--checkpoint-every N] [--resume] [--state-dir DIR] [--stop-after-epochs N]
 //! experiments benchjson [--seed N] [--scale F] \
 //!     [--bench-out FILE] [--baseline FILE]
 //! experiments benchjson --compare A.json B.json
+//! experiments benchjson --compare-cells FILE CELL_A CELL_B
+//! experiments migrate-state <json-dir> <log-dir>
 //! ```
 //!
 //! Prints each experiment's series and writes CSVs under `--out`
 //! (default `results/`). `--days` selects the simulated-day count of the
-//! `population` scenario. `benchjson` runs the perf-gate scenario matrix,
-//! writes a `BENCH_CI.json` (default `--bench-out`), and — when
-//! `--baseline` is given — fails unless every scenario runs within the
-//! gate's wall-clock tolerance of the baseline (see bench/README.md).
+//! `population` scenario; `--checkpoint-every`/`--resume`/`--state-dir`/
+//! `--stop-after-epochs` thread its kill/resume knobs (a suspended run
+//! restarts from its epoch-barrier manifest with bit-identical output).
+//! `benchjson` runs the perf-gate scenario matrix, writes a
+//! `BENCH_CI.json` (default `--bench-out`), and — when `--baseline` is
+//! given — fails unless every scenario runs within the gate's wall-clock
+//! and peak-RSS tolerances of the baseline (see bench/README.md).
 //! `benchjson --compare` skips the matrix and just prints per-scenario
-//! sessions/sec and peak-RSS deltas between two existing report files.
+//! sessions/sec and peak-RSS deltas between two existing report files;
+//! `--compare-cells` compares two cells of one report (e.g. the
+//! `churn_filestore`/`churn_binlog` persistence pair). `migrate-state`
+//! converts a legacy file-per-user JSON state directory into a sharded
+//! binary state log, reporting malformed-filename warnings.
 
 #![forbid(unsafe_code)]
 
 use std::env;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use lingxi_core::{migrate_file_store, BinLogConfig, BinaryStateLog, StateStore};
+use lingxi_exp::population::CheckpointOpts;
 use lingxi_exp::{benchjson, population, run_experiment, ALL_EXPERIMENTS};
+
+fn usage() {
+    eprintln!(
+        "usage: experiments <figNN|fleet|flashcrowd|population|fairness|checkpoint|all> [--seed N] [--scale F] [--out DIR] [--days D]"
+    );
+    eprintln!("                   [--checkpoint-every N] [--resume] [--state-dir DIR] [--stop-after-epochs N]");
+    eprintln!(
+        "       experiments benchjson [--seed N] [--scale F] [--bench-out FILE] [--baseline FILE]"
+    );
+    eprintln!("       experiments benchjson --compare A.json B.json");
+    eprintln!("       experiments benchjson --compare-cells FILE CELL_A CELL_B");
+    eprintln!("       experiments migrate-state <json-dir> <log-dir>");
+    eprintln!(
+        "experiments: {}, fleet, flashcrowd, population, fairness, checkpoint",
+        ALL_EXPERIMENTS.join(", ")
+    );
+    eprintln!("(`all` runs the paper figures; `fleet`/`flashcrowd`/`population`/`fairness`/`checkpoint` are the systems scenarios; `benchjson` emits the CI perf report; `migrate-state` converts file-per-user JSON state to the binary log)");
+}
+
+/// `migrate-state <json-dir> <log-dir>`: copy every user of a legacy
+/// file-per-user store into a fresh binary state log and compact it.
+fn migrate_state(src: &str, dest: &str) -> ExitCode {
+    let store = match StateStore::open(src) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("migrate-state: cannot open source store {src}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let log = match BinaryStateLog::open(dest, BinLogConfig::default()) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("migrate-state: cannot open destination log {dest}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match migrate_file_store(&store, &log) {
+        Ok(report) => {
+            println!(
+                "migrate-state: {} users migrated from {src} to {dest}",
+                report.migrated
+            );
+            for w in &report.warnings {
+                eprintln!("warning: {w}");
+            }
+            if !report.warnings.is_empty() {
+                eprintln!(
+                    "migrate-state: {} warning(s); the flagged files were skipped, the source directory is untouched",
+                    report.warnings.len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("migrate-state failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!(
-            "usage: experiments <figNN|fleet|flashcrowd|population|fairness|all> [--seed N] [--scale F] [--out DIR] [--days D]"
-        );
-        eprintln!("       experiments benchjson [--seed N] [--scale F] [--bench-out FILE] [--baseline FILE]");
-        eprintln!("       experiments benchjson --compare A.json B.json");
-        eprintln!(
-            "experiments: {}, fleet, flashcrowd, population, fairness",
-            ALL_EXPERIMENTS.join(", ")
-        );
-        eprintln!("(`all` runs the paper figures; `fleet`/`flashcrowd`/`population`/`fairness` are the systems scenarios; `benchjson` emits the CI perf report)");
+        usage();
         return ExitCode::FAILURE;
     }
     let target = args[0].clone();
+    if target == "migrate-state" {
+        if args.len() != 3 {
+            usage();
+            return ExitCode::FAILURE;
+        }
+        return migrate_state(&args[1], &args[2]);
+    }
     let mut seed = 42u64;
     let mut scale = 1.0f64;
     let mut out_dir = String::from("results");
@@ -50,12 +119,22 @@ fn main() -> ExitCode {
     let mut bench_out = String::from("BENCH_CI.json");
     let mut baseline: Option<String> = None;
     let mut compare: Option<(String, String)> = None;
+    let mut compare_cells: Option<(String, String, String)> = None;
+    let mut ckpt = CheckpointOpts::default();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--compare" if i + 2 < args.len() => {
                 compare = Some((args[i + 1].clone(), args[i + 2].clone()));
                 i += 3;
+            }
+            "--compare-cells" if i + 3 < args.len() => {
+                compare_cells = Some((
+                    args[i + 1].clone(),
+                    args[i + 2].clone(),
+                    args[i + 3].clone(),
+                ));
+                i += 4;
             }
             "--seed" if i + 1 < args.len() => {
                 seed = args[i + 1].parse().unwrap_or(42);
@@ -81,6 +160,22 @@ fn main() -> ExitCode {
                 baseline = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--checkpoint-every" if i + 1 < args.len() => {
+                ckpt.checkpoint_every = args[i + 1].parse().unwrap_or(0);
+                i += 2;
+            }
+            "--resume" => {
+                ckpt.resume = true;
+                i += 1;
+            }
+            "--state-dir" if i + 1 < args.len() => {
+                ckpt.state_root = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "--stop-after-epochs" if i + 1 < args.len() => {
+                ckpt.stop_after_epochs = args[i + 1].parse().ok();
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::FAILURE;
@@ -89,6 +184,18 @@ fn main() -> ExitCode {
     }
 
     if target == "benchjson" {
+        if let Some((file, a, b)) = compare_cells {
+            return match benchjson::compare_cells_file(Path::new(&file), &a, &b) {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("benchjson compare-cells failed: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         if let Some((a, b)) = compare {
             return match benchjson::compare_files(Path::new(&a), Path::new(&b)) {
                 Ok(text) => {
@@ -127,10 +234,10 @@ fn main() -> ExitCode {
 
     for id in ids {
         eprintln!(">>> running {id} (seed {seed}, scale {scale})");
-        // `population` takes the extra --days knob; everything else runs
-        // through the uniform (seed, scale) registry.
+        // `population` takes the extra --days and checkpoint/resume knobs;
+        // everything else runs through the uniform (seed, scale) registry.
         let run = if id == "population" {
-            population::run(seed, scale, days)
+            population::run_opts(seed, scale, days, &ckpt)
         } else {
             run_experiment(id, seed, scale)
         };

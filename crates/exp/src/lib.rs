@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod benchjson;
+pub mod checkpoint;
 pub mod datasets;
 pub mod fairness;
 pub mod fig01_qos_saturation;
@@ -85,8 +86,9 @@ pub fn sub<E: std::fmt::Display>(e: E) -> ExpError {
 /// All paper-figure experiment ids in paper order. The `fleet` scale
 /// experiment (see [`fleet`]), the `flashcrowd` contention scenario
 /// (see [`flashcrowd`]), the `population` dynamics scenario (see
-/// [`population`]) and the `fairness` objective scenario (see
-/// [`fairness`]) are run explicitly by id — they are systems
+/// [`population`]), the `fairness` objective scenario (see
+/// [`fairness`]) and the `checkpoint` kill/resume scenario (see
+/// [`checkpoint`]) are run explicitly by id — they are systems
 /// benchmarks, not figures, so `all` does not include them. The
 /// `benchjson` perf-gate matrix (see [`benchjson`]) has its own CLI
 /// subcommand because it emits JSON rather than an experiment result.
@@ -115,6 +117,7 @@ pub fn run_experiment(id: &str, seed: u64, scale: f64) -> Result<ExperimentResul
         "fig13" => fig13_longtail::run(seed, scale),
         "fig14" => fig14_correlation::run(seed, scale),
         "fig15" => fig15_trajectories::run(seed, scale),
+        "checkpoint" => checkpoint::run(seed, scale),
         "fairness" => fairness::run(seed, scale),
         "flashcrowd" => flashcrowd::run(seed, scale),
         "fleet" => fleet::run(seed, scale),

@@ -12,10 +12,22 @@
 //! Like `fleet` and `flashcrowd`, the run *fails* unless the heaviest
 //! cell's merged metrics — scalars **and** distribution sketches — are
 //! bit-identical across 1, 4 and 8 shards.
+//!
+//! Long-term state persists through the sharded append-only
+//! [`lingxi_core::BinaryStateLog`] (the file-per-user JSON store is
+//! retired from the experiment paths; `experiments migrate-state`
+//! converts old directories). The CLI's `--checkpoint-every`,
+//! `--resume`, `--state-dir` and `--stop-after-epochs` flags thread into
+//! [`run_opts`], so a killed run restarts from its epoch-barrier
+//! checkpoint manifest and finishes with bit-identical series — the CI
+//! smoke diffs the CSVs of a straight run against a killed-and-resumed
+//! one.
+
+use std::path::PathBuf;
 
 use lingxi_fleet::{
-    AbrMix, ContentionConfig, FleetConfig, FleetEngine, FleetReport, FleetScenario,
-    PopulationDynamics,
+    AbrMix, ContentionConfig, FleetCheckpoint, FleetConfig, FleetEngine, FleetReport,
+    FleetScenario, PersistenceConfig, PopulationDynamics, RunControl, RunOutcome,
 };
 use lingxi_net::ProductionMixture;
 use lingxi_workload::{ArrivalKind, ClassRegistry, Diurnal};
@@ -40,15 +52,61 @@ fn state_dir(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("lingxi_population_{}_{tag}", std::process::id()))
 }
 
-fn run_cell(
+/// Checkpoint/resume knobs threaded from the `experiments` CLI into the
+/// rate-ramp cells. Defaults reproduce the historical behaviour: fresh
+/// ephemeral state per cell, no mid-run checkpoints.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointOpts {
+    /// Checkpoint every N epoch barriers (0 disables periodic manifests;
+    /// suspension and resume still work through the barrier manifest).
+    pub checkpoint_every: usize,
+    /// Resume any cell that left a checkpoint manifest under
+    /// `state_root`; cells without one start fresh.
+    pub resume: bool,
+    /// Persistent root for per-cell state directories. `None` keeps the
+    /// historical ephemeral temp dirs (removed after each cell), which
+    /// also makes `resume`/`stop_after_epochs` pointless.
+    pub state_root: Option<PathBuf>,
+    /// Stop the whole experiment at the first cell's barrier after this
+    /// many epochs, leaving a resumable manifest (the CLI's
+    /// `--stop-after-epochs`, used by the CI kill/resume smoke).
+    pub stop_after_epochs: Option<usize>,
+}
+
+/// What one ramp cell produced: a finished report, or a suspension at an
+/// epoch barrier (resume with [`CheckpointOpts::resume`]).
+enum CellOutcome {
+    Complete(Box<FleetReport>),
+    Suspended(usize),
+}
+
+/// One ramp cell's shape: offered load, topology and run geometry.
+#[derive(Debug, Clone, Copy)]
+struct CellSpec {
     rate_multiplier: f64,
     arrivals_per_day: f64,
     links: usize,
     days: usize,
     shards: usize,
     seed: u64,
-    tag: &str,
-) -> Result<FleetReport> {
+}
+
+fn run_cell(spec: CellSpec, tag: &str) -> Result<FleetReport> {
+    match run_cell_opts(spec, tag, &CheckpointOpts::default())? {
+        CellOutcome::Complete(report) => Ok(*report),
+        CellOutcome::Suspended(_) => unreachable!("no stop_after_epochs in default opts"),
+    }
+}
+
+fn run_cell_opts(spec: CellSpec, tag: &str, ckpt: &CheckpointOpts) -> Result<CellOutcome> {
+    let CellSpec {
+        rate_multiplier,
+        arrivals_per_day,
+        links,
+        days,
+        shards,
+        seed,
+    } = spec;
     let daily = arrivals_per_day * rate_multiplier;
     let scenario = FleetScenario {
         name: format!("population_x{rate_multiplier}"),
@@ -60,13 +118,22 @@ fn run_cell(
         mixture: ProductionMixture::default(),
         abr_mix: AbrMix::default(),
     };
-    let dir = state_dir(&format!("{tag}_s{seed}"));
-    let _ = std::fs::remove_dir_all(&dir);
+    // Ephemeral temp state by default; a persistent per-cell directory
+    // under `state_root` when the caller wants checkpoint/resume.
+    let (dir, ephemeral) = match &ckpt.state_root {
+        Some(root) => (root.join(tag), false),
+        None => (state_dir(&format!("{tag}_s{seed}")), true),
+    };
+    if ephemeral || !ckpt.resume {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
     let config = FleetConfig {
         shards,
         epochs: days,
         seed,
         state_dir: dir.clone(),
+        persistence: PersistenceConfig::binary_log(),
+        checkpoint_every: ckpt.checkpoint_every,
         contention: Some(ContentionConfig {
             links,
             capacity_kbps: 25_000.0,
@@ -85,16 +152,48 @@ fn run_cell(
         }),
         ..FleetConfig::default()
     };
-    let report = FleetEngine::new(config)
+    // Resume only where a manifest actually exists: a cell that already
+    // completed removed its manifest, so a resumed experiment reruns it
+    // from scratch — same bits either way.
+    let resume_here = ckpt.resume && FleetCheckpoint::load(&dir).map_err(crate::sub)?.is_some();
+    let outcome = FleetEngine::new(config)
         .map_err(crate::sub)?
-        .run(&scenario)
+        .run_resumable(
+            &scenario,
+            RunControl {
+                resume: resume_here,
+                stop_after_epochs: ckpt.stop_after_epochs,
+            },
+        )
         .map_err(crate::sub)?;
-    let _ = std::fs::remove_dir_all(&dir);
-    Ok(report)
+    match outcome {
+        RunOutcome::Complete(report) => {
+            if ephemeral {
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            Ok(CellOutcome::Complete(report))
+        }
+        RunOutcome::Suspended(manifest) => Ok(CellOutcome::Suspended(manifest.next_epoch)),
+    }
 }
 
 /// Run the population-dynamics experiment over `days` simulated days.
 pub fn run(seed: u64, scale: f64, days: usize) -> Result<ExperimentResult> {
+    run_opts(seed, scale, days, &CheckpointOpts::default())
+}
+
+/// [`run`] with checkpoint/resume knobs (the `experiments` CLI threads
+/// `--checkpoint-every`/`--resume`/`--state-dir`/`--stop-after-epochs`
+/// here). When a ramp cell suspends at a barrier the experiment returns
+/// early with a `suspended`-flagged headline and no series; rerunning
+/// with [`CheckpointOpts::resume`] finishes it with series bit-identical
+/// to an uninterrupted run.
+pub fn run_opts(
+    seed: u64,
+    scale: f64,
+    days: usize,
+    ckpt: &CheckpointOpts,
+) -> Result<ExperimentResult> {
     if days == 0 {
         return Err(ExpError::Subsystem("population needs days >= 1".into()));
     }
@@ -111,15 +210,25 @@ pub fn run(seed: u64, scale: f64, days: usize) -> Result<ExperimentResult> {
     let mut per_class: ClassCurves = Vec::new();
     let mut peak: Option<FleetReport> = None;
     for (i, &mult) in RATE_RAMP.iter().enumerate() {
-        let report = run_cell(
-            mult,
+        let spec = CellSpec {
+            rate_multiplier: mult,
             arrivals_per_day,
             links,
             days,
-            4,
+            shards: 4,
             seed,
-            &format!("ramp{i}"),
-        )?;
+        };
+        let report = match run_cell_opts(spec, &format!("ramp{i}"), ckpt)? {
+            CellOutcome::Complete(report) => *report,
+            CellOutcome::Suspended(next_epoch) => {
+                // Killed at a barrier: report where, leave the manifest
+                // and per-cell state in place, and let --resume finish.
+                result.headline_value("suspended (resume with --resume)", 1.0);
+                result.headline_value("suspended at ramp cell", i as f64);
+                result.headline_value("next epoch on resume", next_epoch as f64);
+                return Ok(result);
+            }
+        };
         arrivals_total += report.users;
         sessions_total += report.sessions;
         if per_class.is_empty() {
@@ -176,33 +285,19 @@ pub fn run(seed: u64, scale: f64, days: usize) -> Result<ExperimentResult> {
 
     // ---- determinism assertion: heaviest cell across shard counts ----
     let peak_mult = *RATE_RAMP.last().expect("ramp non-empty");
-    let one = run_cell(
-        peak_mult,
+    // Always ephemeral: the determinism cells assert an invariant, they
+    // are not resumable work.
+    let det_spec = |shards: usize| CellSpec {
+        rate_multiplier: peak_mult,
         arrivals_per_day,
         links,
         days,
-        1,
-        seed + 1,
-        "det1",
-    )?;
-    let four = run_cell(
-        peak_mult,
-        arrivals_per_day,
-        links,
-        days,
-        4,
-        seed + 1,
-        "det4",
-    )?;
-    let eight = run_cell(
-        peak_mult,
-        arrivals_per_day,
-        links,
-        days,
-        8,
-        seed + 1,
-        "det8",
-    )?;
+        shards,
+        seed: seed + 1,
+    };
+    let one = run_cell(det_spec(1), "det1")?;
+    let four = run_cell(det_spec(4), "det4")?;
+    let eight = run_cell(det_spec(8), "det8")?;
     if one.merged_metrics() != four.merged_metrics()
         || one.merged_metrics() != eight.merged_metrics()
         || one.merged_sketches() != four.merged_sketches()
@@ -248,5 +343,46 @@ mod tests {
     #[test]
     fn rejects_zero_days() {
         assert!(run(1, 0.01, 0).is_err());
+    }
+
+    #[test]
+    fn kill_at_barrier_and_resume_matches_straight_run() {
+        let straight = run(6, 0.004, 2).unwrap();
+        let root =
+            std::env::temp_dir().join(format!("lingxi_population_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        // Kill the first ramp cell at the barrier after epoch 1.
+        let stopped = run_opts(
+            6,
+            0.004,
+            2,
+            &CheckpointOpts {
+                checkpoint_every: 1,
+                resume: false,
+                state_root: Some(root.clone()),
+                stop_after_epochs: Some(1),
+            },
+        )
+        .unwrap();
+        assert!(stopped
+            .headline
+            .iter()
+            .any(|(k, v)| k == "suspended (resume with --resume)" && *v == 1.0));
+        assert!(stopped.series.is_empty());
+        // Resume finishes the killed cell and runs the rest fresh; every
+        // series must be bit-identical to the uninterrupted run.
+        let resumed = run_opts(
+            6,
+            0.004,
+            2,
+            &CheckpointOpts {
+                resume: true,
+                state_root: Some(root.clone()),
+                ..CheckpointOpts::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(straight.series, resumed.series);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

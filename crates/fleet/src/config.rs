@@ -4,7 +4,7 @@
 use std::path::PathBuf;
 
 use lingxi_abr::{Abr, Bola, Hyb, ThroughputRule};
-use lingxi_core::{CacheConfig, LingXiConfig};
+use lingxi_core::{BinLogConfig, CacheConfig, LingXiConfig};
 use lingxi_net::{FairnessObjective, ProductionMixture, Topology};
 use lingxi_player::PlayerConfig;
 use lingxi_workload::{ArrivalKind, ArrivalProcess, ClassRegistry};
@@ -260,6 +260,38 @@ impl PopulationDynamics {
     }
 }
 
+/// Which durable [`lingxi_core::StateBackend`] persists long-term user
+/// state under [`FleetConfig::state_dir`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PersistenceConfig {
+    /// Legacy file-per-user JSON ([`lingxi_core::StateStore`]): one
+    /// `user_<id>.json` per user, every save a write+rename pair. Kept
+    /// for single-session tooling and as the migration source (the
+    /// default for backwards compatibility).
+    #[default]
+    FileJson,
+    /// Sharded append-only binary log with compacting snapshots
+    /// ([`lingxi_core::BinaryStateLog`]) — the fleet-scale backend: a
+    /// barrier flush is a handful of sequential appends however many
+    /// users churned.
+    BinaryLog(BinLogConfig),
+}
+
+impl PersistenceConfig {
+    /// The binary log with default sizing.
+    pub fn binary_log() -> Self {
+        PersistenceConfig::BinaryLog(BinLogConfig::default())
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            PersistenceConfig::FileJson => Ok(()),
+            PersistenceConfig::BinaryLog(cfg) => cfg.validate().map_err(crate::sub),
+        }
+    }
+}
+
 /// Engine sizing and policy (scenario-independent).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
@@ -270,10 +302,18 @@ pub struct FleetConfig {
     /// Base seed; every (user, epoch) derives its own stream, so results
     /// do not depend on the shard count.
     pub seed: u64,
-    /// Directory backing the durable [`lingxi_core::StateStore`]. Reusing
-    /// a non-empty directory warm-starts users from persisted state (a
-    /// production restart); use a fresh directory for reproducible runs.
+    /// Directory backing the durable state backend. Reusing a non-empty
+    /// directory warm-starts users from persisted state (a production
+    /// restart); use a fresh directory for reproducible runs.
     pub state_dir: PathBuf,
+    /// Which durable backend lives in `state_dir`.
+    pub persistence: PersistenceConfig,
+    /// Checkpoint cadence: every `checkpoint_every` epochs the engine
+    /// compacts the backend at the barrier and writes a resume manifest
+    /// (`fleet_ckpt.json`) so a killed run restarts from the last barrier
+    /// bit-identically. `0` disables periodic checkpoints (a suspended
+    /// [`crate::engine::RunControl`] stop still writes one).
+    pub checkpoint_every: usize,
     /// Sharded state-cache sizing.
     pub cache: CacheConfig,
     /// Player model configuration.
@@ -299,6 +339,8 @@ impl Default for FleetConfig {
             epochs: 2,
             seed: 42,
             state_dir: std::env::temp_dir().join("lingxi_fleet_state"),
+            persistence: PersistenceConfig::default(),
+            checkpoint_every: 0,
             cache: CacheConfig::default(),
             player: PlayerConfig::default(),
             ab: None,
@@ -318,6 +360,7 @@ impl FleetConfig {
         if self.epochs == 0 {
             return Err(FleetError::InvalidConfig("need at least one epoch".into()));
         }
+        self.persistence.validate()?;
         self.cache.validate().map_err(crate::sub)?;
         if let Some(contention) = &self.contention {
             contention.validate()?;

@@ -26,16 +26,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub(crate) mod contention;
 pub mod engine;
 pub mod report;
 
+pub use checkpoint::{FleetCheckpoint, CHECKPOINT_FILE, CHECKPOINT_SCHEMA};
 pub use config::{
     AbSplit, AbrMix, AbrPolicy, ContentionConfig, FairnessConfig, FleetConfig, FleetScenario,
-    PopulationDynamics,
+    PersistenceConfig, PopulationDynamics,
 };
-pub use engine::FleetEngine;
+pub use engine::{FleetEngine, RunControl, RunOutcome};
 pub use report::{EpochMetrics, EpochSketches, FleetReport};
 
 /// Errors from fleet orchestration.

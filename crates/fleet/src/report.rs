@@ -7,6 +7,7 @@ use std::time::Duration;
 use lingxi_abtest::{AbReport, DayMetrics};
 use lingxi_core::CacheStats;
 use lingxi_stats::QuantileSketch;
+use serde::{Deserialize, Serialize};
 
 /// Bounded-memory QoE distribution sketches for one epoch: per-session
 /// stall time, watch time and mean bitrate.
@@ -15,7 +16,10 @@ use lingxi_stats::QuantileSketch;
 /// and merging is *exactly* order-independent — bit-identical for any
 /// shard count — while a million-session epoch costs O(bins) memory
 /// instead of O(sessions).
-#[derive(Debug, Clone, PartialEq)]
+/// Serializable (the checkpoint manifest carries completed epochs; the
+/// integer bin counts and finite `f64` ranges round-trip bit-exactly
+/// through `serde_json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EpochSketches {
     /// Per-session total stall time (seconds).
     pub stall: QuantileSketch,
@@ -64,7 +68,10 @@ impl Default for EpochSketches {
 /// in ascending user-id order regardless of which shard ran them, and the
 /// sketches are integer-binned, so every field is bit-identical for any
 /// shard count under the same seed.
-#[derive(Debug, Clone, PartialEq)]
+/// Serializable so checkpoint manifests can carry completed epochs; all
+/// float fields are finite by construction, so the JSON round-trip is
+/// bit-exact (Rust's shortest-round-trip float formatting).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EpochMetrics {
     /// Epoch index (a simulated day).
     pub epoch: usize,

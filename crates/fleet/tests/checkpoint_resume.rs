@@ -1,0 +1,219 @@
+//! Kill-at-epoch-barrier + resume must be bit-identical to an
+//! uninterrupted run — at 1, 4, and 8 shards, over both persistence
+//! backends and both static and population-dynamics cohorts.
+//!
+//! This is the checkpoint half of the engine's determinism contract (see
+//! `FleetEngine::run_resumable`): immediately after barrier `k` every
+//! user's long-term state is durable, so epoch `k+1` is a pure function
+//! of (config, scenario, durable state) and a resumed run replays the
+//! remaining epochs exactly.
+
+use std::path::{Path, PathBuf};
+
+use lingxi_fleet::{
+    ContentionConfig, FleetCheckpoint, FleetConfig, FleetEngine, FleetReport, FleetScenario,
+    PersistenceConfig, PopulationDynamics, RunControl, RunOutcome,
+};
+use lingxi_workload::{ArrivalKind, ClassRegistry, Poisson};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lingxi_ckpt_resume_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn scenario() -> FleetScenario {
+    FleetScenario {
+        name: "ckpt".into(),
+        n_users: 24,
+        n_videos: 8,
+        mean_sessions_per_epoch: 2.0,
+        ..FleetScenario::default()
+    }
+}
+
+fn config(shards: usize, dir: &Path, persistence: PersistenceConfig) -> FleetConfig {
+    FleetConfig {
+        shards,
+        epochs: 4,
+        seed: 17,
+        state_dir: dir.to_path_buf(),
+        persistence,
+        ..FleetConfig::default()
+    }
+}
+
+/// Add population dynamics (arrivals over shared links) to a config.
+fn with_dynamics(mut config: FleetConfig) -> FleetConfig {
+    config.contention = Some(ContentionConfig {
+        links: 4,
+        capacity_kbps: 25_000.0,
+        arrival_window: 10.0,
+        access_cap_factor: 1.5,
+    });
+    config.dynamics = Some(PopulationDynamics {
+        arrivals: ArrivalKind::Poisson(Poisson { rate_per_sec: 0.05 }),
+        registry: ClassRegistry::default_heterogeneous(),
+        day_seconds: 600.0,
+    });
+    config
+}
+
+/// Run straight through in one directory; kill at the barrier after
+/// `stop_after` epochs and resume in another. Both must agree bit-exactly.
+fn assert_kill_resume_bit_identical(
+    make_config: impl Fn(&Path) -> FleetConfig,
+    stop_after: usize,
+    tag: &str,
+) -> FleetReport {
+    let straight_dir = temp_dir(&format!("{tag}_straight"));
+    let resumed_dir = temp_dir(&format!("{tag}_resumed"));
+    let scenario = scenario();
+
+    let straight = FleetEngine::new(make_config(&straight_dir))
+        .unwrap()
+        .run(&scenario)
+        .unwrap();
+
+    let engine = FleetEngine::new(make_config(&resumed_dir)).unwrap();
+    let first = engine
+        .run_resumable(
+            &scenario,
+            RunControl {
+                resume: false,
+                stop_after_epochs: Some(stop_after),
+            },
+        )
+        .unwrap();
+    let ckpt = match first {
+        RunOutcome::Suspended(ckpt) => ckpt,
+        RunOutcome::Complete(_) => panic!("run must suspend at the barrier"),
+    };
+    assert_eq!(ckpt.next_epoch, stop_after);
+    assert!(FleetCheckpoint::load(&resumed_dir).unwrap().is_some());
+
+    // The "kill": drop the engine and start over from the manifest. A
+    // fresh engine models the restarted process.
+    let resumed = match FleetEngine::new(make_config(&resumed_dir))
+        .unwrap()
+        .run_resumable(
+            &scenario,
+            RunControl {
+                resume: true,
+                stop_after_epochs: None,
+            },
+        )
+        .unwrap()
+    {
+        RunOutcome::Complete(report) => *report,
+        RunOutcome::Suspended(_) => panic!("resumed run must complete"),
+    };
+
+    // Bit-identical: merged metrics, sketches, and all counters.
+    assert_eq!(straight.merged_metrics(), resumed.merged_metrics());
+    assert_eq!(straight.merged_sketches(), resumed.merged_sketches());
+    assert_eq!(straight.sessions, resumed.sessions);
+    assert_eq!(straight.segments, resumed.segments);
+    assert_eq!(straight.users, resumed.users);
+    for (a, b) in straight.epochs.iter().zip(&resumed.epochs) {
+        assert_eq!(a.control, b.control);
+        assert_eq!(a.treatment, b.treatment);
+        assert_eq!(a.classes, b.classes);
+    }
+    // A completed run leaves no manifest behind.
+    assert!(FleetCheckpoint::load(&resumed_dir).unwrap().is_none());
+
+    let _ = std::fs::remove_dir_all(&straight_dir);
+    let _ = std::fs::remove_dir_all(&resumed_dir);
+    straight
+}
+
+#[test]
+fn kill_resume_bit_identical_at_1_4_8_shards_binlog() {
+    let mut reports = Vec::new();
+    for shards in [1usize, 4, 8] {
+        let report = assert_kill_resume_bit_identical(
+            |dir| with_dynamics(config(shards, dir, PersistenceConfig::binary_log())),
+            2,
+            &format!("bin{shards}"),
+        );
+        reports.push(report);
+    }
+    // And the shard counts agree with each other (the engine's standing
+    // invariance contract composes with checkpointing).
+    assert_eq!(reports[0].merged_metrics(), reports[1].merged_metrics());
+    assert_eq!(reports[0].merged_metrics(), reports[2].merged_metrics());
+    assert_eq!(reports[0].merged_sketches(), reports[1].merged_sketches());
+    assert_eq!(reports[0].merged_sketches(), reports[2].merged_sketches());
+}
+
+#[test]
+fn kill_resume_bit_identical_static_cohort_file_backend() {
+    // The manifest protocol is backend-agnostic: the legacy file-per-user
+    // store checkpoints and resumes the same way.
+    assert_kill_resume_bit_identical(
+        |dir| config(2, dir, PersistenceConfig::FileJson),
+        1,
+        "file2",
+    );
+}
+
+#[test]
+fn periodic_checkpoints_leave_resumable_manifest() {
+    let dir = temp_dir("periodic");
+    let mut cfg = config(2, &dir, PersistenceConfig::binary_log());
+    cfg.checkpoint_every = 1;
+    let report = FleetEngine::new(cfg).unwrap().run(&scenario()).unwrap();
+    assert!(report.sessions > 0);
+    // Completion removed the manifest even though every barrier wrote one.
+    assert!(FleetCheckpoint::load(&dir).unwrap().is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_refuses_mismatched_run() {
+    let dir = temp_dir("mismatch");
+    let engine = FleetEngine::new(config(2, &dir, PersistenceConfig::binary_log())).unwrap();
+    let outcome = engine
+        .run_resumable(
+            &scenario(),
+            RunControl {
+                resume: false,
+                stop_after_epochs: Some(1),
+            },
+        )
+        .unwrap();
+    assert!(matches!(outcome, RunOutcome::Suspended(_)));
+
+    // Different seed → refuse.
+    let mut other = config(2, &dir, PersistenceConfig::binary_log());
+    other.seed = 99;
+    let err = FleetEngine::new(other)
+        .unwrap()
+        .run_resumable(
+            &scenario(),
+            RunControl {
+                resume: true,
+                stop_after_epochs: None,
+            },
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("does not match"));
+
+    // No manifest at all → refuse.
+    let empty = temp_dir("mismatch_empty");
+    let err = FleetEngine::new(config(2, &empty, PersistenceConfig::binary_log()))
+        .unwrap()
+        .run_resumable(
+            &scenario(),
+            RunControl {
+                resume: true,
+                stop_after_epochs: None,
+            },
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("no checkpoint"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&empty);
+}
