@@ -3,8 +3,10 @@
 //!
 //! Runs a fixed small-scale scenario matrix — a managed-session loop, an
 //! independent-trace fleet epoch, a shared-bottleneck fleet epoch, a
-//! population-dynamics run, and a pair of state-churn persistence cells
-//! (binary log vs file-per-user) — and writes `BENCH_CI.json`:
+//! population-dynamics run, a heterogeneous dispatch pair (static-hash
+//! vs LSQ placement on a 1:4 capacity skew), and a pair of state-churn
+//! persistence cells (binary log vs file-per-user) — and writes
+//! `BENCH_CI.json`:
 //! sessions/sec and peak RSS per scenario (schema in `bench/README.md`).
 //! CI uploads the file as an artifact (the perf trajectory accumulates
 //! run over run) and gates it against the committed `bench/baseline.json`
@@ -23,8 +25,8 @@ use lingxi_core::{
     StateBackend, StateStore,
 };
 use lingxi_fleet::{
-    AbrMix, ContentionConfig, FairnessConfig, FleetConfig, FleetEngine, FleetScenario,
-    PopulationDynamics,
+    AbrMix, ContentionConfig, DispatchConfig, DispatchPolicy, FairnessConfig, FleetConfig,
+    FleetEngine, FleetScenario, PopulationDynamics,
 };
 use lingxi_media::{BitrateLadder, Catalog, CatalogConfig, VbrModel};
 use lingxi_net::{BandwidthTrace, ProductionMixture};
@@ -40,8 +42,8 @@ use crate::{ExpError, Result};
 /// Version of the `BENCH_CI.json` schema (bump on field changes or when
 /// the scenario matrix itself changes shape). v2 added the
 /// `churn_binlog`/`churn_filestore` persistence cells and the peak-RSS
-/// gate.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// gate; v3 added the `dispatch_static`/`dispatch_lsq` placement cells.
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Wall-clock tolerance of the gate: a scenario fails only when it runs
 /// more than this factor slower than the committed baseline (plus the
@@ -195,8 +197,8 @@ fn managed_session_scenario(seed: u64, scale: f64) -> Result<usize> {
     Ok(n)
 }
 
-/// A fleet epoch; `contention`/`dynamics`/`fairness` select the matrix
-/// cell.
+/// A fleet epoch; `contention`/`dynamics`/`fairness`/`dispatch` select
+/// the matrix cell.
 fn fleet_scenario(
     seed: u64,
     scale: f64,
@@ -204,10 +206,15 @@ fn fleet_scenario(
     contention: Option<ContentionConfig>,
     dynamics: Option<PopulationDynamics>,
     fairness: Option<FairnessConfig>,
+    dispatch: Option<DispatchConfig>,
 ) -> Result<usize> {
     let dir = state_dir(tag);
     let _ = std::fs::remove_dir_all(&dir);
-    let epochs = if dynamics.is_some() { 2 } else { 1 };
+    let epochs = if dynamics.is_some() || dispatch.is_some() {
+        2
+    } else {
+        1
+    };
     let config = FleetConfig {
         shards: 2,
         epochs,
@@ -216,6 +223,7 @@ fn fleet_scenario(
         contention,
         dynamics,
         fairness,
+        dispatch,
         ..FleetConfig::default()
     };
     let scenario = FleetScenario {
@@ -341,13 +349,25 @@ pub fn run(seed: u64, scale: f64) -> Result<BenchReport> {
         registry: ClassRegistry::default_heterogeneous(),
         day_seconds: 86_400.0,
     };
+    // The 1:4 capacity skew of the dispatch pair: every fourth link fat.
+    let dispatch_weights: Vec<f64> = (0..contention.links)
+        .map(|q| if q % 4 == 0 { 4.0 } else { 1.0 })
+        .collect();
     let scenarios = vec![
         record("managed_session", || managed_session_scenario(seed, scale))?,
         record("fleet_independent", || {
-            fleet_scenario(seed, scale, "independent", None, None, None)
+            fleet_scenario(seed, scale, "independent", None, None, None, None)
         })?,
         record("fleet_contention", || {
-            fleet_scenario(seed, scale, "contention", Some(contention), None, None)
+            fleet_scenario(
+                seed,
+                scale,
+                "contention",
+                Some(contention),
+                None,
+                None,
+                None,
+            )
         })?,
         record("population", || {
             fleet_scenario(
@@ -356,6 +376,7 @@ pub fn run(seed: u64, scale: f64) -> Result<BenchReport> {
                 "population",
                 Some(contention),
                 Some(dynamics),
+                None,
                 None,
             )
         })?,
@@ -371,6 +392,39 @@ pub fn run(seed: u64, scale: f64) -> Result<BenchReport> {
                 Some(FairnessConfig {
                     objective: lingxi_net::FairnessObjective::AlphaFair(2.0),
                     topology: crate::fairness::pod_topology()?,
+                }),
+                None,
+            )
+        })?,
+        // The dispatch pair: the same contended fleet under static-hash
+        // and LSQ placement on a 1:4 heterogeneous capacity skew, so the
+        // gate tracks the overhead of the dispatch layer itself (barrier
+        // refresh + per-user argmin) against the hash baseline.
+        record("dispatch_static", || {
+            fleet_scenario(
+                seed,
+                scale,
+                "dispatch_static",
+                Some(contention),
+                None,
+                None,
+                Some(DispatchConfig {
+                    policy: DispatchPolicy::StaticHash,
+                    capacity_weights: dispatch_weights.clone(),
+                }),
+            )
+        })?,
+        record("dispatch_lsq", || {
+            fleet_scenario(
+                seed,
+                scale,
+                "dispatch_lsq",
+                Some(contention),
+                None,
+                None,
+                Some(DispatchConfig {
+                    policy: DispatchPolicy::Lsq { dispatchers: 2 },
+                    capacity_weights: dispatch_weights.clone(),
                 }),
             )
         })?,
@@ -641,11 +695,18 @@ mod tests {
     fn matrix_runs_and_round_trips() {
         let report = run(9, 0.02).unwrap();
         assert_eq!(report.schema, BENCH_SCHEMA_VERSION);
-        assert_eq!(report.scenarios.len(), 7);
+        assert_eq!(report.scenarios.len(), 9);
         for s in &report.scenarios {
             assert!(s.sessions > 0, "{}: no sessions", s.name);
             assert!(s.wall_s > 0.0 && s.sessions_per_sec > 0.0, "{}", s.name);
         }
+        // The dispatch pair sits between the fairness cell and the
+        // persistence pair, static hash first, and both cells simulate
+        // the same population (placement policy moves users between
+        // links, not in or out of the fleet).
+        assert_eq!(report.scenarios[5].name, "dispatch_static");
+        assert_eq!(report.scenarios[6].name, "dispatch_lsq");
+        assert_eq!(report.scenarios[5].sessions, report.scenarios[6].sessions);
         // The persistence pair closes the matrix, binary log first (VmHWM
         // ordering contract), and both cells save the same churn schedule.
         let n = report.scenarios.len();

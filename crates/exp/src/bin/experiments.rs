@@ -3,7 +3,7 @@
 //!
 //! Usage:
 //! ```text
-//! experiments <fig01|...|fig15|fleet|flashcrowd|population|fairness|checkpoint|all> \
+//! experiments <fig01|...|fig15|fleet|flashcrowd|population|fairness|dispatch|checkpoint|all> \
 //!     [--seed N] [--scale F] [--out DIR] [--days D] \
 //!     [--checkpoint-every N] [--resume] [--state-dir DIR] [--stop-after-epochs N]
 //! experiments benchjson [--seed N] [--scale F] \
@@ -41,7 +41,7 @@ use lingxi_exp::{benchjson, population, run_experiment, ALL_EXPERIMENTS};
 
 fn usage() {
     eprintln!(
-        "usage: experiments <figNN|fleet|flashcrowd|population|fairness|checkpoint|all> [--seed N] [--scale F] [--out DIR] [--days D]"
+        "usage: experiments <figNN|fleet|flashcrowd|population|fairness|dispatch|checkpoint|all> [--seed N] [--scale F] [--out DIR] [--days D]"
     );
     eprintln!("                   [--checkpoint-every N] [--resume] [--state-dir DIR] [--stop-after-epochs N]");
     eprintln!(
@@ -51,10 +51,10 @@ fn usage() {
     eprintln!("       experiments benchjson --compare-cells FILE CELL_A CELL_B");
     eprintln!("       experiments migrate-state <json-dir> <log-dir>");
     eprintln!(
-        "experiments: {}, fleet, flashcrowd, population, fairness, checkpoint",
+        "experiments: {}, fleet, flashcrowd, population, fairness, dispatch, checkpoint",
         ALL_EXPERIMENTS.join(", ")
     );
-    eprintln!("(`all` runs the paper figures; `fleet`/`flashcrowd`/`population`/`fairness`/`checkpoint` are the systems scenarios; `benchjson` emits the CI perf report; `migrate-state` converts file-per-user JSON state to the binary log)");
+    eprintln!("(`all` runs the paper figures; `fleet`/`flashcrowd`/`population`/`fairness`/`dispatch`/`checkpoint` are the systems scenarios; `benchjson` emits the CI perf report; `migrate-state` converts file-per-user JSON state to the binary log)");
 }
 
 /// `migrate-state <json-dir> <log-dir>`: copy every user of a legacy

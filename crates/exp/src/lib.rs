@@ -26,6 +26,7 @@
 pub mod benchjson;
 pub mod checkpoint;
 pub mod datasets;
+pub mod dispatch;
 pub mod fairness;
 pub mod fig01_qos_saturation;
 pub mod fig02_opportunities;
@@ -87,7 +88,8 @@ pub fn sub<E: std::fmt::Display>(e: E) -> ExpError {
 /// experiment (see [`fleet`]), the `flashcrowd` contention scenario
 /// (see [`flashcrowd`]), the `population` dynamics scenario (see
 /// [`population`]), the `fairness` objective scenario (see
-/// [`fairness`]) and the `checkpoint` kill/resume scenario (see
+/// [`fairness`]), the `dispatch` load-aware placement scenario (see
+/// [`dispatch`]) and the `checkpoint` kill/resume scenario (see
 /// [`checkpoint`]) are run explicitly by id — they are systems
 /// benchmarks, not figures, so `all` does not include them. The
 /// `benchjson` perf-gate matrix (see [`benchjson`]) has its own CLI
@@ -118,6 +120,7 @@ pub fn run_experiment(id: &str, seed: u64, scale: f64) -> Result<ExperimentResul
         "fig14" => fig14_correlation::run(seed, scale),
         "fig15" => fig15_trajectories::run(seed, scale),
         "checkpoint" => checkpoint::run(seed, scale),
+        "dispatch" => dispatch::run(seed, scale),
         "fairness" => fairness::run(seed, scale),
         "flashcrowd" => flashcrowd::run(seed, scale),
         "fleet" => fleet::run(seed, scale),

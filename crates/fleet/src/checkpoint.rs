@@ -19,8 +19,12 @@ use serde::{Deserialize, Serialize};
 use crate::report::EpochMetrics;
 use crate::{FleetError, Result};
 
-/// Version of the checkpoint manifest schema.
-pub const CHECKPOINT_SCHEMA: u32 = 1;
+/// Version of the checkpoint manifest schema. v2: epochs carry the
+/// dispatch-layer record (`EpochMetrics::dispatch`) — a resumed LSQ run
+/// re-seeds its estimates from the last completed epoch's placements, so
+/// v1 manifests (which cannot carry one) are refused rather than resumed
+/// with silently reset estimates.
+pub const CHECKPOINT_SCHEMA: u32 = 2;
 
 /// Filename of the manifest inside the state directory.
 pub const CHECKPOINT_FILE: &str = "fleet_ckpt.json";
@@ -149,6 +153,11 @@ mod tests {
                 classes: vec![DayMetrics::default()],
                 sketches,
                 flushed: 17,
+                dispatch: Some(crate::dispatch::DispatchEpoch {
+                    placements: vec![5, 0, 4],
+                    max_weighted_occupancy: 1.25,
+                    dispatcher_loads: vec![6, 3],
+                }),
             }],
         };
         assert!(FleetCheckpoint::load(&dir).unwrap().is_none());

@@ -9,6 +9,7 @@ use lingxi_net::{FairnessObjective, ProductionMixture, Topology};
 use lingxi_player::PlayerConfig;
 use lingxi_workload::{ArrivalKind, ArrivalProcess, ClassRegistry};
 
+use crate::dispatch::DispatchConfig;
 use crate::{mix64, FleetError, Result};
 
 /// A/B mode: split the population into control/treatment cohorts by user-id
@@ -330,6 +331,10 @@ pub struct FleetConfig {
     /// emergent RTT); requires `contention`. `None` keeps the degenerate
     /// single max-min link per group.
     pub fairness: Option<FairnessConfig>,
+    /// Dispatch layer (user→link placement policy + heterogeneous link
+    /// capacity weights); requires `contention`. `None` keeps the legacy
+    /// static id-hash placement bit-exactly.
+    pub dispatch: Option<DispatchConfig>,
 }
 
 impl Default for FleetConfig {
@@ -347,6 +352,7 @@ impl Default for FleetConfig {
             contention: None,
             dynamics: None,
             fairness: None,
+            dispatch: None,
         }
     }
 }
@@ -381,6 +387,15 @@ impl FleetConfig {
                 ));
             }
             fairness.validate()?;
+        }
+        if let Some(dispatch) = &self.dispatch {
+            let Some(contention) = &self.contention else {
+                return Err(FleetError::InvalidConfig(
+                    "dispatch layer requires contention mode (it places users on shared links)"
+                        .into(),
+                ));
+            };
+            dispatch.validate(contention.links, self.dynamics.is_some())?;
         }
         if let Some(ab) = &self.ab {
             if ab.intervention_epoch < 2 || self.epochs.saturating_sub(ab.intervention_epoch) < 2 {
@@ -523,6 +538,21 @@ mod tests {
         }
         .validate()
         .is_err());
+        // Dispatch places users on shared links — meaningless without
+        // contention mode.
+        assert!(FleetConfig {
+            dispatch: Some(DispatchConfig::lsq(2)),
+            ..FleetConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FleetConfig {
+            contention: Some(ContentionConfig::default()),
+            dispatch: Some(DispatchConfig::lsq(2)),
+            ..FleetConfig::default()
+        }
+        .validate()
+        .is_ok());
         assert!(AbrMix {
             p_hyb: 0.8,
             p_throughput: 0.5,

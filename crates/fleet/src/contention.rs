@@ -380,13 +380,12 @@ pub(crate) fn run_shard_epoch_contended(
     // same (ascending link, ascending user id) iteration the old
     // `BTreeMap<u64, Vec<&EpochUser>>` produced, without rebuilding a
     // tree per epoch.
+    // The link comes from the user's epoch slot: the static hash by
+    // default, the dispatch layer's placement when one is configured —
+    // either way fixed before the epoch's kernels run, so the grouping
+    // stays a pure function of (seed, cohort, epoch).
     pairs.clear();
-    pairs.extend(
-        users
-            .iter()
-            .enumerate()
-            .map(|(i, u)| (engine.link_of(u.record.id), i as u32)),
-    );
+    pairs.extend(users.iter().enumerate().map(|(i, u)| (u.link, i as u32)));
     pairs.sort_unstable_by_key(|&(link, i)| (link, users[i as usize].record.id));
     let mut rows = Vec::with_capacity(users.len());
     let mut sketches = EpochSketches::new();
@@ -397,16 +396,10 @@ pub(crate) fn run_shard_epoch_contended(
         while end < pairs.len() && pairs[end].0 == link_id {
             end += 1;
         }
-        // Heterogeneous topologies: the link-class registry overrides the
-        // uniform contention capacity in population-dynamics mode.
-        let capacity_kbps = match &engine.config().dynamics {
-            Some(d) => {
-                d.registry
-                    .link_class_of(engine.config().seed, link_id)
-                    .capacity_kbps
-            }
-            None => contention.capacity_kbps,
-        };
+        // Heterogeneous topologies: the link-class registry (dynamics
+        // mode) or the dispatch layer's capacity weights override the
+        // uniform contention capacity.
+        let capacity_kbps = engine.link_capacity_kbps(link_id);
         run_link_epoch(
             engine,
             contention,

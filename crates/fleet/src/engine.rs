@@ -76,6 +76,10 @@ pub(crate) struct EpochUser {
     pub(crate) arrival: Option<f64>,
     /// Index into the dynamics registry's user classes.
     pub(crate) class: Option<u16>,
+    /// The shared link this user's sessions contend on this epoch.
+    /// Initialised to the static hash; the dispatch layer overwrites it
+    /// per epoch. Shard ownership follows this field in contention mode.
+    pub(crate) link: u64,
 }
 
 /// One user's epoch, reduced to bounded-memory accumulators by the shard
@@ -112,15 +116,18 @@ impl FleetEngine {
 
     /// Which shard owns a user. In contention mode ownership follows the
     /// user's *link*, so every link's co-simulation stays whole on one
-    /// shard and the shard-count invariance survives contention.
-    fn shard_of(&self, user_id: u64) -> usize {
+    /// shard and the shard-count invariance survives contention — under
+    /// any dispatch policy, since placement never consults the shard
+    /// count.
+    fn shard_of(&self, user: &EpochUser) -> usize {
         match &self.config.contention {
-            Some(_) => (mix64(self.link_of(user_id)) % self.config.shards as u64) as usize,
-            None => (mix64(user_id) % self.config.shards as u64) as usize,
+            Some(_) => (mix64(user.link) % self.config.shards as u64) as usize,
+            None => (mix64(user.record.id) % self.config.shards as u64) as usize,
         }
     }
 
-    /// The shared link a user's sessions contend on (contention mode).
+    /// The *static-hash* link assignment (the dispatch layer's reference
+    /// policy and the placement used whenever `dispatch` is `None`).
     /// Derived from (seed, user id) only — never from the shard count.
     pub(crate) fn link_of(&self, user_id: u64) -> u64 {
         let links = self
@@ -129,7 +136,61 @@ impl FleetEngine {
             .as_ref()
             .map(|c| c.links as u64)
             .unwrap_or(1);
-        mix64(self.config.seed ^ mix64(user_id ^ 0x11AC_C355_71E0_2BB7)) % links
+        crate::dispatch::static_link_of(self.config.seed, user_id, links)
+    }
+
+    /// Real capacity of one shared link (kbps): the link-class registry's
+    /// in dynamics mode, else the base contention capacity scaled by the
+    /// link's dispatch capacity weight (weight 1.0 when none is set —
+    /// heterogeneous weights are physical, not just planning inputs).
+    pub(crate) fn link_capacity_kbps(&self, link_id: u64) -> f64 {
+        let contention = self
+            .config
+            .contention
+            .as_ref()
+            .expect("link capacity only meaningful in contention mode");
+        match &self.config.dynamics {
+            Some(d) => {
+                d.registry
+                    .link_class_of(self.config.seed, link_id)
+                    .capacity_kbps
+            }
+            None => {
+                let weight = self
+                    .config
+                    .dispatch
+                    .as_ref()
+                    .and_then(|d| d.capacity_weights.get(link_id as usize))
+                    .copied()
+                    .unwrap_or(1.0);
+                contention.capacity_kbps * weight
+            }
+        }
+    }
+
+    /// Per-link capacity weights the dispatch layer plans with: explicit
+    /// config weights, else derived from the dynamics link-class registry
+    /// (class capacity / base capacity — see
+    /// [`lingxi_workload::ClassRegistry::capacity_weight_of`]), else
+    /// uniform.
+    fn dispatch_weights(&self) -> Vec<f64> {
+        let Some(contention) = &self.config.contention else {
+            return Vec::new();
+        };
+        if let Some(dispatch) = &self.config.dispatch {
+            if !dispatch.capacity_weights.is_empty() {
+                return dispatch.capacity_weights.clone();
+            }
+        }
+        match &self.config.dynamics {
+            Some(d) => (0..contention.links as u64)
+                .map(|l| {
+                    d.registry
+                        .capacity_weight_of(self.config.seed, l, contention.capacity_kbps)
+                })
+                .collect(),
+            None => vec![1.0; contention.links],
+        }
     }
 
     /// The topology route a user's flows take in fairness mode. Derived
@@ -178,6 +239,7 @@ impl FleetEngine {
                     record,
                     arrival: Some(e.at),
                     class: Some(e.class),
+                    link: self.link_of(id),
                 }
             })
             .collect()
@@ -187,9 +249,41 @@ impl FleetEngine {
     fn shard_partition(&self, users: Vec<EpochUser>) -> Vec<Vec<EpochUser>> {
         let mut shard_users: Vec<Vec<EpochUser>> = vec![Vec::new(); self.config.shards];
         for user in users {
-            shard_users[self.shard_of(user.record.id)].push(user);
+            shard_users[self.shard_of(&user)].push(user);
         }
         shard_users
+    }
+
+    /// One epoch's dispatch pass: refresh the dispatcher's estimates from
+    /// the barrier snapshot (stale by exactly one epoch), place every
+    /// cohort user in ascending-id cohort order, and record the epoch's
+    /// placements. Pure in (seed, epoch, snapshot) — the cohort order and
+    /// every stream seed derive from those alone.
+    fn dispatch_epoch(
+        &self,
+        dispatcher: &mut dyn crate::dispatch::Dispatcher,
+        cohort: &mut [EpochUser],
+        epoch: usize,
+        snapshot: &[u64],
+        weights: &[f64],
+    ) -> crate::dispatch::DispatchEpoch {
+        dispatcher.refresh(snapshot);
+        let mut placements = vec![0u64; weights.len()];
+        for user in cohort.iter_mut() {
+            let id = user.record.id;
+            user.link = dispatcher.place(id, self.stream_seed(id, epoch));
+            placements[user.link as usize] += 1;
+        }
+        let max_weighted_occupancy = placements
+            .iter()
+            .zip(weights)
+            .map(|(&c, &w)| c as f64 / w)
+            .fold(0.0, f64::max);
+        crate::dispatch::DispatchEpoch {
+            placements,
+            max_weighted_occupancy,
+            dispatcher_loads: dispatcher.dispatcher_loads().to_vec(),
+        }
     }
 
     /// Run one scenario to completion.
@@ -232,8 +326,11 @@ impl FleetEngine {
         .map_err(sub)?;
 
         // Static cohort (replayed every epoch) unless dynamics drive the
-        // population; sharded once up front in the static case.
-        let static_shards: Option<Vec<Vec<EpochUser>>> = match &self.config.dynamics {
+        // population. Without a dispatch layer its links are fixed, so it
+        // is sharded once up front; with one, placements (and therefore
+        // shard ownership) move every epoch, so the cohort is kept whole
+        // and re-partitioned after each dispatch pass.
+        let static_population: Option<Vec<EpochUser>> = match &self.config.dynamics {
             Some(_) => None,
             None => {
                 let population = UserPopulation::generate(
@@ -246,20 +343,27 @@ impl FleetEngine {
                 )
                 .map_err(sub)?;
                 Some(
-                    self.shard_partition(
-                        population
-                            .users()
-                            .iter()
-                            .map(|u| EpochUser {
-                                record: *u,
-                                arrival: None,
-                                class: None,
-                            })
-                            .collect(),
-                    ),
+                    population
+                        .users()
+                        .iter()
+                        .map(|u| EpochUser {
+                            record: *u,
+                            arrival: None,
+                            class: None,
+                            link: self.link_of(u.id),
+                        })
+                        .collect(),
                 )
             }
         };
+        let (static_shards, static_cohort): (Option<Vec<Vec<EpochUser>>>, Option<Vec<EpochUser>>) =
+            match static_population {
+                Some(pop) if self.config.dispatch.is_none() => {
+                    (Some(self.shard_partition(pop)), None)
+                }
+                Some(pop) => (None, Some(pop)),
+                None => (None, None),
+            };
 
         // Durable layer + cache; surface the startup scan (corrupt
         // filenames, torn log tails) instead of silently dropping users.
@@ -325,7 +429,7 @@ impl FleetEngine {
             .as_ref()
             // detlint::allow(unordered_float_merge, reason = "usize count over per-shard Vec lengths; integer addition is order-free")
             .map(|s| s.iter().map(Vec::len).sum())
-            .unwrap_or(0usize);
+            .unwrap_or_else(|| static_cohort.as_ref().map_or(0usize, Vec::len));
         // A resumed run adopts the checkpoint's counters (the static
         // cohort was already counted once — do not recount it).
         let (start_epoch, mut epochs, mut sessions, mut segments, mut users_total, prior_elapsed) =
@@ -347,17 +451,55 @@ impl FleetEngine {
                     Duration::ZERO,
                 ),
             };
+        // Dispatch layer: one dispatcher for the whole run; its estimates
+        // refresh at every epoch barrier from the previous epoch's
+        // placement snapshot (the stale-information regime). A resumed
+        // run re-seeds the snapshot from the manifest's last completed
+        // epoch (zeros before epoch 0), so resume stays bit-identical to
+        // an uninterrupted run.
+        let dispatch_weights = self.dispatch_weights();
+        let mut dispatcher: Option<Box<dyn crate::dispatch::Dispatcher>> = self
+            .config
+            .dispatch
+            .as_ref()
+            .map(|d| d.build(self.config.seed, dispatch_weights.clone()));
+        let mut dispatch_snapshot: Vec<u64> = epochs
+            .last()
+            .and_then(|e: &EpochMetrics| e.dispatch.as_ref())
+            .map(|d| d.placements.clone())
+            .unwrap_or_else(|| vec![0; dispatch_weights.len()]);
         for epoch in start_epoch..self.config.epochs {
-            let dynamic_shards = self
-                .config
-                .dynamics
-                .as_ref()
-                .map(|d| self.shard_partition(self.dynamic_epoch_users(d, epoch)));
-            if let Some(shards) = &dynamic_shards {
-                // detlint::allow(unordered_float_merge, reason = "usize count of cohort sizes; integer addition is order-free")
-                users_total += shards.iter().map(Vec::len).sum::<usize>();
+            // Epoch cohort (when one must be rebuilt) → dispatch pass →
+            // shard partition. Dynamics regenerate the cohort every epoch;
+            // a dispatch layer re-places even the static cohort, since its
+            // estimates — and with them link placement and shard
+            // ownership — evolve across barriers.
+            let mut epoch_cohort: Option<Vec<EpochUser>> = match &self.config.dynamics {
+                Some(d) => Some(self.dynamic_epoch_users(d, epoch)),
+                None => dispatcher.as_ref().and(static_cohort.clone()),
+            };
+            let dispatch_info = match (&mut dispatcher, &mut epoch_cohort) {
+                (Some(dsp), Some(cohort)) => {
+                    let info = self.dispatch_epoch(
+                        dsp.as_mut(),
+                        cohort,
+                        epoch,
+                        &dispatch_snapshot,
+                        &dispatch_weights,
+                    );
+                    dispatch_snapshot.clone_from(&info.placements);
+                    Some(info)
+                }
+                _ => None,
+            };
+            let epoch_shards = epoch_cohort.map(|c| self.shard_partition(c));
+            if self.config.dynamics.is_some() {
+                if let Some(shards) = &epoch_shards {
+                    // detlint::allow(unordered_float_merge, reason = "usize count of cohort sizes; integer addition is order-free")
+                    users_total += shards.iter().map(Vec::len).sum::<usize>();
+                }
             }
-            let shard_users = dynamic_shards
+            let shard_users = epoch_shards
                 .as_ref()
                 .or(static_shards.as_ref())
                 .expect("static or dynamic cohort exists");
@@ -455,6 +597,7 @@ impl FleetEngine {
                 classes: classes.iter().map(DayAccum::metrics).collect(),
                 sketches,
                 flushed,
+                dispatch: dispatch_info,
             });
 
             // Checkpoint at the barrier: everything is durable (the flush

@@ -29,6 +29,7 @@
 pub mod checkpoint;
 pub mod config;
 pub(crate) mod contention;
+pub mod dispatch;
 pub mod engine;
 pub mod report;
 
@@ -36,6 +37,10 @@ pub use checkpoint::{FleetCheckpoint, CHECKPOINT_FILE, CHECKPOINT_SCHEMA};
 pub use config::{
     AbSplit, AbrMix, AbrPolicy, ContentionConfig, FairnessConfig, FleetConfig, FleetScenario,
     PersistenceConfig, PopulationDynamics,
+};
+pub use dispatch::{
+    static_link_of, DispatchConfig, DispatchEpoch, DispatchPolicy, Dispatcher, Lsq, StaticHash,
+    DISPATCH_STREAMS,
 };
 pub use engine::{FleetEngine, RunControl, RunOutcome};
 pub use report::{EpochMetrics, EpochSketches, FleetReport};

@@ -9,6 +9,8 @@ use lingxi_core::CacheStats;
 use lingxi_stats::QuantileSketch;
 use serde::{Deserialize, Serialize};
 
+use crate::dispatch::DispatchEpoch;
+
 /// Bounded-memory QoE distribution sketches for one epoch: per-session
 /// stall time, watch time and mean bitrate.
 ///
@@ -90,6 +92,11 @@ pub struct EpochMetrics {
     /// Diagnostic: unlike the metric aggregates this *may* vary with shard
     /// count, because LRU evictions already persisted some entries early.
     pub flushed: usize,
+    /// Dispatch-layer record of this epoch (per-link placements, weighted
+    /// hot-queue occupancy, per-dispatcher loads). `None` outside dispatch
+    /// mode; defaulted on deserialize so pre-dispatch manifests load.
+    #[serde(default)]
+    pub dispatch: Option<DispatchEpoch>,
 }
 
 /// Everything a fleet run produced.
@@ -161,5 +168,23 @@ impl FleetReport {
             .iter()
             .filter_map(|e| e.classes.get(class).copied())
             .collect()
+    }
+
+    /// The worst weighted link occupancy any epoch saw
+    /// (`max_epoch max_q placements[q] / weight[q]`) — the load-imbalance
+    /// headline the `dispatch` experiment gates LSQ vs StaticHash on.
+    /// `None` outside dispatch mode.
+    pub fn max_weighted_occupancy(&self) -> Option<f64> {
+        self.epochs
+            .iter()
+            .filter_map(|e| e.dispatch.as_ref())
+            .map(|d| d.max_weighted_occupancy)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Per-epoch dispatch records, for cross-run comparison under the
+    /// same bit-identity contract as [`FleetReport::merged_metrics`].
+    pub fn dispatch_epochs(&self) -> Vec<Option<&DispatchEpoch>> {
+        self.epochs.iter().map(|e| e.dispatch.as_ref()).collect()
     }
 }

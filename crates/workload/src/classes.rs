@@ -190,6 +190,16 @@ impl ClassRegistry {
         self.links.last().expect("validated non-empty")
     }
 
+    /// The link's capacity weight relative to a reference capacity:
+    /// `link_class_of(seed, link_id).capacity_kbps / reference_kbps`.
+    /// This is how a load-aware dispatcher learns the registry's
+    /// heterogeneity — a fiber link with 4.8× the reference capacity
+    /// should absorb 4.8× the placements of a weight-1 cell link.
+    /// Stable under any shard layout, like [`Self::link_class_of`].
+    pub fn capacity_weight_of(&self, seed: u64, link_id: u64, reference_kbps: f64) -> f64 {
+        self.link_class_of(seed, link_id).capacity_kbps / reference_kbps
+    }
+
     /// A single-class registry: every user draws from `mixture` with no
     /// caps and neutral patience, every link has `capacity_kbps`. The
     /// degenerate registry that reproduces the pre-workload fleet
@@ -344,6 +354,19 @@ mod tests {
         }
         let frac = cell as f64 / n as f64;
         assert!((frac - 0.6).abs() < 0.03, "cell fraction {frac}");
+    }
+
+    #[test]
+    fn capacity_weights_mirror_link_classes() {
+        let reg = ClassRegistry::default_heterogeneous();
+        for link in 0..200u64 {
+            let w = reg.capacity_weight_of(9, link, 25_000.0);
+            let expected = reg.link_class_of(9, link).capacity_kbps / 25_000.0;
+            assert_eq!(w, expected);
+            // The default registry: cell links at the reference weight,
+            // fiber links at 120/25 = 4.8x.
+            assert!(w == 1.0 || w == 4.8, "unexpected weight {w}");
+        }
     }
 
     #[test]

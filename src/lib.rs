@@ -93,8 +93,9 @@ pub mod prelude {
         UserStateTracker,
     };
     pub use lingxi_fleet::{
-        AbSplit, AbrMix, AbrPolicy, ContentionConfig, FairnessConfig, FleetConfig, FleetEngine,
-        FleetReport, FleetScenario, PopulationDynamics,
+        AbSplit, AbrMix, AbrPolicy, ContentionConfig, DispatchConfig, DispatchEpoch,
+        DispatchPolicy, Dispatcher, FairnessConfig, FleetConfig, FleetEngine, FleetReport,
+        FleetScenario, Lsq, PopulationDynamics, StaticHash,
     };
     pub use lingxi_media::{
         BitrateLadder, Catalog, CatalogConfig, QualityMap, QualityTier, SegmentSizes, VbrModel,
